@@ -1,0 +1,311 @@
+package dynaminer
+
+// The bench suite regenerates every table and figure of the paper at full
+// paper scale (770/980 training episodes, 7489/1500 validation episodes),
+// one benchmark per artifact, and reports the headline numbers as custom
+// metrics so `go test -bench=.` output doubles as the experiment record.
+// DESIGN.md §4 maps each benchmark to the paper artifact it regenerates.
+
+import (
+	"testing"
+
+	"dynaminer/internal/experiments"
+	"dynaminer/internal/synth"
+)
+
+var benchOpts = experiments.Options{Seed: 1}
+
+// benchCorpus caches the ground-truth corpus across benchmarks.
+var benchCorpus []synth.Episode
+
+func corpusForBench(b *testing.B) []synth.Episode {
+	b.Helper()
+	if benchCorpus == nil {
+		benchCorpus = experiments.GroundTruth(benchOpts)
+	}
+	return benchCorpus
+}
+
+func BenchmarkTableI(b *testing.B) {
+	eps := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.TableI(eps)
+		if len(res.Rows) != 11 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	eps := corpusForBench(b)
+	b.ResetTimer()
+	var google float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure1(eps)
+		google = res.Rows[0].Pct
+	}
+	b.ReportMetric(google, "google-pct")
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	eps := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := experiments.Figure2(eps); len(res.Families) != 10 {
+			b.Fatal("wrong family count")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	eps := corpusForBench(b)
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure3(eps)
+		ratio = res.Rows[0].Infection / res.Rows[0].Benign // node-count ratio
+	}
+	b.ReportMetric(ratio, "node-ratio")
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	eps := corpusForBench(b)
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure4(eps)
+		ratio = res.Rows[0].Infection / res.Rows[0].Benign // GET-count ratio
+	}
+	b.ReportMetric(ratio, "GET-ratio")
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if res := experiments.Figure6(benchOpts); res.Order < 3 {
+			b.Fatal("example WCG too small")
+		}
+	}
+}
+
+func BenchmarkFigures7to9(b *testing.B) {
+	eps := corpusForBench(b)
+	b.ResetTimer()
+	var betweenGap float64
+	for i := 0; i < b.N; i++ {
+		series := experiments.Figures7to9(eps)
+		betweenGap = series[1].BenMean - series[1].InfMean
+	}
+	b.ReportMetric(betweenGap, "betweenness-gap")
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	ds := experiments.BuildDataset(corpusForBench(b))
+	b.ResetTimer()
+	var tpr, fpr float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableIII(ds, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tpr, fpr = res.Rows[0].TPR, res.Rows[0].FPR
+	}
+	b.ReportMetric(tpr, "all-TPR")
+	b.ReportMetric(fpr, "all-FPR")
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	ds := experiments.BuildDataset(corpusForBench(b))
+	b.ResetTimer()
+	var graphCount int
+	for i := 0; i < b.N; i++ {
+		res := experiments.TableIV(ds, benchOpts)
+		graphCount = res.GraphFeatureCount()
+	}
+	b.ReportMetric(float64(graphCount), "GFs-in-top20")
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	ds := experiments.BuildDataset(corpusForBench(b))
+	b.ResetTimer()
+	var auc float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure10(ds, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		auc = res.AUC
+	}
+	b.ReportMetric(auc, "AUC")
+}
+
+func BenchmarkTableV(b *testing.B) {
+	var dmInf, vtInf float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableV(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dmInf = res.Rows[0].InfectionAccuracy()
+		vtInf = res.Rows[1].InfectionAccuracy()
+	}
+	b.ReportMetric(dmInf, "dynaminer-recall")
+	b.ReportMetric(vtInf, "av-recall")
+}
+
+func BenchmarkCaseStudy1(b *testing.B) {
+	var alerts, lag float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CaseStudy1(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		alerts = float64(res.Alerts)
+		lag = float64(res.FreshPayloadLagDays)
+	}
+	b.ReportMetric(alerts, "alerts")
+	b.ReportMetric(lag, "av-lag-days")
+}
+
+func BenchmarkTableVI(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableVI(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = 0
+		for _, row := range res.Rows {
+			total += float64(row.Alerts)
+		}
+	}
+	b.ReportMetric(total, "alerts")
+}
+
+func BenchmarkAblationClueThreshold(b *testing.B) {
+	var det3 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationClueThreshold(benchOpts, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		det3 = res.Rows[2].DetectionRate
+	}
+	b.ReportMetric(det3, "detection-at-L3")
+}
+
+func BenchmarkAblationTrees(b *testing.B) {
+	ds := experiments.BuildDataset(corpusForBench(b))
+	b.ResetTimer()
+	var auc20 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationTrees(ds, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		auc20 = res.Rows[3].ROCArea
+	}
+	b.ReportMetric(auc20, "AUC-at-20-trees")
+}
+
+func BenchmarkAblationVoting(b *testing.B) {
+	ds := experiments.BuildDataset(corpusForBench(b))
+	b.ResetTimer()
+	var avgAUC, voteAUC float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationVoting(ds, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avgAUC, voteAUC = res.Rows[0].ROCArea, res.Rows[1].ROCArea
+	}
+	b.ReportMetric(avgAUC, "averaging-AUC")
+	b.ReportMetric(voteAUC, "voting-AUC")
+}
+
+func BenchmarkEvasion(b *testing.B) {
+	var filelessOffline float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Evasion(benchOpts, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Mode == "fileless" {
+				filelessOffline = row.OfflineTPR
+			}
+		}
+	}
+	b.ReportMetric(filelessOffline, "fileless-offline-TPR")
+}
+
+func BenchmarkDetectionLatency(b *testing.B) {
+	var remaining float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.DetectionLatency(benchOpts, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		remaining = res.MedianRemaining.Seconds()
+	}
+	b.ReportMetric(remaining, "preempted-s")
+}
+
+// Micro-benchmarks of the pipeline stages, for performance tracking.
+
+func BenchmarkWCGConstruction(b *testing.B) {
+	eps := corpusForBench(b)
+	var inf *Episode
+	for i := range eps {
+		if eps[i].Infection {
+			inf = &eps[i]
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w := BuildWCG(inf.Txs); w.Order() == 0 {
+			b.Fatal("empty WCG")
+		}
+	}
+}
+
+func BenchmarkFeatureExtraction(b *testing.B) {
+	eps := corpusForBench(b)
+	var w *WCG
+	for i := range eps {
+		if eps[i].Infection {
+			w = EpisodeWCG(&eps[i])
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := ExtractFeatures(w); len(v) != NumFeatures {
+			b.Fatal("bad vector")
+		}
+	}
+}
+
+func BenchmarkMonitorThroughput(b *testing.B) {
+	eps := corpusForBench(b)
+	clf, err := TrainForMonitoring(eps[:300], TrainConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var inf *Episode
+	for i := range eps {
+		if eps[i].Infection {
+			inf = &eps[i]
+			break
+		}
+	}
+	b.ResetTimer()
+	processed := 0
+	for i := 0; i < b.N; i++ {
+		m := NewMonitor(MonitorConfig{RedirectThreshold: 3}, clf)
+		m.ProcessAll(inf.Txs)
+		processed += len(inf.Txs)
+	}
+	b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "tx/s")
+}

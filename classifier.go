@@ -1,0 +1,112 @@
+package dynaminer
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"dynaminer/internal/core"
+	"dynaminer/internal/features"
+	"dynaminer/internal/ml"
+)
+
+// TrainConfig parameterizes classifier training. The zero value selects
+// the paper's best configuration: N_t = 20 trees with N_f = log2(37)+1
+// candidate features per split.
+type TrainConfig struct {
+	// NumTrees is the ensemble size (N_t); 0 selects 20.
+	NumTrees int
+	// Seed drives bootstrap and feature subsampling; equal seeds and data
+	// give identical classifiers.
+	Seed int64
+}
+
+// Classifier is a trained ERF model over the 37 WCG features.
+type Classifier struct {
+	forest *ml.Forest
+}
+
+// conversations adapts a corpus to the core training pipelines.
+func conversations(episodes []Episode) []core.LabeledConversation {
+	convs := make([]core.LabeledConversation, len(episodes))
+	for i := range episodes {
+		convs[i] = core.LabeledConversation{Infection: episodes[i].Infection, Txs: episodes[i].Txs}
+	}
+	return convs
+}
+
+// Train fits an ERF classifier on a labeled episode corpus (Stage 1:
+// offline whole-trace classification).
+func Train(episodes []Episode, cfg TrainConfig) (*Classifier, error) {
+	forest, err := core.TrainOffline(conversations(episodes), core.TrainConfig{NumTrees: cfg.NumTrees, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{forest: forest}, nil
+}
+
+// TrainForMonitoring fits an ERF on the corpus as the on-the-wire stage
+// sees it: every episode is replayed through the clue heuristic and the
+// potential-infection WCG subsets become the training samples, so the
+// trained model scores exactly the WCG representation NewMonitor builds.
+// Use Train for offline (whole-trace) classification and this for live
+// deployment.
+func TrainForMonitoring(episodes []Episode, cfg TrainConfig) (*Classifier, error) {
+	forest, err := core.TrainMonitor(conversations(episodes), core.TrainConfig{NumTrees: cfg.NumTrees, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{forest: forest}, nil
+}
+
+// EpisodeDataset converts a labeled corpus into a feature matrix.
+func EpisodeDataset(episodes []Episode) *ml.Dataset {
+	return core.OfflineDataset(conversations(episodes))
+}
+
+// Score returns the ensemble-averaged probability that the WCG is a
+// malware infection.
+func (c *Classifier) Score(w *WCG) float64 {
+	return c.forest.Score(features.Extract(w))
+}
+
+// IsInfection classifies the WCG with the standard 0.5 threshold.
+func (c *Classifier) IsInfection(w *WCG) bool { return c.Score(w) > 0.5 }
+
+// ScoreFeatures scores a precomputed feature vector (the detector's path).
+func (c *Classifier) ScoreFeatures(x []float64) float64 { return c.forest.Score(x) }
+
+// Forest exposes the underlying ensemble for evaluation tooling.
+func (c *Classifier) Forest() *ml.Forest { return c.forest }
+
+// Save persists the trained model as JSON.
+func (c *Classifier) Save(w io.Writer) error { return c.forest.Save(w) }
+
+// SaveFile persists the trained model to a file path.
+func (c *Classifier) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("save model: %w", err)
+	}
+	defer f.Close()
+	return c.Save(f)
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Classifier, error) {
+	forest, err := ml.LoadForest(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{forest: forest}, nil
+}
+
+// LoadFile reads a model from a file path.
+func LoadFile(path string) (*Classifier, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load model: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

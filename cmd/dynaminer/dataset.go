@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"dynaminer"
+)
+
+// runDataset exports the featurized corpus as CSV (one row per episode,
+// the 37 Table II features plus the label), so the learning problem can be
+// reproduced in any external toolkit.
+func runDataset(args []string) error {
+	fs := flag.NewFlagSet("dataset", flag.ContinueOnError)
+	var (
+		corpusDir = fs.String("corpus", "", "corpus directory (pcaps + manifest.csv)")
+		synthetic = fs.Bool("synthetic", false, "featurize a freshly generated synthetic corpus")
+		seed      = fs.Int64("seed", 1, "seed for -synthetic")
+		out       = fs.String("out", "features.csv", "output CSV path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var eps []dynaminer.Episode
+	switch {
+	case *synthetic:
+		eps = dynaminer.Corpus(dynaminer.CorpusConfig{Seed: *seed})
+	case *corpusDir != "":
+		var err error
+		eps, err = loadCorpus(*corpusDir)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("dataset: need -corpus or -synthetic")
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", *out, err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+
+	// Header: feature names, then label and family.
+	for i := 0; i < dynaminer.NumFeatures; i++ {
+		if i > 0 {
+			if _, err := w.WriteString(","); err != nil {
+				return err
+			}
+		}
+		if _, err := w.WriteString(dynaminer.FeatureName(i)); err != nil {
+			return err
+		}
+	}
+	if _, err := w.WriteString(",label,family\n"); err != nil {
+		return err
+	}
+
+	for i := range eps {
+		v := dynaminer.ExtractFeatures(dynaminer.EpisodeWCG(&eps[i]))
+		for j, x := range v {
+			if j > 0 {
+				if _, err := w.WriteString(","); err != nil {
+					return err
+				}
+			}
+			if _, err := w.WriteString(strconv.FormatFloat(x, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		label := "benign"
+		if eps[i].Infection {
+			label = "infection"
+		}
+		if _, err := fmt.Fprintf(w, ",%s,%s\n", label, eps[i].Family); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d rows x %d features to %s\n", len(eps), dynaminer.NumFeatures, *out)
+	return nil
+}

@@ -1,0 +1,298 @@
+// Command dynaminer is the train / classify / stream CLI over the library:
+//
+//	dynaminer train  -corpus dir/ -model model.json [-monitor]
+//	dynaminer train  -synthetic -model model.json [-monitor]
+//	dynaminer classify -model model.json capture.pcap...
+//	dynaminer stream   -model model.json -threshold 3 capture.pcap
+//	dynaminer features capture.pcap
+//	dynaminer summarize capture.pcap
+//	dynaminer dataset -corpus dir/ -out features.csv
+//	dynaminer proxy -model model.json -listen 127.0.0.1:8080
+//
+// "train -corpus" expects a directory produced by tracegen (pcap files and
+// a manifest.csv); "-synthetic" trains directly on a generated corpus
+// without touching disk. "classify" gives one offline verdict per capture;
+// "stream" replays a capture through the on-the-wire engine and prints
+// alerts as they fire.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dynaminer"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dynaminer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: dynaminer <train|classify|stream|features|summarize|dataset|verify|proxy> [flags]")
+	}
+	switch args[0] {
+	case "train":
+		return runTrain(args[1:])
+	case "classify":
+		return runClassify(args[1:])
+	case "stream":
+		return runStream(args[1:])
+	case "features":
+		return runFeatures(args[1:])
+	case "proxy":
+		return runProxy(args[1:])
+	case "summarize":
+		return runSummarize(args[1:])
+	case "dataset":
+		return runDataset(args[1:])
+	case "verify":
+		return runVerify(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func runProxy(args []string) error {
+	fs := flag.NewFlagSet("proxy", flag.ContinueOnError)
+	var (
+		modelPath = fs.String("model", "model.json", "trained model path")
+		listen    = fs.String("listen", "127.0.0.1:8080", "proxy listen address")
+		threshold = fs.Int("threshold", 3, "clue redirect threshold L")
+		block     = fs.Bool("block", true, "terminate sessions of alerted clients")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	clf, err := dynaminer.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	p := dynaminer.NewProxy(dynaminer.ProxyConfig{
+		Detector:        dynaminer.MonitorConfig{RedirectThreshold: *threshold},
+		BlockAfterAlert: *block,
+		OnAlert: func(a dynaminer.Alert) {
+			fmt.Printf("ALERT %s client=%s payload=%s host=%s score=%.2f\n",
+				a.Time.Format("15:04:05"), a.Client, a.TriggerPayload, a.TriggerHost, a.Score)
+		},
+	}, clf)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DynaMiner proxy listening on %s (model %s, L=%d)\n", ln.Addr(), *modelPath, *threshold)
+	srv := &http.Server{Handler: p}
+	if proxyReady != nil {
+		proxyReady <- srv
+	}
+	err = srv.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// proxyReady, when non-nil, receives the serving *http.Server so tests can
+// shut the proxy down.
+var proxyReady chan *http.Server
+
+func runTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	var (
+		corpusDir = fs.String("corpus", "", "corpus directory (pcaps + manifest.csv)")
+		synthetic = fs.Bool("synthetic", false, "train on a freshly generated synthetic corpus")
+		modelPath = fs.String("model", "model.json", "output model path")
+		monitor   = fs.Bool("monitor", false, "train for on-the-wire monitoring (clue-subset representation)")
+		seed      = fs.Int64("seed", 1, "seed for generation and training")
+		trees     = fs.Int("trees", 20, "ensemble size N_t")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var eps []dynaminer.Episode
+	switch {
+	case *synthetic:
+		eps = dynaminer.Corpus(dynaminer.CorpusConfig{Seed: *seed})
+	case *corpusDir != "":
+		var err error
+		eps, err = loadCorpus(*corpusDir)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("train: need -corpus or -synthetic")
+	}
+	cfg := dynaminer.TrainConfig{NumTrees: *trees, Seed: *seed}
+	var (
+		clf *dynaminer.Classifier
+		err error
+	)
+	if *monitor {
+		clf, err = dynaminer.TrainForMonitoring(eps, cfg)
+	} else {
+		clf, err = dynaminer.Train(eps, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	if err := clf.SaveFile(*modelPath); err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d episodes, model saved to %s\n", len(eps), *modelPath)
+	return nil
+}
+
+// loadCorpus reads a tracegen-produced directory.
+func loadCorpus(dir string) ([]dynaminer.Episode, error) {
+	mf, err := os.Open(filepath.Join(dir, "manifest.csv"))
+	if err != nil {
+		return nil, fmt.Errorf("open manifest: %w", err)
+	}
+	defer mf.Close()
+	var eps []dynaminer.Episode
+	sc := bufio.NewScanner(mf)
+	first := true
+	for sc.Scan() {
+		if first {
+			first = false
+			continue // header
+		}
+		fields := strings.Split(sc.Text(), ",")
+		if len(fields) < 4 {
+			continue
+		}
+		txs, err := dynaminer.ReadPCAPFile(filepath.Join(dir, fields[0]))
+		if err != nil {
+			return nil, err
+		}
+		eps = append(eps, dynaminer.Episode{
+			Infection:  fields[1] == "infection",
+			Family:     fields[2],
+			Enticement: fields[3],
+			Txs:        txs,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("no episodes in %s", dir)
+	}
+	return eps, nil
+}
+
+func runClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	modelPath := fs.String("model", "model.json", "trained model path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("classify: no captures given")
+	}
+	clf, err := dynaminer.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	for _, path := range fs.Args() {
+		txs, err := dynaminer.ReadPCAPFile(path)
+		if err != nil {
+			return err
+		}
+		w := dynaminer.BuildWCG(txs)
+		score := clf.Score(w)
+		verdict := "benign"
+		if score > 0.5 {
+			verdict = "INFECTION"
+		}
+		fmt.Printf("%s: %s (score %.3f, %d hosts, %d transactions)\n",
+			path, verdict, score, w.Order(), len(txs))
+	}
+	return nil
+}
+
+func runStream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ContinueOnError)
+	var (
+		modelPath = fs.String("model", "model.json", "trained model path")
+		threshold = fs.Int("threshold", 3, "clue redirect threshold L")
+		asJSON    = fs.Bool("json", false, "emit alerts as JSON lines (SIEM-friendly)")
+		pace      = fs.Float64("pace", 0, "replay at capture pace divided by this factor (0 = as fast as possible)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("stream: need exactly one capture")
+	}
+	clf, err := dynaminer.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	txs, err := dynaminer.ReadPCAPFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	m := dynaminer.NewMonitor(dynaminer.MonitorConfig{RedirectThreshold: *threshold}, clf)
+	emit := func(a dynaminer.Alert) error {
+		if *asJSON {
+			data, err := json.Marshal(a)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(data))
+			return nil
+		}
+		fmt.Printf("ALERT %s  client=%s payload=%s host=%s score=%.2f wcg=%d nodes\n",
+			a.Time.Format("15:04:05.000"), a.Client, a.TriggerPayload, a.TriggerHost, a.Score, a.WCG.Order())
+		return nil
+	}
+	var prev time.Time
+	for _, tx := range txs {
+		if *pace > 0 && !prev.IsZero() {
+			if gap := tx.ReqTime.Sub(prev); gap > 0 {
+				time.Sleep(time.Duration(float64(gap) / *pace))
+			}
+		}
+		prev = tx.ReqTime
+		for _, a := range m.Process(tx) {
+			if err := emit(a); err != nil {
+				return err
+			}
+		}
+	}
+	st := m.Stats()
+	fmt.Printf("processed %d transactions: %d clusters, %d clues, %d classifications, %d alerts (%d weeded)\n",
+		st.Transactions, st.Clusters, st.CluesFired, st.Classifications, st.Alerts, st.Weeded)
+	return nil
+}
+
+func runFeatures(args []string) error {
+	fs := flag.NewFlagSet("features", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("features: need exactly one capture")
+	}
+	txs, err := dynaminer.ReadPCAPFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	v := dynaminer.ExtractFeatures(dynaminer.BuildWCG(txs))
+	for i, x := range v {
+		fmt.Printf("f%-3d %-28s %g\n", i+1, dynaminer.FeatureName(i), x)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"dynaminer"
+	"dynaminer/internal/ml"
+)
+
+// runVerify cross-validates the ERF on a corpus and prints the
+// Table III-style quality row — the operator's answer to "how good would a
+// model trained on my captures be?".
+func runVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	var (
+		corpusDir = fs.String("corpus", "", "corpus directory (pcaps + manifest.csv)")
+		synthetic = fs.Bool("synthetic", false, "verify on a freshly generated synthetic corpus")
+		seed      = fs.Int64("seed", 1, "seed")
+		folds     = fs.Int("folds", 10, "cross-validation folds")
+		trees     = fs.Int("trees", 20, "ensemble size N_t")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var eps []dynaminer.Episode
+	switch {
+	case *synthetic:
+		eps = dynaminer.Corpus(dynaminer.CorpusConfig{Seed: *seed})
+	case *corpusDir != "":
+		var err error
+		eps, err = loadCorpus(*corpusDir)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("verify: need -corpus or -synthetic")
+	}
+	ds := dynaminer.EpisodeDataset(eps)
+	res, err := ml.CrossValidate(ds, ml.ForestConfig{NumTrees: *trees, Seed: *seed},
+		*folds, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d episodes, %d-fold cross-validation, N_t=%d\n", len(eps), *folds, *trees)
+	fmt.Printf("TPR=%.3f FPR=%.3f F-score=%.3f ROC-area=%.3f\n", res.TPR, res.FPR, res.FScore, res.ROCArea)
+	fmt.Printf("confusion: TP=%d FP=%d TN=%d FN=%d\n",
+		res.Confusion.TP, res.Confusion.FP, res.Confusion.TN, res.Confusion.FN)
+	return nil
+}

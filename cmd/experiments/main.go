@@ -1,0 +1,225 @@
+// Command experiments regenerates the paper's tables and figures (and the
+// ablations DESIGN.md adds) from the synthetic corpus:
+//
+//	experiments                  # run everything at paper scale
+//	experiments -scale small     # quick run at reduced scale
+//	experiments -only t3,f10     # run a subset
+//
+// Experiment ids: t1, f1, f2, f3, f4, f6, f7-9, t3, t4, f10, t5, cs1, t6,
+// a1-a9 (ablations, evasion, per-family, latency, extended features,
+// learning curve, cross-family generalization).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dynaminer/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scale = flag.String("scale", "paper", `"paper" (770/980 train, 7489/1500 validation) or "small"`)
+		only  = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		seed  = flag.Int64("seed", 1, "experiment seed")
+		mdOut = flag.String("markdown", "", "write a full Markdown report to this path instead of stdout tables")
+	)
+	flag.Parse()
+
+	o := experiments.Options{Seed: *seed}
+	if *scale == "small" {
+		o.TrainInfections, o.TrainBenign = 160, 200
+		o.ValInfections, o.ValBenign = 300, 120
+		o.Folds, o.Trees = 5, 12
+	}
+
+	if *mdOut != "" {
+		f, err := os.Create(*mdOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiments.WriteMarkdownReport(f, o); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Markdown report to %s\n", *mdOut)
+		return nil
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	runIt := func(id string) bool { return len(want) == 0 || want[id] }
+
+	var (
+		corpus  = experiments.GroundTruth(o)
+		dataset = experiments.BuildDataset(corpus)
+	)
+
+	section := func(id, title string) {
+		fmt.Printf("\n==== %s: %s ====\n", strings.ToUpper(id), title)
+	}
+	start := time.Now()
+
+	if runIt("t1") {
+		section("t1", "Table I — ground truth dataset")
+		fmt.Print(experiments.TableI(corpus))
+	}
+	if runIt("f1") {
+		section("f1", "Figure 1 — enticement distribution")
+		fmt.Print(experiments.Figure1(corpus))
+	}
+	if runIt("f2") {
+		section("f2", "Figure 2 — per-family enticement origins")
+		fmt.Print(experiments.Figure2(corpus))
+	}
+	if runIt("f3") {
+		section("f3", "Figure 3 — average graph properties")
+		fmt.Print(experiments.Figure3(corpus))
+	}
+	if runIt("f4") {
+		section("f4", "Figure 4 — average HTTP header elements")
+		fmt.Print(experiments.Figure4(corpus))
+	}
+	if runIt("f6") {
+		section("f6", "Figure 6 — example Angler WCG (DOT)")
+		fmt.Print(experiments.Figure6(o))
+	}
+	if runIt("f7-9") {
+		section("f7-9", "Figures 7-9 — graph measure distributions")
+		for _, s := range experiments.Figures7to9(corpus) {
+			fmt.Print(s)
+		}
+	}
+	if runIt("t3") {
+		section("t3", "Table III — feature-group ablation")
+		res, err := experiments.TableIII(dataset, o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+	}
+	if runIt("t4") {
+		section("t4", "Table IV — top-20 features by gain ratio")
+		fmt.Print(experiments.TableIV(dataset, o))
+	}
+	if runIt("f10") {
+		section("f10", "Figure 10 — ROC curve")
+		res, err := experiments.Figure10(dataset, o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+	}
+	if runIt("t5") {
+		section("t5", "Table V — validation vs AV ensemble")
+		res, err := experiments.TableV(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+	}
+	if runIt("cs1") {
+		section("cs1", "Case study 1 — forensic streaming replay")
+		res, err := experiments.CaseStudy1(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+	}
+	if runIt("t6") {
+		section("t6", "Table VI — 48h mini-enterprise live study")
+		res, err := experiments.TableVI(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+	}
+	if runIt("a1") {
+		section("a1", "Ablation — clue redirect threshold sweep")
+		res, err := experiments.AblationClueThreshold(o, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+	}
+	if runIt("a2") {
+		section("a2", "Ablation — ensemble size sweep")
+		res, err := experiments.AblationTrees(dataset, o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+	}
+	if runIt("a3") {
+		section("a3", "Ablation — probability averaging vs majority vote")
+		res, err := experiments.AblationVoting(dataset, o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+	}
+	if runIt("a4") {
+		section("a4", "Evasion — Section VII strategies, offline vs on-the-wire")
+		res, err := experiments.Evasion(o, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+	}
+	if runIt("a5") {
+		section("a5", "Per-family detection breakdown")
+		res, err := experiments.PerFamily(o, 50)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+	}
+	if runIt("a6") {
+		section("a6", "Detection latency on the wire")
+		res, err := experiments.DetectionLatency(o, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+	}
+	if runIt("a7") {
+		section("a7", "Extended feature set (future-work direction)")
+		res, err := experiments.ExtendedFeatures(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+	}
+	if runIt("a8") {
+		section("a8", "Learning curve — ground-truth volume vs accuracy")
+		res, err := experiments.LearningCurve(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+	}
+	if runIt("a9") {
+		section("a9", "Cross-family generalization (leave-one-family-out)")
+		res, err := experiments.CrossFamily(o, 50)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+	}
+	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

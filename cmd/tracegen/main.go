@@ -1,0 +1,84 @@
+// Command tracegen synthesizes a labeled ground-truth corpus as pcap files
+// plus a manifest, standing in for the paper's malware-traffic-analysis.net
+// dataset. Each episode becomes one capture file; manifest.csv maps file
+// names to labels, families, and enticement categories.
+//
+// Usage:
+//
+//	tracegen -out corpus/ -infections 770 -benign 980 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dynaminer"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		out        = fs.String("out", "corpus", "output directory")
+		infections = fs.Int("infections", 770, "number of infection episodes")
+		benign     = fs.Int("benign", 980, "number of benign episodes")
+		seed       = fs.Int64("seed", 1, "generator seed")
+		format     = fs.String("format", "pcap", `capture format: "pcap" or "pcapng"`)
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "pcap" && *format != "pcapng" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	eps := dynaminer.Corpus(dynaminer.CorpusConfig{
+		Seed: *seed, Infections: *infections, Benign: *benign,
+	})
+	manifest, err := os.Create(filepath.Join(*out, "manifest.csv"))
+	if err != nil {
+		return err
+	}
+	defer manifest.Close()
+	fmt.Fprintln(manifest, "file,label,family,enticement,transactions")
+
+	for i := range eps {
+		label := "benign"
+		if eps[i].Infection {
+			label = "infection"
+		}
+		name := fmt.Sprintf("%s-%05d.%s", label, i, *format)
+		f, err := os.Create(filepath.Join(*out, name))
+		if err != nil {
+			return err
+		}
+		var werr error
+		if *format == "pcapng" {
+			werr = eps[i].WritePCAPNG(f)
+		} else {
+			werr = eps[i].WritePCAP(f)
+		}
+		if werr != nil {
+			_ = f.Close()
+			return fmt.Errorf("write %s: %w", name, werr)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(manifest, "%s,%s,%s,%s,%d\n", name, label, eps[i].Family, eps[i].Enticement, len(eps[i].Txs))
+	}
+	fmt.Fprintf(stdout, "wrote %d captures to %s\n", len(eps), *out)
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTracegenWritesCorpus(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{"-out", dir, "-infections", "3", "-benign", "2", "-seed", "9"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote 5 captures") {
+		t.Fatalf("output = %q", out.String())
+	}
+	mf, err := os.Open(filepath.Join(dir, "manifest.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	sc := bufio.NewScanner(mf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		if lines == 1 {
+			if !strings.HasPrefix(sc.Text(), "file,label,") {
+				t.Fatalf("header = %q", sc.Text())
+			}
+			continue
+		}
+		fields := strings.Split(sc.Text(), ",")
+		if len(fields) != 5 {
+			t.Fatalf("manifest row = %q", sc.Text())
+		}
+		if _, err := os.Stat(filepath.Join(dir, fields[0])); err != nil {
+			t.Fatalf("capture %s missing: %v", fields[0], err)
+		}
+	}
+	if lines != 6 { // header + 5 rows
+		t.Fatalf("manifest lines = %d", lines)
+	}
+}
+
+func TestTracegenBadFlags(t *testing.T) {
+	if err := run([]string{"-nonsense"}, &strings.Builder{}); err == nil {
+		t.Fatal("bad flag must error")
+	}
+	if err := run([]string{"-out", "/dev/null/impossible"}, &strings.Builder{}); err == nil {
+		t.Fatal("unwritable output dir must error")
+	}
+}
+
+func TestTracegenPCAPNGFormat(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-out", dir, "-infections", "1", "-benign", "1", "-format", "pcapng"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".pcapng") {
+			ng++
+		}
+	}
+	if ng != 2 {
+		t.Fatalf("pcapng files = %d, want 2", ng)
+	}
+	if err := run([]string{"-format", "hdf5"}, &out); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}

@@ -1,0 +1,69 @@
+// Command wcgviz renders the web conversation graph of a capture as
+// Graphviz DOT, in the style of the paper's Figure 6.
+//
+//	wcgviz capture.pcap > wcg.dot
+//	wcgviz -example     > angler.dot   (synthetic Angler episode)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dynaminer"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wcgviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("wcgviz", flag.ContinueOnError)
+	var (
+		example = fs.Bool("example", false, "render a synthetic Angler infection instead of a capture")
+		seed    = fs.Int64("seed", 6, "seed for -example")
+		title   = fs.String("title", "", "graph title")
+		asJSON  = fs.Bool("json", false, "emit the annotated graph as JSON instead of DOT")
+		asGML   = fs.Bool("graphml", false, "emit the annotated graph as GraphML instead of DOT")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var w *dynaminer.WCG
+	switch {
+	case *example:
+		eps := dynaminer.Corpus(dynaminer.CorpusConfig{Seed: *seed, Infections: 1, Benign: 1})
+		for i := range eps {
+			if eps[i].Infection {
+				w = dynaminer.EpisodeWCG(&eps[i])
+			}
+		}
+		if *title == "" {
+			*title = "synthetic exploit-kit WCG"
+		}
+	case fs.NArg() == 1:
+		txs, err := dynaminer.ReadPCAPFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		w = dynaminer.BuildWCG(txs)
+		if *title == "" {
+			*title = fs.Arg(0)
+		}
+	default:
+		return fmt.Errorf("usage: wcgviz [-example] [capture.pcap]")
+	}
+	if *asJSON {
+		return w.WriteJSON(stdout)
+	}
+	if *asGML {
+		return w.WriteGraphML(stdout)
+	}
+	fmt.Fprint(stdout, w.DOT(*title))
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWcgvizExampleDOT(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"digraph wcg", "lightblue", "->"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("DOT output missing %q", want)
+		}
+	}
+}
+
+func TestWcgvizExampleJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-seed", "3", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if _, ok := decoded["nodes"]; !ok {
+		t.Fatal("JSON missing nodes")
+	}
+}
+
+func TestWcgvizUsageError(t *testing.T) {
+	if err := run(nil, &strings.Builder{}); err == nil {
+		t.Fatal("no args must error")
+	}
+	if err := run([]string{"missing.pcap"}, &strings.Builder{}); err == nil {
+		t.Fatal("missing capture must error")
+	}
+}
+
+func TestWcgvizExampleGraphML(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-example", "-seed", "3", "-graphml"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "<graphml") {
+		t.Fatal("graphml output missing header")
+	}
+}

@@ -1,0 +1,228 @@
+package dynaminer
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// trainedOnSmallCorpus builds a classifier for the public-API tests.
+func trainedOnSmallCorpus(t *testing.T) (*Classifier, []Episode) {
+	t.Helper()
+	eps := Corpus(CorpusConfig{Seed: 11, Infections: 120, Benign: 140})
+	c, err := Train(eps, TrainConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, eps
+}
+
+func TestTrainAndClassify(t *testing.T) {
+	c, eps := trainedOnSmallCorpus(t)
+	correct, total := 0, 0
+	for i := range eps {
+		w := EpisodeWCG(&eps[i])
+		if c.IsInfection(w) == eps[i].Infection {
+			correct++
+		}
+		total++
+	}
+	if frac := float64(correct) / float64(total); frac < 0.95 {
+		t.Fatalf("training-set accuracy = %v, want >= 0.95", frac)
+	}
+}
+
+func TestScoreRange(t *testing.T) {
+	c, eps := trainedOnSmallCorpus(t)
+	for i := range eps[:20] {
+		s := c.Score(EpisodeWCG(&eps[i]))
+		if s < 0 || s > 1 {
+			t.Fatalf("score out of range: %v", s)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c, eps := trainedOnSmallCorpus(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range eps[:10] {
+		w := EpisodeWCG(&eps[i])
+		if c.Score(w) != loaded.Score(w) {
+			t.Fatal("loaded model scores differ")
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	c, _ := trainedOnSmallCorpus(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestPCAPRoundTripThroughPublicAPI(t *testing.T) {
+	eps := Corpus(CorpusConfig{Seed: 21, Infections: 2, Benign: 1})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ep.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].WritePCAP(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	txs, err := ReadPCAPFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != len(eps[0].Txs) {
+		t.Fatalf("recovered %d transactions, want %d", len(txs), len(eps[0].Txs))
+	}
+	w := BuildWCG(txs)
+	v := ExtractFeatures(w)
+	if len(v) != NumFeatures {
+		t.Fatalf("feature vector length %d", len(v))
+	}
+	if FeatureName(0) != "Origin" {
+		t.Fatal("feature names broken")
+	}
+}
+
+func TestReadPCAPFileErrors(t *testing.T) {
+	if _, err := ReadPCAPFile("/nonexistent/capture.pcap"); err == nil {
+		t.Fatal("missing capture must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.pcap")
+	if err := os.WriteFile(bad, []byte("not a pcap"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPCAPFile(bad); err == nil {
+		t.Fatal("garbage capture must error")
+	}
+}
+
+func TestMonitorEndToEnd(t *testing.T) {
+	eps := Corpus(CorpusConfig{Seed: 31, Infections: 120, Benign: 140})
+	c, err := TrainForMonitoring(eps, TrainConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay fresh infections through the monitor.
+	fresh := Corpus(CorpusConfig{Seed: 99, Infections: 30, Benign: 30})
+	detected, falseAlerts := 0, 0
+	for i := range fresh {
+		m := NewMonitor(MonitorConfig{RedirectThreshold: 1}, c)
+		alerts := m.ProcessAll(fresh[i].Txs)
+		if fresh[i].Infection && len(alerts) > 0 {
+			detected++
+		}
+		if !fresh[i].Infection && len(alerts) > 0 {
+			falseAlerts++
+		}
+	}
+	if detected < 20 {
+		t.Fatalf("monitor detected %d/30 infections", detected)
+	}
+	if falseAlerts > 5 {
+		t.Fatalf("monitor false-alerted on %d/30 benign sessions", falseAlerts)
+	}
+}
+
+func TestMonitorProcessPCAP(t *testing.T) {
+	eps := Corpus(CorpusConfig{Seed: 41, Infections: 80, Benign: 80})
+	c, err := TrainForMonitoring(eps, TrainConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an infection episode, write it as pcap, replay forensically.
+	var inf *Episode
+	fresh := Corpus(CorpusConfig{Seed: 77, Infections: 10, Benign: 0})
+	for i := range fresh {
+		if fresh[i].Infection {
+			inf = &fresh[i]
+			break
+		}
+	}
+	var buf bytes.Buffer
+	if err := inf.WritePCAP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(MonitorConfig{RedirectThreshold: 1}, c)
+	alerts, err := m.ProcessPCAP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Transactions == 0 {
+		t.Fatal("no transactions processed")
+	}
+	t.Logf("pcap replay: %d transactions, %d alerts", st.Transactions, len(alerts))
+}
+
+func TestEpisodeDatasetAndForestAccess(t *testing.T) {
+	c, eps := trainedOnSmallCorpus(t)
+	ds := EpisodeDataset(eps[:20])
+	if ds.Len() != 20 || ds.NumFeatures() != NumFeatures {
+		t.Fatalf("dataset shape %d x %d", ds.Len(), ds.NumFeatures())
+	}
+	if c.Forest() == nil || c.Forest().NumTrees() != 20 {
+		t.Fatal("forest accessor broken")
+	}
+	x := ExtractFeatures(EpisodeWCG(&eps[0]))
+	if s := c.ScoreFeatures(x); s != c.Score(EpisodeWCG(&eps[0])) {
+		t.Fatalf("ScoreFeatures %v disagrees with Score", s)
+	}
+}
+
+func TestMonitorSingleProcess(t *testing.T) {
+	eps := Corpus(CorpusConfig{Seed: 31, Infections: 60, Benign: 60})
+	c, err := TrainForMonitoring(eps, TrainConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(MonitorConfig{RedirectThreshold: 1}, c)
+	var inf *Episode
+	for i := range eps {
+		if eps[i].Infection {
+			inf = &eps[i]
+			break
+		}
+	}
+	total := 0
+	for _, tx := range inf.Txs {
+		total += len(m.Process(tx))
+	}
+	if m.Stats().Transactions != len(inf.Txs) {
+		t.Fatalf("processed %d, want %d", m.Stats().Transactions, len(inf.Txs))
+	}
+	_ = total
+}
+
+func TestNewProxyDefaults(t *testing.T) {
+	c, _ := trainedOnSmallCorpus(t)
+	p := NewProxy(ProxyConfig{}, c)
+	if p == nil {
+		t.Fatal("nil proxy")
+	}
+	if st := p.Stats(); st.Requests != 0 {
+		t.Fatalf("fresh proxy stats %+v", st)
+	}
+}

@@ -1,0 +1,61 @@
+package dynaminer_test
+
+import (
+	"fmt"
+	"log"
+
+	"dynaminer"
+)
+
+// ExampleTrain shows the Stage 1 workflow: synthesize ground truth, train
+// the ERF, and classify an unseen conversation.
+func ExampleTrain() {
+	corpus := dynaminer.Corpus(dynaminer.CorpusConfig{Seed: 1, Infections: 150, Benign: 180})
+	clf, err := dynaminer.Train(corpus, dynaminer.TrainConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	unseen := dynaminer.Corpus(dynaminer.CorpusConfig{Seed: 42, Infections: 1, Benign: 1})
+	for i := range unseen {
+		w := dynaminer.EpisodeWCG(&unseen[i])
+		fmt.Printf("truth=%v verdict=%v\n", unseen[i].Infection, clf.IsInfection(w))
+	}
+	// Output:
+	// truth=true verdict=true
+	// truth=false verdict=false
+}
+
+// ExampleBuildWCG demonstrates graph construction and feature extraction
+// from a transaction stream.
+func ExampleBuildWCG() {
+	eps := dynaminer.Corpus(dynaminer.CorpusConfig{Seed: 7, Infections: 1, Benign: 0})
+	w := dynaminer.BuildWCG(eps[0].Txs)
+	v := dynaminer.ExtractFeatures(w)
+	fmt.Printf("features=%d f1=%s\n", len(v), dynaminer.FeatureName(0))
+	fmt.Printf("order>0=%v size>0=%v\n", w.Order() > 0, w.Size() > 0)
+	// Output:
+	// features=37 f1=Origin
+	// order>0=true size>0=true
+}
+
+// ExampleNewMonitor replays an infection through the on-the-wire engine.
+func ExampleNewMonitor() {
+	corpus := dynaminer.Corpus(dynaminer.CorpusConfig{Seed: 1, Infections: 150, Benign: 180})
+	clf, err := dynaminer.TrainForMonitoring(corpus, dynaminer.TrainConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var infection *dynaminer.Episode
+	fresh := dynaminer.Corpus(dynaminer.CorpusConfig{Seed: 1234, Infections: 5, Benign: 0})
+	for i := range fresh {
+		if fresh[i].Infection {
+			infection = &fresh[i]
+			break
+		}
+	}
+	m := dynaminer.NewMonitor(dynaminer.MonitorConfig{RedirectThreshold: 1}, clf)
+	alerts := m.ProcessAll(infection.Txs)
+	fmt.Printf("alerted=%v clues=%v\n", len(alerts) > 0, m.Stats().CluesFired > 0)
+	// Output:
+	// alerted=true clues=true
+}

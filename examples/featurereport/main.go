@@ -1,0 +1,52 @@
+// Feature report: contrast the 37 payload-agnostic features (Table II) of
+// an infection WCG against a benign one, and emit both graphs as Graphviz
+// DOT files for inspection.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dynaminer"
+	"dynaminer/internal/features"
+)
+
+func main() {
+	eps := dynaminer.Corpus(dynaminer.CorpusConfig{Seed: 7, Infections: 30, Benign: 30})
+	var inf, ben *dynaminer.Episode
+	for i := range eps {
+		if eps[i].Infection && inf == nil && eps[i].Family == "Angler" {
+			inf = &eps[i]
+		}
+		if !eps[i].Infection && ben == nil && eps[i].Enticement == "search" {
+			ben = &eps[i]
+		}
+	}
+	if inf == nil || ben == nil {
+		log.Fatal("corpus too small to find sample episodes")
+	}
+
+	infWCG := dynaminer.EpisodeWCG(inf)
+	benWCG := dynaminer.EpisodeWCG(ben)
+	infV := dynaminer.ExtractFeatures(infWCG)
+	benV := dynaminer.ExtractFeatures(benWCG)
+
+	fmt.Printf("%-4s %-28s %-6s %-6s %12s %12s\n", "id", "feature", "group", "novel", "infection", "benign")
+	for i := 0; i < dynaminer.NumFeatures; i++ {
+		novel := ""
+		if features.IsNovel(i) {
+			novel = "yes"
+		}
+		fmt.Printf("f%-3d %-28s %-6s %-6s %12.4f %12.4f\n",
+			i+1, features.Name(i), features.GroupOf(i), novel, infV[i], benV[i])
+	}
+
+	for name, w := range map[string]*dynaminer.WCG{"infection.dot": infWCG, "benign.dot": benWCG} {
+		if err := os.WriteFile(name, []byte(w.DOT(name)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%d nodes, %d edges)", name, w.Order(), w.Size())
+	}
+	fmt.Println()
+}

@@ -1,0 +1,64 @@
+// Forensic case study (paper Section VI-C): replay a recorded 90-minute
+// free-streaming session through the on-the-wire engine, then compare
+// DynaMiner's alerts against a simulated VirusTotal-style AV ensemble —
+// including the fresh payload the AV engines take 11 days to flag.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"dynaminer"
+	"dynaminer/internal/synth"
+	"dynaminer/internal/vtsim"
+)
+
+func main() {
+	// Train the deployment-matched classifier on the ground-truth corpus.
+	train := dynaminer.Corpus(dynaminer.CorpusConfig{Seed: 1, Infections: 300, Benign: 380})
+	clf, err := dynaminer.TrainForMonitoring(train, dynaminer.TrainConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The capture: EURO2016 final on a free streaming site, 18 tabs, fake
+	// "player update" popups, 32 downloads.
+	capturedAt := time.Date(2016, 7, 10, 19, 0, 0, 0, time.UTC)
+	session := synth.GenerateStreamingSession(capturedAt, rand.New(rand.NewSource(101)))
+	fmt.Printf("capture: %d HTTP transactions, %d downloads\n",
+		len(session.Episode.Txs), len(session.Downloads))
+
+	// Replay through the engine with the case study's redirect threshold 3.
+	monitor := dynaminer.NewMonitor(dynaminer.MonitorConfig{RedirectThreshold: 3}, clf)
+	var alerts []dynaminer.Alert
+	for _, tx := range session.Episode.Txs {
+		for _, a := range monitor.Process(tx) {
+			alerts = append(alerts, a)
+			fmt.Printf("ALERT %s payload=%-4s host=%-16s score=%.2f\n",
+				a.Time.Format("15:04:05"), a.TriggerPayload, a.TriggerHost, a.Score)
+		}
+	}
+	st := monitor.Stats()
+	fmt.Printf("engine: %d transactions, %d clues, %d classifications, %d alerts\n\n",
+		st.Transactions, st.CluesFired, st.Classifications, st.Alerts)
+
+	// Submit the malicious payloads to the AV ensemble at capture time.
+	av := vtsim.Default()
+	for _, d := range session.Downloads {
+		if !d.Malicious {
+			continue
+		}
+		v := av.Scan(d.ID, true, d.FirstSeen, capturedAt.Add(2*time.Hour))
+		if v.Flagged(av.Threshold) {
+			fmt.Printf("AV ensemble flags %-4s from %-16s (%d/%d engines)\n",
+				d.Ext, d.Server, v.Detections, v.Engines)
+			continue
+		}
+		lag := av.DetectionDate(d.ID, d.FirstSeen, 60)
+		fmt.Printf("AV ensemble MISSES %-4s from %-16s at capture time; first flagged %d days later\n",
+			d.Ext, d.Server, lag)
+	}
+	fmt.Printf("\nDynaMiner raised %d alerts on the same payloads at capture time.\n", len(alerts))
+}

@@ -1,0 +1,171 @@
+// Proxy demo: DynaMiner deployed as a real forward HTTP proxy on
+// localhost. A simulated web (one origin server routing by Host header)
+// serves a benign page, an exploit-kit redirect chain, and a payload; a
+// scripted browser walks into the trap through the proxy, DynaMiner raises
+// an alert mid-download, and the victim's session is terminated.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"time"
+
+	"dynaminer"
+)
+
+// fakeWeb routes by logical Host header, standing in for the Internet.
+func fakeWeb() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Host == "news.example":
+			w.Header().Set("Content-Type", "text/html")
+			fmt.Fprint(w, `<html><h1>Totally normal news site</h1></html>`)
+		case r.Host == "ads.shady" && r.URL.Path == "/click":
+			http.Redirect(w, r, "http://seo.shady/go", http.StatusFound)
+		case r.Host == "seo.shady" && r.URL.Path == "/go":
+			http.Redirect(w, r, "http://tds.shady/gate", http.StatusFound)
+		case r.Host == "tds.shady" && r.URL.Path == "/gate":
+			http.Redirect(w, r, "http://landing.shady/ek", http.StatusFound)
+		case r.Host == "landing.shady" && r.URL.Path == "/ek":
+			w.Header().Set("Content-Type", "text/html")
+			fmt.Fprint(w, `<html><iframe src="http://drop.shady/p.exe" width=1 height=1></iframe></html>`)
+		case r.Host == "landing.shady" && strings.HasSuffix(r.URL.Path, ".js"):
+			w.Header().Set("Content-Type", "application/javascript")
+			fmt.Fprint(w, "var plugins=navigator.plugins;/* fingerprinting */")
+		case r.Host == "198.18.76.2":
+			w.Header().Set("Content-Type", "text/plain")
+			fmt.Fprint(w, "ok")
+		case r.Host == "198.18.99.1":
+			w.Header().Set("Content-Type", "text/plain")
+			fmt.Fprint(w, "ok")
+		case r.Host == "drop.shady" && r.URL.Path == "/p.exe":
+			w.Header().Set("Content-Type", "application/x-msdownload")
+			fmt.Fprint(w, strings.Repeat("MZ", 4096))
+		case r.Host == "drop.shady":
+			http.NotFound(w, r) // rotated payload URLs
+		default:
+			http.NotFound(w, r)
+		}
+	})
+	return mux
+}
+
+// hostPinnedTransport rewrites every upstream request to the fake web
+// while preserving the logical Host for routing.
+type hostPinnedTransport struct{ target string }
+
+func (t hostPinnedTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	u, err := url.Parse(t.target)
+	if err != nil {
+		return nil, err
+	}
+	clone := r.Clone(r.Context())
+	clone.Host = r.URL.Host
+	clone.URL.Scheme = u.Scheme
+	clone.URL.Host = u.Host
+	return http.DefaultTransport.RoundTrip(clone)
+}
+
+func main() {
+	// Train the deployment-matched classifier.
+	corpus := dynaminer.Corpus(dynaminer.CorpusConfig{Seed: 1, Infections: 250, Benign: 300})
+	clf, err := dynaminer.TrainForMonitoring(corpus, dynaminer.TrainConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	web := httptest.NewServer(fakeWeb())
+	defer web.Close()
+
+	p := dynaminer.NewProxy(dynaminer.ProxyConfig{
+		Detector:        dynaminer.MonitorConfig{RedirectThreshold: 3},
+		BlockAfterAlert: true,
+		Transport:       hostPinnedTransport{target: web.URL},
+		OnAlert: func(a dynaminer.Alert) {
+			fmt.Printf(">>> ALERT: %s payload from %s (score %.2f, WCG %d nodes)\n",
+				a.TriggerPayload, a.TriggerHost, a.Score, a.WCG.Order())
+		},
+	}, clf)
+	proxySrv := httptest.NewServer(p)
+	defer proxySrv.Close()
+	proxyURL, err := url.Parse(proxySrv.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DynaMiner proxy on %s, fake web on %s\n\n", proxySrv.URL, web.URL)
+
+	browser := &http.Client{
+		Transport: &http.Transport{Proxy: http.ProxyURL(proxyURL)},
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	visit := func(rawurl, referer string) {
+		req, err := http.NewRequest(http.MethodGet, rawurl, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if referer != "" {
+			req.Header.Set("Referer", referer)
+		}
+		resp, err := browser.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		fmt.Printf("GET %-28s -> %d (%d bytes)\n", rawurl, resp.StatusCode, len(body))
+	}
+
+	post := func(rawurl string) {
+		resp, err := browser.Post(rawurl, "text/plain", strings.NewReader("id=victim"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		fmt.Printf("POST %-27s -> %d\n", rawurl, resp.StatusCode)
+	}
+
+	// Realistic pacing: browsers take hundreds of milliseconds per hop;
+	// the classifier's temporal features are calibrated to that world.
+	pace := func(d time.Duration) { time.Sleep(d) }
+
+	fmt.Println("victim browses normally:")
+	visit("http://news.example/", "")
+	pace(1200 * time.Millisecond)
+
+	fmt.Println("\nvictim clicks a malicious ad:")
+	visit("http://ads.shady/click", "http://news.example/")
+	pace(160 * time.Millisecond)
+	visit("http://seo.shady/go", "http://ads.shady/click")
+	pace(180 * time.Millisecond)
+	visit("http://tds.shady/gate", "http://ads.shady/click")
+	pace(220 * time.Millisecond)
+	visit("http://landing.shady/ek", "http://tds.shady/gate")
+	pace(150 * time.Millisecond)
+	visit("http://landing.shady/fingerprint.js", "http://landing.shady/ek")
+	pace(120 * time.Millisecond)
+	visit("http://landing.shady/plugins.js", "http://landing.shady/ek")
+	pace(400 * time.Millisecond)
+	visit("http://drop.shady/old-build", "http://landing.shady/ek") // stale payload URL: 404
+	pace(200 * time.Millisecond)
+	visit("http://drop.shady/p.exe", "http://landing.shady/ek")
+	pace(2 * time.Second)
+	post("http://198.18.99.1/beacon.php")
+	pace(1500 * time.Millisecond)
+	post("http://198.18.76.2/beacon.php")
+
+	fmt.Println("\nvictim tries to keep browsing — the session is terminated:")
+	visit("http://news.example/", "")
+
+	st := p.Stats()
+	fmt.Printf("\nproxy stats: %d requests relayed, %d alerts, %d clients blocked, %d refused\n",
+		st.Relayed, st.Alerts, st.BlockedClients, st.Refused)
+}

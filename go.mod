@@ -1,0 +1,3 @@
+module dynaminer
+
+go 1.22

@@ -1,0 +1,655 @@
+// Package detector implements DynaMiner's Stage 2, on-the-wire malware
+// detection (Section V-B): it consumes a live stream of HTTP transactions,
+// weeds out trusted-vendor traffic, clusters transactions into per-client
+// sessions via session IDs, referrer linkage and timestamps, infers
+// infection clues (a redirection chain of length >= L followed by a
+// download of a likely-malicious payload type), goes back in time to build
+// a potential-infection WCG around each clue, and re-classifies that WCG
+// with the trained ERF model on every related update until the session
+// ends or the WCG stops growing.
+package detector
+
+import (
+	"encoding/json"
+	"net/netip"
+	"strings"
+	"time"
+
+	"dynaminer/internal/features"
+	"dynaminer/internal/httpstream"
+	"dynaminer/internal/wcg"
+)
+
+// Scorer produces the infection probability of a feature vector. The ERF
+// classifier (*ml.Forest) satisfies it.
+type Scorer interface {
+	Score(x []float64) float64
+}
+
+// Config tunes the on-the-wire engine.
+type Config struct {
+	// RedirectThreshold is L in the clue rule; the forensic case study uses
+	// 3. Zero selects 3.
+	RedirectThreshold int
+	// ScoreThreshold is the ERF probability above which an alert fires.
+	// Zero selects 0.5.
+	ScoreThreshold float64
+	// TrustedVendors lists host suffixes whose traffic is weeded out
+	// before WCG construction (app stores, software repositories).
+	TrustedVendors []string
+	// SessionGap is the inactivity window beyond which a transaction
+	// starts a new session cluster instead of joining the client's most
+	// recent one. Zero selects 5 minutes.
+	SessionGap time.Duration
+	// WatchIdle closes a potential-infection WCG that has stopped growing
+	// for this long (Section V-B: DynaMiner watches each WCG "until ...
+	// the WCG stops growing"); later clues in the same session open a
+	// fresh WCG. Zero selects 3 minutes.
+	WatchIdle time.Duration
+	// MaxClusterTxs caps a cluster's transaction history to bound memory
+	// on long-lived sessions. Zero selects 4096.
+	MaxClusterTxs int
+	// ClusterTTL evicts session clusters idle longer than this, bounding
+	// memory on long-running deployments. Zero selects 1 hour.
+	ClusterTTL time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.RedirectThreshold == 0 {
+		c.RedirectThreshold = 3
+	}
+	if c.ScoreThreshold == 0 {
+		c.ScoreThreshold = 0.5
+	}
+	if c.SessionGap == 0 {
+		c.SessionGap = 5 * time.Minute
+	}
+	if c.WatchIdle == 0 {
+		c.WatchIdle = 3 * time.Minute
+	}
+	if c.MaxClusterTxs == 0 {
+		c.MaxClusterTxs = 4096
+	}
+	if c.ClusterTTL == 0 {
+		c.ClusterTTL = time.Hour
+	}
+	return c
+}
+
+// evictEvery is how many processed transactions pass between idle-cluster
+// sweeps.
+const evictEvery = 512
+
+// DefaultTrustedVendors is the weed-out list used by the examples and
+// benches: well-known application stores and software repositories.
+var DefaultTrustedVendors = []string{
+	"vendor-store.com",
+	"trusted-repo.org",
+	"windowsupdate.com",
+	"apple.com",
+	"mozilla.org",
+}
+
+// Alert is one infection verdict.
+type Alert struct {
+	Time      time.Time
+	Client    netip.Addr
+	ClusterID int
+	Score     float64
+	// TriggerHost is the host that served the payload whose download
+	// produced the alert.
+	TriggerHost string
+	// TriggerPayload is the payload class of the triggering download.
+	TriggerPayload wcg.PayloadClass
+	// WCG is the potential-infection graph at alert time.
+	WCG *wcg.WCG
+}
+
+// MarshalJSON renders the alert as a SIEM-friendly JSON object (the WCG is
+// summarized, not embedded).
+func (a Alert) MarshalJSON() ([]byte, error) {
+	order, size := 0, 0
+	if a.WCG != nil {
+		order, size = a.WCG.Order(), a.WCG.Size()
+	}
+	return json.Marshal(struct {
+		Time      string  `json:"time"`
+		Client    string  `json:"client"`
+		ClusterID int     `json:"clusterId"`
+		Score     float64 `json:"score"`
+		Host      string  `json:"host"`
+		Payload   string  `json:"payload"`
+		WCGOrder  int     `json:"wcgOrder"`
+		WCGSize   int     `json:"wcgSize"`
+	}{
+		Time:      a.Time.UTC().Format(time.RFC3339Nano),
+		Client:    a.Client.String(),
+		ClusterID: a.ClusterID,
+		Score:     a.Score,
+		Host:      a.TriggerHost,
+		Payload:   a.TriggerPayload.String(),
+		WCGOrder:  order,
+		WCGSize:   size,
+	})
+}
+
+// Stats counts engine activity, matching the numbers the case studies
+// report (transactions inspected, clues fired, classifier invocations).
+type Stats struct {
+	Transactions    int
+	Weeded          int
+	Clusters        int
+	Evicted         int
+	CluesFired      int
+	Classifications int
+	Alerts          int
+}
+
+// clickGap separates automatic redirections from human link-clicks, as in
+// the WCG construction stage.
+const clickGap = 2 * time.Second
+
+// txMeta caches per-transaction linkage facts so the backward chain walk
+// does not re-parse bodies.
+type txMeta struct {
+	host      string
+	refHost   string
+	locHost   string
+	sniff     []string // redirect target hosts sniffed from the body
+	refRecent bool     // the referring host was active within clickGap
+	download  bool     // 2xx response with a likely-malicious payload type
+	post      bool
+	payload   wcg.PayloadClass
+}
+
+type cluster struct {
+	id         int
+	client     netip.Addr
+	txs        []httpstream.Transaction
+	metas      []txMeta
+	hosts      map[string]struct{}
+	sessions   map[string]struct{}
+	hostLast   map[string]time.Time
+	lastActive time.Time
+	redirects  int // running count of redirect evidence (sum-of-all rule)
+
+	watching  bool
+	alerted   bool
+	watch     []int // indices into txs forming the potential-infection WCG
+	snapshot  []int // the watch set at the moment the clue fired
+	watchLast time.Time
+	related   map[string]struct{}
+	preWatch  map[string]struct{} // hosts seen before the clue fired
+
+	// closed holds the watch sets of WCGs that stopped growing, for
+	// offline subset extraction.
+	closed [][]int
+}
+
+// Engine is the streaming detector. It is not safe for concurrent use; run
+// one Engine per capture point or serialize access.
+type Engine struct {
+	cfg      Config
+	model    Scorer
+	clusters []*cluster
+	byClient map[netip.Addr][]*cluster
+	stats    Stats
+}
+
+// New returns an Engine using the given trained model.
+func New(cfg Config, model Scorer) *Engine {
+	return &Engine{
+		cfg:      cfg.withDefaults(),
+		model:    model,
+		byClient: make(map[netip.Addr][]*cluster),
+	}
+}
+
+// Stats returns a snapshot of engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// trusted reports whether the host matches the weed-out list.
+func (e *Engine) trusted(host string) bool {
+	for _, suffix := range e.cfg.TrustedVendors {
+		if host == suffix || strings.HasSuffix(host, "."+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Process ingests one transaction and returns any alerts it triggers.
+func (e *Engine) Process(tx httpstream.Transaction) []Alert {
+	e.stats.Transactions++
+	if e.stats.Transactions%evictEvery == 0 {
+		e.EvictIdle(tx.ReqTime.Add(-e.cfg.ClusterTTL))
+	}
+	host := tx.Host
+	if host == "" {
+		host = tx.ServerIP.String()
+	}
+	if e.trusted(host) {
+		e.stats.Weeded++
+		return nil
+	}
+	c := e.clusterFor(&tx, host)
+	if len(c.txs) >= e.cfg.MaxClusterTxs {
+		return nil
+	}
+	meta := c.buildMeta(&tx, host)
+	idx := len(c.txs)
+	c.txs = append(c.txs, tx)
+	c.metas = append(c.metas, meta)
+	c.noteActivity(&tx, meta)
+
+	// A watched WCG that stopped growing is closed; later clues in the
+	// same session open a fresh potential-infection WCG with fresh
+	// redirect evidence.
+	if c.watching && tx.ReqTime.Sub(c.watchLast) > e.cfg.WatchIdle {
+		c.closeWatch()
+	}
+
+	// Accumulate redirect evidence (the sum-of-all-redirections rule).
+	if tx.StatusCode >= 300 && tx.StatusCode < 400 {
+		c.redirects++
+	}
+	c.redirects += len(meta.sniff)
+
+	// Infection clue: enough redirect evidence followed by a download of a
+	// likely-malicious payload type. The clue triggers the backward
+	// construction of a potential-infection WCG around the chain.
+	if meta.download && !c.watching && c.redirects >= e.cfg.RedirectThreshold {
+		c.watching = true
+		e.stats.CluesFired++
+		c.preWatch = make(map[string]struct{}, len(c.hosts))
+		for h := range c.hosts {
+			c.preWatch[h] = struct{}{}
+		}
+		c.buildPotentialWCG(idx, e.cfg.WatchIdle)
+		c.snapshot = append([]int(nil), c.watch...)
+		c.watchLast = tx.ReqTime
+		return e.classify(c, idx, meta)
+	}
+	if !c.watching {
+		return nil
+	}
+	// Watched WCG: related transactions grow it and trigger
+	// re-classification; unrelated browsing is left out, as the paper's
+	// session-ID/referrer grouping prescribes.
+	if !c.relatedTx(meta) {
+		return nil
+	}
+	c.include(idx)
+	c.watchLast = tx.ReqTime
+	return e.classify(c, idx, meta)
+}
+
+// classify scores the cluster's potential-infection WCG and emits an
+// alert on the first infectious verdict and on every payload download into
+// an infectious-scoring WCG.
+func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
+	if e.model == nil {
+		return nil // extraction-only mode (training-set construction)
+	}
+	subset := make([]httpstream.Transaction, 0, len(c.watch))
+	for _, i := range c.watch {
+		subset = append(subset, c.txs[i])
+	}
+	g := wcg.FromTransactions(subset)
+	score := e.model.Score(features.Extract(g))
+	e.stats.Classifications++
+	if score <= e.cfg.ScoreThreshold {
+		return nil
+	}
+	if c.alerted && !meta.download {
+		return nil
+	}
+	c.alerted = true
+	e.stats.Alerts++
+	trigger := meta
+	if !meta.download {
+		// First crossing on a non-download update (e.g. a C&C call-back):
+		// attribute the alert to the latest download in the WCG.
+		for i := len(c.watch) - 1; i >= 0; i-- {
+			if m := c.metas[c.watch[i]]; m.download {
+				trigger = m
+				break
+			}
+		}
+	}
+	return []Alert{{
+		Time:           c.txs[idx].RespTime,
+		Client:         c.client,
+		ClusterID:      c.id,
+		Score:          score,
+		TriggerHost:    trigger.host,
+		TriggerPayload: trigger.payload,
+		WCG:            g,
+	}}
+}
+
+// ClueSubsets replays a recorded transaction stream with the clue
+// heuristic only (no classifier) and returns, per session cluster whose
+// clue fired, both the potential-infection subset at clue time and the
+// fully-grown subset at stream end. The offline training stage uses these
+// so the classifier learns on exactly the WCG representations — early and
+// mature — that the on-the-wire stage scores.
+func ClueSubsets(cfg Config, txs []httpstream.Transaction) [][]httpstream.Transaction {
+	e := New(cfg, nil)
+	for _, tx := range txs {
+		e.Process(tx)
+	}
+	var out [][]httpstream.Transaction
+	collect := func(c *cluster, idxs []int) {
+		subset := make([]httpstream.Transaction, 0, len(idxs))
+		for _, i := range idxs {
+			subset = append(subset, c.txs[i])
+		}
+		out = append(out, subset)
+	}
+	for _, c := range e.clusters {
+		for _, w := range c.closed {
+			collect(c, w)
+		}
+		if !c.watching {
+			continue
+		}
+		collect(c, c.snapshot)
+		if len(c.watch) > len(c.snapshot) {
+			collect(c, c.watch)
+		}
+	}
+	return out
+}
+
+// buildMeta derives the linkage facts of a transaction against the
+// cluster's current state. Must run before noteActivity.
+func (c *cluster) buildMeta(tx *httpstream.Transaction, host string) txMeta {
+	m := txMeta{
+		host:    host,
+		refHost: refererHost(tx),
+		post:    tx.Method == "POST",
+		payload: wcg.ClassifyPayload(tx.URI, tx.ContentType),
+	}
+	if tx.IsRedirect() {
+		m.locHost = hostOf(tx.Location())
+		if m.locHost == "" {
+			m.locHost = host
+		}
+	}
+	if m.payload == wcg.PayloadHTML || m.payload == wcg.PayloadJS {
+		for _, target := range wcg.SniffBodyRedirects(tx.Body) {
+			if th := hostOf(target); th != "" {
+				m.sniff = append(m.sniff, th)
+			}
+		}
+	}
+	m.download = m.payload.IsExploitType() && tx.StatusCode >= 200 && tx.StatusCode < 300
+	if m.refHost != "" {
+		if last, ok := c.hostLast[m.refHost]; ok && tx.ReqTime.Sub(last) <= clickGap {
+			m.refRecent = true
+		}
+	}
+	return m
+}
+
+// noteActivity updates the cluster's host and session bookkeeping.
+func (c *cluster) noteActivity(tx *httpstream.Transaction, m txMeta) {
+	c.hosts[m.host] = struct{}{}
+	if m.refHost != "" {
+		c.hosts[m.refHost] = struct{}{}
+	}
+	if sid := tx.SessionID(); sid != "" {
+		c.sessions[sid] = struct{}{}
+	}
+	ts := tx.RespTime
+	if ts.IsZero() {
+		ts = tx.ReqTime
+	}
+	c.hostLast[m.host] = ts
+	c.lastActive = tx.ReqTime
+}
+
+// buildPotentialWCG walks back in time from the triggering download and
+// collects the transactions linked to it: traffic to related hosts,
+// redirects into related hosts (Location or sniffed body targets), and
+// fast referrer continuations. It runs to a fixpoint so multi-hop chains
+// resolve regardless of discovery order, and it looks back at most horizon
+// so a chain reusing hosts hours later does not absorb stale traffic.
+func (c *cluster) buildPotentialWCG(trigger int, horizon time.Duration) {
+	c.related = make(map[string]struct{})
+	include := make([]bool, trigger+1)
+	include[trigger] = true
+	c.addRelated(c.metas[trigger])
+	oldest := c.txs[trigger].ReqTime.Add(-horizon)
+	first := trigger
+	for first > 0 && !c.txs[first-1].ReqTime.Before(oldest) {
+		first--
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := trigger - 1; i >= first; i-- {
+			if include[i] {
+				continue
+			}
+			if c.relatedTx(c.metas[i]) {
+				include[i] = true
+				c.addRelated(c.metas[i])
+				changed = true
+			}
+		}
+	}
+	c.watch = c.watch[:0]
+	for i, in := range include {
+		if in {
+			c.watch = append(c.watch, i)
+		}
+	}
+}
+
+// relatedTx reports whether a transaction belongs to the potential
+// infection WCG under the current related-host set.
+func (c *cluster) relatedTx(m txMeta) bool {
+	if _, ok := c.related[m.host]; ok {
+		return true
+	}
+	if m.locHost != "" {
+		if _, ok := c.related[m.locHost]; ok {
+			return true
+		}
+	}
+	for _, t := range m.sniff {
+		if _, ok := c.related[t]; ok {
+			return true
+		}
+	}
+	if m.refRecent && m.refHost != "" {
+		if _, ok := c.related[m.refHost]; ok {
+			return true
+		}
+	}
+	// Post-download call-backs go to hosts never seen before the download
+	// dynamics (Section II-D).
+	if m.post && c.preWatch != nil {
+		if _, seen := c.preWatch[m.host]; !seen {
+			return true
+		}
+	}
+	return false
+}
+
+// addRelated extends the related-host set with a transaction's hosts.
+func (c *cluster) addRelated(m txMeta) {
+	c.related[m.host] = struct{}{}
+	if m.locHost != "" {
+		c.related[m.locHost] = struct{}{}
+	}
+	for _, t := range m.sniff {
+		c.related[t] = struct{}{}
+	}
+	if m.refRecent && m.refHost != "" {
+		c.related[m.refHost] = struct{}{}
+	}
+}
+
+// include appends a related transaction to the watched WCG.
+func (c *cluster) include(idx int) {
+	c.watch = append(c.watch, idx)
+	c.addRelated(c.metas[idx])
+}
+
+// closeWatch finalizes the current potential-infection WCG and returns the
+// cluster to pre-clue monitoring with fresh redirect evidence.
+func (c *cluster) closeWatch() {
+	if len(c.watch) > 0 {
+		c.closed = append(c.closed, append([]int(nil), c.watch...))
+	}
+	c.watching = false
+	c.alerted = false
+	c.watch = nil
+	c.snapshot = nil
+	c.related = nil
+	c.preWatch = nil
+	c.redirects = 0
+}
+
+// WatchedWCG describes one actively watched potential-infection WCG, for
+// operator dashboards.
+type WatchedWCG struct {
+	ClusterID    int
+	Client       netip.Addr
+	Transactions int       // size of the potential-infection subset
+	LastGrowth   time.Time // when the WCG last gained a transaction
+	Hosts        int       // related hosts under watch
+}
+
+// Watched returns snapshots of every potential-infection WCG currently
+// being grown and re-classified.
+func (e *Engine) Watched() []WatchedWCG {
+	var out []WatchedWCG
+	for _, c := range e.clusters {
+		if !c.watching {
+			continue
+		}
+		out = append(out, WatchedWCG{
+			ClusterID:    c.id,
+			Client:       c.client,
+			Transactions: len(c.watch),
+			LastGrowth:   c.watchLast,
+			Hosts:        len(c.related),
+		})
+	}
+	return out
+}
+
+// EvictIdle drops every session cluster whose last activity precedes
+// cutoff and returns how many were removed. Process calls this
+// automatically every few hundred transactions with the configured TTL;
+// deployments may also call it explicitly.
+func (e *Engine) EvictIdle(cutoff time.Time) int {
+	evicted := 0
+	kept := e.clusters[:0]
+	for _, c := range e.clusters {
+		if c.lastActive.Before(cutoff) {
+			evicted++
+			continue
+		}
+		kept = append(kept, c)
+	}
+	if evicted == 0 {
+		return 0
+	}
+	e.clusters = kept
+	for client, list := range e.byClient {
+		keptList := list[:0]
+		for _, c := range list {
+			if !c.lastActive.Before(cutoff) {
+				keptList = append(keptList, c)
+			}
+		}
+		if len(keptList) == 0 {
+			delete(e.byClient, client)
+			continue
+		}
+		e.byClient[client] = keptList
+	}
+	e.stats.Evicted += evicted
+	return evicted
+}
+
+// ProcessAll feeds a transaction slice through the engine in order.
+func (e *Engine) ProcessAll(txs []httpstream.Transaction) []Alert {
+	var alerts []Alert
+	for _, tx := range txs {
+		alerts = append(alerts, e.Process(tx)...)
+	}
+	return alerts
+}
+
+func refererHost(tx *httpstream.Transaction) string {
+	return hostOf(tx.Referer())
+}
+
+// hostOf extracts the host of an absolute or schemeless URL.
+func hostOf(raw string) string {
+	s := raw
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	} else if strings.HasPrefix(s, "//") {
+		s = s[2:]
+	} else if strings.HasPrefix(s, "/") || s == "" {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '/', '?', '#', ':':
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// clusterFor assigns the transaction to a session cluster of its client:
+// first by session ID, then by referrer linkage to a cluster's known
+// hosts, then by recency within the session gap; otherwise a new cluster
+// is opened (Section V-B's grouping heuristic).
+func (e *Engine) clusterFor(tx *httpstream.Transaction, host string) *cluster {
+	clusters := e.byClient[tx.ClientIP]
+
+	if sid := tx.SessionID(); sid != "" {
+		for i := len(clusters) - 1; i >= 0; i-- {
+			if _, ok := clusters[i].sessions[sid]; ok {
+				return clusters[i]
+			}
+		}
+	}
+	ref := refererHost(tx)
+	for i := len(clusters) - 1; i >= 0; i-- {
+		c := clusters[i]
+		if ref != "" {
+			if _, ok := c.hosts[ref]; ok {
+				return c
+			}
+		}
+		if _, ok := c.hosts[host]; ok {
+			return c
+		}
+	}
+	if len(clusters) > 0 {
+		last := clusters[len(clusters)-1]
+		if tx.ReqTime.Sub(last.lastActive) <= e.cfg.SessionGap {
+			return last
+		}
+	}
+	c := &cluster{
+		id:       len(e.clusters),
+		client:   tx.ClientIP,
+		hosts:    make(map[string]struct{}),
+		sessions: make(map[string]struct{}),
+		hostLast: make(map[string]time.Time),
+	}
+	e.clusters = append(e.clusters, c)
+	e.byClient[tx.ClientIP] = append(clusters, c)
+	e.stats.Clusters++
+	return c
+}

@@ -1,0 +1,384 @@
+package detector
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dynaminer/internal/features"
+	"dynaminer/internal/httpstream"
+	"dynaminer/internal/ml"
+	"dynaminer/internal/synth"
+	"dynaminer/internal/wcg"
+)
+
+var (
+	t0       = time.Date(2016, 7, 10, 15, 0, 0, 0, time.UTC)
+	clientIP = netip.MustParseAddr("10.0.0.44")
+)
+
+// constScorer always returns a fixed infection probability.
+type constScorer float64
+
+func (c constScorer) Score([]float64) float64 { return float64(c) }
+
+func mkTx(host, uri, method string, code int, ct string, size int, ref string, at time.Duration) httpstream.Transaction {
+	rh := http.Header{}
+	if ref != "" {
+		rh.Set("Referer", ref)
+	}
+	return httpstream.Transaction{
+		ClientIP: clientIP, ServerIP: netip.MustParseAddr("198.51.100.77"),
+		ClientPort: 50100, ServerPort: 80,
+		Method: method, URI: uri, Host: host,
+		ReqHdr: rh, RespHdr: http.Header{},
+		ReqTime: t0.Add(at), RespTime: t0.Add(at + 10*time.Millisecond),
+		StatusCode: code, ContentType: ct, BodySize: size,
+	}
+}
+
+// redirectTx builds a 302 hop from host to next.
+func redirectTx(host, next string, at time.Duration) httpstream.Transaction {
+	tx := mkTx(host, "/r", "GET", 302, "", 0, "", at)
+	tx.RespHdr.Set("Location", "http://"+next+"/x")
+	return tx
+}
+
+// infectionStream is a redirect chain (3 hops) followed by an EXE download.
+func infectionStream() []httpstream.Transaction {
+	return []httpstream.Transaction{
+		redirectTx("a.evil", "b.evil", 0),
+		mkTx("b.evil", "/x", "GET", 302, "", 0, "http://a.evil/r", 100*time.Millisecond),
+		redirectTx("b.evil", "c.evil", 150*time.Millisecond),
+		redirectTx("c.evil", "d.evil", 300*time.Millisecond),
+		mkTx("d.evil", "/drop.exe", "GET", 200, "application/x-msdownload", 90000, "http://c.evil/r", 500*time.Millisecond),
+	}
+}
+
+func TestClueFiresAndAlerts(t *testing.T) {
+	e := New(Config{RedirectThreshold: 3}, constScorer(0.9))
+	alerts := e.ProcessAll(infectionStream())
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1 (stats %+v)", len(alerts), e.Stats())
+	}
+	a := alerts[0]
+	if a.TriggerHost != "d.evil" || a.TriggerPayload != wcg.PayloadEXE {
+		t.Fatalf("alert trigger = %s/%v", a.TriggerHost, a.TriggerPayload)
+	}
+	if a.Score != 0.9 || a.Client != clientIP {
+		t.Fatalf("alert fields wrong: %+v", a)
+	}
+	if a.WCG == nil || a.WCG.Order() < 4 {
+		t.Fatal("alert must carry the potential-infection WCG")
+	}
+	st := e.Stats()
+	if st.CluesFired != 1 || st.Alerts != 1 || st.Classifications != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestNoClueWithoutDownload(t *testing.T) {
+	e := New(Config{RedirectThreshold: 3}, constScorer(0.9))
+	txs := infectionStream()
+	alerts := e.ProcessAll(txs[:4]) // redirects only, no download
+	if len(alerts) != 0 {
+		t.Fatalf("alerts = %d without a download", len(alerts))
+	}
+	if e.Stats().CluesFired != 0 {
+		t.Fatal("clue must not fire without a download")
+	}
+}
+
+func TestNoClueBelowThreshold(t *testing.T) {
+	e := New(Config{RedirectThreshold: 5}, constScorer(0.9))
+	if alerts := e.ProcessAll(infectionStream()); len(alerts) != 0 {
+		t.Fatalf("alerts = %d with threshold 5", len(alerts))
+	}
+}
+
+func TestBenignScoreNoAlertButKeepsWatching(t *testing.T) {
+	e := New(Config{RedirectThreshold: 3}, constScorer(0.1))
+	alerts := e.ProcessAll(infectionStream())
+	if len(alerts) != 0 {
+		t.Fatal("low score must not alert")
+	}
+	st := e.Stats()
+	if st.CluesFired != 1 {
+		t.Fatal("clue must fire")
+	}
+	if st.Classifications != 1 {
+		t.Fatalf("classifications = %d, want 1", st.Classifications)
+	}
+	// Another transaction in the watched cluster triggers re-classification.
+	e.Process(mkTx("d.evil", "/more", "GET", 200, "text/html", 100, "http://d.evil/drop.exe", time.Second))
+	if got := e.Stats().Classifications; got != 2 {
+		t.Fatalf("classifications after update = %d, want 2", got)
+	}
+}
+
+func TestAlertPerDownload(t *testing.T) {
+	e := New(Config{RedirectThreshold: 3}, constScorer(0.9))
+	txs := infectionStream()
+	txs = append(txs,
+		// A second payload raises a second, download-centric alert.
+		mkTx("d.evil", "/second.exe", "GET", 200, "application/x-msdownload", 10000, "http://d.evil/drop.exe", time.Second),
+		// A plain page fetch in the same infectious cluster does not.
+		mkTx("d.evil", "/page", "GET", 200, "text/html", 500, "http://d.evil/drop.exe", 2*time.Second))
+	alerts := e.ProcessAll(txs)
+	if len(alerts) != 2 {
+		t.Fatalf("alerts = %d, want 2 (one per payload)", len(alerts))
+	}
+	if alerts[1].TriggerPayload != wcg.PayloadEXE {
+		t.Fatalf("second alert payload = %v", alerts[1].TriggerPayload)
+	}
+}
+
+func TestTrustedVendorWeeding(t *testing.T) {
+	e := New(Config{TrustedVendors: DefaultTrustedVendors}, constScorer(0.9))
+	e.Process(mkTx("downloads.vendor-store.com", "/app.exe", "GET", 200, "application/x-msdownload", 5<<20, "", 0))
+	e.Process(mkTx("cdn.apple.com", "/update.dmg", "GET", 200, "application/x-apple-diskimage", 9<<20, "", time.Second))
+	st := e.Stats()
+	if st.Weeded != 2 {
+		t.Fatalf("weeded = %d, want 2", st.Weeded)
+	}
+	if st.Clusters != 0 {
+		t.Fatal("trusted traffic must not open clusters")
+	}
+}
+
+func TestSessionClusteringByCookie(t *testing.T) {
+	e := New(Config{}, constScorer(0))
+	a := mkTx("x.com", "/1", "GET", 200, "text/html", 10, "", 0)
+	a.RespHdr.Set("Set-Cookie", "sid=42; Path=/")
+	b := mkTx("y.com", "/2", "GET", 200, "text/html", 10, "", 10*time.Minute) // beyond gap
+	b.ReqHdr.Set("Cookie", "sid=42")
+	e.Process(a)
+	e.Process(b)
+	if e.Stats().Clusters != 1 {
+		t.Fatalf("clusters = %d, want 1 (cookie links them)", e.Stats().Clusters)
+	}
+}
+
+func TestSessionClusteringByReferer(t *testing.T) {
+	e := New(Config{}, constScorer(0))
+	e.Process(mkTx("first.com", "/", "GET", 200, "text/html", 10, "", 0))
+	e.Process(mkTx("second.com", "/p", "GET", 200, "text/html", 10, "http://first.com/", 10*time.Minute))
+	if e.Stats().Clusters != 1 {
+		t.Fatalf("clusters = %d, want 1 (referer links them)", e.Stats().Clusters)
+	}
+}
+
+func TestSessionGapOpensNewCluster(t *testing.T) {
+	e := New(Config{SessionGap: time.Minute}, constScorer(0))
+	e.Process(mkTx("one.com", "/", "GET", 200, "text/html", 10, "", 0))
+	e.Process(mkTx("two.com", "/", "GET", 200, "text/html", 10, "", 5*time.Minute))
+	if e.Stats().Clusters != 2 {
+		t.Fatalf("clusters = %d, want 2 (gap exceeded)", e.Stats().Clusters)
+	}
+}
+
+func TestClientsSeparated(t *testing.T) {
+	e := New(Config{}, constScorer(0))
+	a := mkTx("shared.com", "/", "GET", 200, "text/html", 10, "", 0)
+	b := mkTx("shared.com", "/", "GET", 200, "text/html", 10, "", time.Second)
+	b.ClientIP = netip.MustParseAddr("10.0.0.45")
+	e.Process(a)
+	e.Process(b)
+	if e.Stats().Clusters != 2 {
+		t.Fatalf("clusters = %d, want 2 (distinct clients)", e.Stats().Clusters)
+	}
+}
+
+// TestEndToEndWithTrainedModel trains a real ERF the way deployment
+// requires — on the clue-extracted potential-infection WCG subsets — and
+// verifies the engine flags infections and passes benign sessions.
+func TestEndToEndWithTrainedModel(t *testing.T) {
+	eps := synth.GenerateCorpus(synth.Config{Seed: 99, Infections: 80, Benign: 80})
+	extract := Config{RedirectThreshold: 1}
+	ds := &ml.Dataset{}
+	for _, ep := range eps {
+		y := ml.LabelBenign
+		if ep.Infection {
+			y = ml.LabelInfection
+		}
+		subs := ClueSubsets(extract, ep.Txs)
+		for _, sub := range subs {
+			ds.X = append(ds.X, features.Extract(wcg.FromTransactions(sub)))
+			ds.Y = append(ds.Y, y)
+		}
+		if len(subs) == 0 || !ep.Infection {
+			ds.X = append(ds.X, features.Extract(wcg.FromTransactions(ep.Txs)))
+			ds.Y = append(ds.Y, y)
+		}
+	}
+	forest, err := ml.TrainForest(ds, ml.ForestConfig{NumTrees: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(123))
+	detected := 0
+	nInf := 40
+	for i := 0; i < nInf; i++ {
+		ep := synth.GenerateInfection("Angler", t0, rng)
+		e := New(Config{RedirectThreshold: 1}, forest)
+		if len(e.ProcessAll(ep.Txs)) > 0 {
+			detected++
+		}
+	}
+	if detected < nInf*6/10 {
+		t.Fatalf("detected %d/%d Angler episodes, too few", detected, nInf)
+	}
+
+	falseAlerts := 0
+	nBen := 40
+	for i := 0; i < nBen; i++ {
+		ep := synth.GenerateBenign("search", t0, rng)
+		e := New(Config{RedirectThreshold: 1}, forest)
+		if len(e.ProcessAll(ep.Txs)) > 0 {
+			falseAlerts++
+		}
+	}
+	if falseAlerts > nBen/5 {
+		t.Fatalf("false alerts on %d/%d benign search sessions", falseAlerts, nBen)
+	}
+}
+
+func TestRefererHost(t *testing.T) {
+	tx := mkTx("a.com", "/", "GET", 200, "text/html", 1, "http://ref.net:8080/p?q=1", 0)
+	if got := refererHost(&tx); got != "ref.net" {
+		t.Fatalf("refererHost = %q", got)
+	}
+	tx2 := mkTx("a.com", "/", "GET", 200, "text/html", 1, "", 0)
+	if refererHost(&tx2) != "" {
+		t.Fatal("empty referer must give empty host")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.RedirectThreshold != 3 || c.ScoreThreshold != 0.5 || c.SessionGap != 5*time.Minute || c.MaxClusterTxs != 4096 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+}
+
+func TestEvictIdle(t *testing.T) {
+	e := New(Config{}, constScorer(0))
+	e.Process(mkTx("old.com", "/", "GET", 200, "text/html", 10, "", 0))
+	b := mkTx("new.com", "/", "GET", 200, "text/html", 10, "", 2*time.Hour)
+	b.ClientIP = netip.MustParseAddr("10.0.0.99")
+	e.Process(b)
+	if e.Stats().Clusters != 2 {
+		t.Fatalf("clusters = %d", e.Stats().Clusters)
+	}
+	n := e.EvictIdle(t0.Add(time.Hour))
+	if n != 1 {
+		t.Fatalf("evicted = %d, want 1", n)
+	}
+	if e.Stats().Evicted != 1 {
+		t.Fatalf("stats.Evicted = %d", e.Stats().Evicted)
+	}
+	// The surviving client's traffic still clusters correctly.
+	c := mkTx("new.com", "/2", "GET", 200, "text/html", 10, "", 2*time.Hour+time.Minute)
+	c.ClientIP = netip.MustParseAddr("10.0.0.99")
+	e.Process(c)
+	if got := e.Stats().Clusters; got != 2 {
+		t.Fatalf("clusters after eviction+reuse = %d, want 2 (no new cluster)", got)
+	}
+	// The evicted client starts fresh.
+	d := mkTx("old.com", "/again", "GET", 200, "text/html", 10, "", 3*time.Hour)
+	e.Process(d)
+	if got := e.Stats().Clusters; got != 3 {
+		t.Fatalf("clusters after evicted client returns = %d, want 3", got)
+	}
+}
+
+func TestAutomaticEviction(t *testing.T) {
+	e := New(Config{ClusterTTL: time.Minute, SessionGap: time.Second}, constScorer(0))
+	// Many short-lived single-host clusters spread over hours trigger
+	// periodic sweeps (distinct hosts so nothing re-clusters by host).
+	for i := 0; i < 2*evictEvery; i++ {
+		host := fmt.Sprintf("h%d.com", i)
+		tx := mkTx(host, "/", "GET", 200, "text/html", 10, "", time.Duration(i)*10*time.Second)
+		e.Process(tx)
+	}
+	if e.Stats().Evicted == 0 {
+		t.Fatal("automatic eviction never ran")
+	}
+	if live := e.Stats().Clusters - e.Stats().Evicted; live > evictEvery {
+		t.Fatalf("live clusters = %d, eviction not bounding memory", live)
+	}
+}
+
+func TestWatchedSnapshots(t *testing.T) {
+	e := New(Config{RedirectThreshold: 3}, constScorer(0.1))
+	if len(e.Watched()) != 0 {
+		t.Fatal("nothing should be watched initially")
+	}
+	e.ProcessAll(infectionStream())
+	watched := e.Watched()
+	if len(watched) != 1 {
+		t.Fatalf("watched = %d, want 1", len(watched))
+	}
+	w := watched[0]
+	if w.Client != clientIP || w.Transactions < 4 || w.Hosts < 3 {
+		t.Fatalf("snapshot = %+v", w)
+	}
+	if w.LastGrowth.IsZero() {
+		t.Fatal("LastGrowth unset")
+	}
+	// Closing the watch (idle) clears the snapshot list.
+	e.Process(mkTx("later.com", "/", "GET", 200, "text/html", 10, "http://d.evil/drop.exe", 4*time.Minute))
+	if len(e.Watched()) != 0 {
+		t.Fatalf("watched after idle close = %d, want 0", len(e.Watched()))
+	}
+}
+
+func TestAlertMarshalJSON(t *testing.T) {
+	e := New(Config{RedirectThreshold: 3}, constScorer(0.9))
+	alerts := e.ProcessAll(infectionStream())
+	if len(alerts) != 1 {
+		t.Fatal("need one alert")
+	}
+	data, err := json.Marshal(alerts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["client"] != clientIP.String() || decoded["payload"] != "exe" {
+		t.Fatalf("json = %s", data)
+	}
+	if decoded["wcgOrder"].(float64) < 4 {
+		t.Fatalf("wcgOrder = %v", decoded["wcgOrder"])
+	}
+}
+
+func TestFreshHostPOSTJoinsWatchedWCG(t *testing.T) {
+	// After the clue fires, a POST to a host never seen pre-download (a
+	// C&C call-back) must join the potential-infection WCG even without
+	// any referrer or host linkage.
+	e := New(Config{RedirectThreshold: 3}, constScorer(0.1))
+	e.ProcessAll(infectionStream())
+	before := e.Stats().Classifications
+	cnc := mkTx("203.0.113.66", "/beacon.php", "POST", 200, "text/plain", 16, "", 2*time.Second)
+	e.Process(cnc)
+	if got := e.Stats().Classifications; got != before+1 {
+		t.Fatalf("classifications = %d, want %d (callback must re-classify)", got, before+1)
+	}
+	w := e.Watched()
+	if len(w) != 1 {
+		t.Fatal("watch lost")
+	}
+	// An unrelated GET to a fresh host does NOT join.
+	e.Process(mkTx("random.org", "/", "GET", 200, "text/html", 10, "", 3*time.Second))
+	if got := e.Stats().Classifications; got != before+1 {
+		t.Fatalf("unrelated GET re-classified (%d)", got)
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dynaminer/internal/features"
+	"dynaminer/internal/ml"
+	"dynaminer/internal/synth"
+	"dynaminer/internal/wcg"
+)
+
+// LearningCurveRow measures the classifier at one training-set size.
+type LearningCurveRow struct {
+	TrainEpisodes int
+	TPR           float64
+	FPR           float64
+	ROCArea       float64
+}
+
+// LearningCurveResult is the A8 extension: how much ground truth the
+// approach needs. The paper's dataset took three years to assemble; this
+// curve shows where the returns flatten.
+type LearningCurveResult struct {
+	Rows []LearningCurveRow
+}
+
+// LearningCurve trains at increasing fractions of the ground truth and
+// evaluates each model on one fixed held-out set.
+func LearningCurve(o Options) (LearningCurveResult, error) {
+	o = o.withDefaults()
+	full := GroundTruth(o)
+	holdout := synth.GenerateCorpus(synth.Config{
+		Seed:       o.Seed + 31337,
+		Infections: o.TrainInfections / 2,
+		Benign:     o.TrainBenign / 2,
+	})
+	testX := make([][]float64, 0, len(holdout))
+	testY := make([]int, 0, len(holdout))
+	for i := range holdout {
+		testX = append(testX, features.Extract(wcg.FromTransactions(holdout[i].Txs)))
+		label := ml.LabelBenign
+		if holdout[i].Infection {
+			label = ml.LabelInfection
+		}
+		testY = append(testY, label)
+	}
+
+	var res LearningCurveResult
+	for _, frac := range []float64{0.05, 0.1, 0.25, 0.5, 1.0} {
+		n := int(float64(len(full)) * frac)
+		if n < 10 {
+			n = 10
+		}
+		subset := full[:n]
+		forest, err := trainForest(BuildDataset(subset), o)
+		if err != nil {
+			return LearningCurveResult{}, fmt.Errorf("learning curve at %d: %w", n, err)
+		}
+		ev := ml.Evaluate(forest, testX, testY)
+		res.Rows = append(res.Rows, LearningCurveRow{
+			TrainEpisodes: n, TPR: ev.TPR, FPR: ev.FPR, ROCArea: ev.ROCArea,
+		})
+	}
+	return res, nil
+}
+
+// String renders the curve.
+func (r LearningCurveResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%9s %7s %7s %9s\n", "episodes", "TPR", "FPR", "ROC Area")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%9d %7.3f %7.3f %9.3f\n", row.TrainEpisodes, row.TPR, row.FPR, row.ROCArea)
+	}
+	return sb.String()
+}

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dynaminer/internal/features"
+	"dynaminer/internal/ml"
+	"dynaminer/internal/synth"
+	"dynaminer/internal/wcg"
+)
+
+// ---------------------------------------------------------------- Table I
+
+// TableIRow is one family row of the ground-truth dataset statistics.
+type TableIRow struct {
+	Family   string
+	Episodes int
+	HostsMin int
+	HostsMax int
+	HostsAvg float64
+	RedirMin int
+	RedirMax int
+	RedirAvg float64
+	PDF      int
+	EXE      int
+	JAR      int
+	SWF      int
+	Crypt    int
+	JS       int
+}
+
+// TableIResult is the regenerated Table I.
+type TableIResult struct {
+	Rows []TableIRow
+}
+
+// TableI computes the dataset statistics of a corpus, one row per family
+// with Benign first, matching the paper's Table I layout.
+func TableI(eps []synth.Episode) TableIResult {
+	type acc struct {
+		row   TableIRow
+		hosts int
+		redir int
+	}
+	order := []string{"Benign"}
+	for _, f := range synth.Families {
+		order = append(order, f.Name)
+	}
+	accs := make(map[string]*acc, len(order))
+	for _, name := range order {
+		accs[name] = &acc{row: TableIRow{Family: name, HostsMin: 1 << 30, RedirMin: 1 << 30}}
+	}
+	for i := range eps {
+		a, ok := accs[eps[i].Family]
+		if !ok {
+			continue
+		}
+		w := wcg.FromTransactions(eps[i].Txs)
+		s := w.Summarize()
+		a.row.Episodes++
+		hosts := s.UniqueHosts
+		redir := s.Redirects.MaxChainLen
+		a.hosts += hosts
+		a.redir += redir
+		if hosts < a.row.HostsMin {
+			a.row.HostsMin = hosts
+		}
+		if hosts > a.row.HostsMax {
+			a.row.HostsMax = hosts
+		}
+		if redir < a.row.RedirMin {
+			a.row.RedirMin = redir
+		}
+		if redir > a.row.RedirMax {
+			a.row.RedirMax = redir
+		}
+		a.row.PDF += s.PayloadCounts[wcg.PayloadPDF]
+		a.row.EXE += s.PayloadCounts[wcg.PayloadEXE]
+		a.row.JAR += s.PayloadCounts[wcg.PayloadJAR]
+		a.row.SWF += s.PayloadCounts[wcg.PayloadSWF]
+		a.row.Crypt += s.PayloadCounts[wcg.PayloadCrypt]
+		a.row.JS += s.PayloadCounts[wcg.PayloadJS]
+	}
+	var res TableIResult
+	for _, name := range order {
+		a := accs[name]
+		if a.row.Episodes == 0 {
+			a.row.HostsMin, a.row.RedirMin = 0, 0
+			res.Rows = append(res.Rows, a.row)
+			continue
+		}
+		a.row.HostsAvg = float64(a.hosts) / float64(a.row.Episodes)
+		a.row.RedirAvg = float64(a.redir) / float64(a.row.Episodes)
+		res.Rows = append(res.Rows, a.row)
+	}
+	return res
+}
+
+// String renders the table in the paper's column layout.
+func (r TableIResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %6s | %4s %4s %5s | %4s %4s %5s | %5s %5s %5s %5s %6s %6s\n",
+		"Family", "Eps", "Hmin", "Hmax", "Havg", "Rmin", "Rmax", "Ravg",
+		"pdf", "exe", "jar", "swf", "crypt", "js")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-12s %6d | %4d %4d %5.1f | %4d %4d %5.1f | %5d %5d %5d %5d %6d %6d\n",
+			row.Family, row.Episodes, row.HostsMin, row.HostsMax, row.HostsAvg,
+			row.RedirMin, row.RedirMax, row.RedirAvg,
+			row.PDF, row.EXE, row.JAR, row.SWF, row.Crypt, row.JS)
+	}
+	return sb.String()
+}
+
+// -------------------------------------------------------------- Table III
+
+// TableIIIRow is one feature-ablation row.
+type TableIIIRow struct {
+	Features string
+	TPR      float64
+	FPR      float64
+	FScore   float64
+	ROCArea  float64
+}
+
+// TableIIIResult is the regenerated Table III.
+type TableIIIResult struct {
+	Rows []TableIIIRow
+}
+
+// TableIII runs the feature-group ablation: all 37 features, graph
+// features only, and everything but graph features, each under k-fold CV
+// with the paper's ERF configuration.
+func TableIII(ds *ml.Dataset, o Options) (TableIIIResult, error) {
+	o = o.withDefaults()
+	groups := []struct {
+		name string
+		cols []int
+	}{
+		{"All", nil},
+		{"GFs", features.Indices(features.GF)},
+		{"HLFs+HFs+TFs", features.Indices(features.HLF, features.HF, features.TF)},
+	}
+	var res TableIIIResult
+	for gi, g := range groups {
+		sub := ds
+		if g.cols != nil {
+			sub = ds.SelectFeatures(g.cols)
+		}
+		ev, err := ml.CrossValidate(sub, ml.ForestConfig{NumTrees: o.Trees, Seed: o.Seed}, o.Folds, newRNG(o, int64(gi)))
+		if err != nil {
+			return TableIIIResult{}, fmt.Errorf("table III %s: %w", g.name, err)
+		}
+		res.Rows = append(res.Rows, TableIIIRow{
+			Features: g.name, TPR: ev.TPR, FPR: ev.FPR, FScore: ev.FScore, ROCArea: ev.ROCArea,
+		})
+	}
+	return res, nil
+}
+
+// String renders Table III.
+func (r TableIIIResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %6s %6s %8s %9s\n", "Features", "TPR", "FPR", "F-score", "ROC Area")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-14s %6.3f %6.3f %8.3f %9.3f\n", row.Features, row.TPR, row.FPR, row.FScore, row.ROCArea)
+	}
+	return sb.String()
+}
+
+// --------------------------------------------------------------- Table IV
+
+// TableIVRow is one feature-ranking row.
+type TableIVRow struct {
+	Name          string
+	Group         features.Group
+	Novel         bool
+	GainRatioMean float64
+	GainRatioStd  float64
+	RankMean      float64
+	RankStd       float64
+}
+
+// TableIVResult is the regenerated Table IV (top-20 features).
+type TableIVResult struct {
+	Rows []TableIVRow
+}
+
+// TableIV ranks the 37 features by gain ratio under k-fold CV and returns
+// the top 20.
+func TableIV(ds *ml.Dataset, o Options) TableIVResult {
+	o = o.withDefaults()
+	ranks := ml.RankFeaturesCV(ds, o.Folds, newRNG(o, 40))
+	var res TableIVResult
+	for i, fr := range ranks {
+		if i >= 20 {
+			break
+		}
+		res.Rows = append(res.Rows, TableIVRow{
+			Name:          features.Name(fr.Feature),
+			Group:         features.GroupOf(fr.Feature),
+			Novel:         features.IsNovel(fr.Feature),
+			GainRatioMean: fr.GainRatioMean,
+			GainRatioStd:  fr.GainRatioStd,
+			RankMean:      fr.RankMean,
+			RankStd:       fr.RankStd,
+		})
+	}
+	return res
+}
+
+// GraphFeatureCount returns how many of the ranked rows are graph features
+// (the paper reports 15 of the top 20).
+func (r TableIVResult) GraphFeatureCount() int {
+	n := 0
+	for _, row := range r.Rows {
+		if row.Group == features.GF {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders Table IV.
+func (r TableIVResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %-5s %-5s %18s %16s\n", "Feature", "Group", "Novel", "Gain Ratio", "Average Rank")
+	for _, row := range r.Rows {
+		novel := ""
+		if row.Novel {
+			novel = "yes"
+		}
+		fmt.Fprintf(&sb, "%-28s %-5s %-5s %9.3f ± %5.3f %9.1f ± %4.2f\n",
+			row.Name, row.Group, novel, row.GainRatioMean, row.GainRatioStd, row.RankMean, row.RankStd)
+	}
+	return sb.String()
+}

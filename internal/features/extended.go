@@ -1,0 +1,63 @@
+package features
+
+import (
+	"dynaminer/internal/graph"
+	"dynaminer/internal/wcg"
+)
+
+// Extended feature names (x1..x8), appended after f1..f37 by
+// ExtractExtended. These explore the "richer analytics" direction the
+// paper's conclusion points at, using measures its feature set omits.
+var extendedNames = []string{
+	"Radius",               // x1: min eccentricity of the main component
+	"Avg-Eccentricity",     // x2
+	"Degeneracy",           // x3: max k-core number
+	"Degree-Assortativity", // x4
+	"SCC-Count",            // x5: strongly connected components
+	"Largest-SCC",          // x6: size of the largest SCC
+	"Cross-Domain-Redirs",  // x7: redirects crossing registered domains
+	"TLD-Diversity",        // x8: distinct TLDs in redirect chains
+}
+
+// NumExtendedFeatures is the dimensionality of ExtractExtended's output.
+const NumExtendedFeatures = NumFeatures + 8
+
+// ExtendedName returns the name of extended-vector index i (0-based over
+// the full 45-dimensional vector).
+func ExtendedName(i int) string {
+	if i < NumFeatures {
+		return Name(i)
+	}
+	return extendedNames[i-NumFeatures]
+}
+
+// ExtractExtended computes the 37 Table II features plus 8 extended graph
+// measures.
+func ExtractExtended(w *wcg.WCG) []float64 {
+	base := Extract(w)
+	g := w.Graph()
+	out := make([]float64, 0, NumExtendedFeatures)
+	out = append(out, base...)
+
+	out = append(out, float64(g.Radius()))
+	ecc := g.Eccentricities()
+	eccF := make([]float64, len(ecc))
+	for i, e := range ecc {
+		eccF[i] = float64(e)
+	}
+	out = append(out, graph.Mean(eccF))
+	out = append(out, float64(g.Degeneracy()))
+	out = append(out, g.DegreeAssortativity())
+	sccs := g.StronglyConnectedComponents()
+	out = append(out, float64(len(sccs)))
+	largest := 0
+	if len(sccs) > 0 {
+		largest = len(sccs[0])
+	}
+	out = append(out, float64(largest))
+
+	st := w.RedirectStats()
+	out = append(out, float64(st.CrossDomainCount))
+	out = append(out, float64(st.TLDDiversity))
+	return out
+}

@@ -1,0 +1,191 @@
+// Package features computes DynaMiner's 37 payload-agnostic features
+// (Table II) from an annotated web conversation graph: 6 high-level
+// features (HLFs), 19 graph-centric features (GFs), 10 HTTP header features
+// (HFs), and 2 temporal features (TFs).
+package features
+
+import (
+	"dynaminer/internal/graph"
+	"dynaminer/internal/wcg"
+)
+
+// NumFeatures is the size of a feature vector (f1..f37).
+const NumFeatures = 37
+
+// Group labels a feature family from Table II.
+type Group int
+
+// Feature groups.
+const (
+	HLF Group = iota + 1 // high-level features f1-f6
+	GF                   // graph features f7-f25
+	HF                   // header features f26-f35
+	TF                   // temporal features f36-f37
+)
+
+// String names the group the way the paper abbreviates it.
+func (g Group) String() string {
+	switch g {
+	case HLF:
+		return "HLF"
+	case GF:
+		return "GF"
+	case HF:
+		return "HF"
+	case TF:
+		return "TF"
+	default:
+		return "?"
+	}
+}
+
+// names holds the Table II feature names, indexed f1..f37 (0-based).
+var names = [NumFeatures]string{
+	"Origin",                     // f1
+	"X-Flash-Version",            // f2
+	"WCG-Size",                   // f3
+	"Conversation-Length",        // f4
+	"Avg-URIs-per-Host",          // f5
+	"Average-URI-Length",         // f6
+	"Order",                      // f7
+	"Size",                       // f8
+	"Degree",                     // f9
+	"Density",                    // f10
+	"Volume",                     // f11
+	"Diameter",                   // f12
+	"Avg-In-Degree",              // f13
+	"Avg-Out-Degree",             // f14
+	"Reciprocity",                // f15
+	"Avg-Degree-Centrality",      // f16
+	"Avg-Closeness-Centrality",   // f17
+	"Avg-Betweenness-Centrality", // f18
+	"Avg-Load-Centrality",        // f19
+	"Avg-Node-Centrality",        // f20
+	"Avg-Clustering-Coefficient", // f21
+	"Avg-Neighbor-Degree",        // f22
+	"Avg-Degree-Connectivity",    // f23
+	"Avg-K-Nearest-Neighbors",    // f24
+	"Avg-PageRank",               // f25
+	"GETs",                       // f26
+	"POSTs",                      // f27
+	"Other-Methods",              // f28
+	"HTTP-10Xs",                  // f29
+	"HTTP-20Xs",                  // f30
+	"HTTP-30Xs",                  // f31
+	"HTTP-40Xs",                  // f32
+	"HTTP-50Xs",                  // f33
+	"Referrer-Ctrs",              // f34
+	"No-Referrer-Ctrs",           // f35
+	"Duration",                   // f36
+	"Avg-Inter-Transact-Time",    // f37
+}
+
+// groups maps each feature index to its Table II group.
+var groups = [NumFeatures]Group{
+	HLF, HLF, HLF, HLF, HLF, HLF,
+	GF, GF, GF, GF, GF, GF, GF, GF, GF, GF, GF, GF, GF, GF, GF, GF, GF, GF, GF,
+	HF, HF, HF, HF, HF, HF, HF, HF, HF, HF,
+	TF, TF,
+}
+
+// novel marks the 27 features introduced by the paper (checkmarks in
+// Table II's last column).
+var novel = [NumFeatures]bool{
+	false, true, false, true, false, true, // f1-f6
+	false, false, true, false, true, false, true, true, true, true, true, true, true, true, false, true, true, true, true, // f7-f25
+	true, true, true, true, true, true, true, true, false, false, // f26-f35
+	true, true, // f36-f37
+}
+
+// Name returns the Table II name of feature i (0-based index for f(i+1)).
+func Name(i int) string { return names[i] }
+
+// GroupOf returns the group of feature i.
+func GroupOf(i int) Group { return groups[i] }
+
+// IsNovel reports whether feature i is novel to the paper.
+func IsNovel(i int) bool { return novel[i] }
+
+// Indices returns the 0-based feature indices belonging to any of the given
+// groups, in ascending order.
+func Indices(gs ...Group) []int {
+	want := make(map[Group]bool, len(gs))
+	for _, g := range gs {
+		want[g] = true
+	}
+	var out []int
+	for i, g := range groups {
+		if want[g] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// knnRadius is the k used by f24: nodes within distance k.
+const knnRadius = 2
+
+// Extract computes the full 37-dimensional feature vector of a WCG.
+func Extract(w *wcg.WCG) []float64 {
+	s := w.Summarize()
+	g := w.Graph()
+	v := make([]float64, NumFeatures)
+
+	// High-level features.
+	v[0] = boolFeature(w.OriginKnown)
+	v[1] = boolFeature(s.XFlashVersionSet)
+	v[2] = float64(s.Size)
+	v[3] = float64(s.UniqueHosts)
+	v[4] = s.AvgURIsPerHost
+	v[5] = s.AvgURILength
+
+	// Graph features.
+	v[6] = float64(g.N())
+	v[7] = float64(g.M())
+	v[8] = float64(g.MaxDegree())
+	v[9] = g.Density()
+	v[10] = float64(g.Volume())
+	v[11] = float64(g.Diameter())
+	v[12] = g.AvgInDegree()
+	v[13] = g.AvgOutDegree()
+	v[14] = g.Reciprocity()
+	v[15] = graph.Mean(g.DegreeCentrality())
+	v[16] = graph.Mean(g.ClosenessCentrality())
+	v[17] = graph.Mean(g.BetweennessCentrality())
+	v[18] = graph.Mean(g.LoadCentrality())
+	v[19] = float64(g.NodeConnectivity())
+	v[20] = g.AvgClusteringCoefficient()
+	v[21] = graph.Mean(g.AvgNeighborDegrees())
+	v[22] = g.AvgDegreeConnectivity()
+	v[23] = g.AvgNodesWithinK(knnRadius)
+	v[24] = graph.Mean(g.PageRank(0.85, 100, 1e-10))
+
+	// Header features.
+	v[25] = float64(s.GETs)
+	v[26] = float64(s.POSTs)
+	v[27] = float64(s.OtherMethods)
+	v[28] = float64(s.HTTP10X)
+	v[29] = float64(s.HTTP20X)
+	v[30] = float64(s.HTTP30X)
+	v[31] = float64(s.HTTP40X)
+	v[32] = float64(s.HTTP50X)
+	v[33] = float64(s.RefererSet)
+	v[34] = float64(s.RefererEmpty)
+
+	// Temporal features: f36 is the average duration to access a single
+	// URI (total conversation span over request count), f37 the mean
+	// inter-transaction gap. Both in seconds.
+	reqs := s.GETs + s.POSTs + s.OtherMethods
+	if reqs > 0 {
+		v[35] = s.Duration.Seconds() / float64(reqs)
+	}
+	v[36] = s.AvgInterTransact.Seconds()
+	return v
+}
+
+func boolFeature(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,199 @@
+package features
+
+import (
+	"math"
+	"net/http"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dynaminer/internal/httpstream"
+	"dynaminer/internal/wcg"
+)
+
+var t0 = time.Date(2016, 1, 5, 9, 0, 0, 0, time.UTC)
+
+func tx(host, uri, method string, code int, ct string, size int, ref string, at time.Duration) httpstream.Transaction {
+	h := http.Header{}
+	if ref != "" {
+		h.Set("Referer", ref)
+	}
+	return httpstream.Transaction{
+		ClientIP: netip.MustParseAddr("10.0.0.9"), ServerIP: netip.MustParseAddr("198.51.100.4"),
+		Method: method, URI: uri, Host: host,
+		ReqHdr: h, RespHdr: http.Header{},
+		ReqTime: t0.Add(at), RespTime: t0.Add(at + 15*time.Millisecond),
+		StatusCode: code, ContentType: ct, BodySize: size,
+	}
+}
+
+func sampleWCG() *wcg.WCG {
+	return wcg.FromTransactions([]httpstream.Transaction{
+		tx("search.com", "/results", "GET", 200, "text/html", 2000, "", 0),
+		tx("site.com", "/page", "GET", 200, "text/html", 3000, "http://search.com/results", time.Second),
+		tx("evil.net", "/drop.exe", "GET", 200, "application/x-msdownload", 50000, "http://site.com/page", 2*time.Second),
+		tx("cnc.ru", "/beacon", "POST", 200, "text/plain", 10, "", 5*time.Second),
+	})
+}
+
+func TestMetadataConsistency(t *testing.T) {
+	if len(names) != NumFeatures || len(groups) != NumFeatures || len(novel) != NumFeatures {
+		t.Fatal("metadata arrays must all have NumFeatures entries")
+	}
+	// Group sizes per Table II: 6 HLFs, 19 GFs, 10 HFs, 2 TFs.
+	if got := len(Indices(HLF)); got != 6 {
+		t.Fatalf("HLF count = %d, want 6", got)
+	}
+	if got := len(Indices(GF)); got != 19 {
+		t.Fatalf("GF count = %d, want 19", got)
+	}
+	if got := len(Indices(HF)); got != 10 {
+		t.Fatalf("HF count = %d, want 10", got)
+	}
+	if got := len(Indices(TF)); got != 2 {
+		t.Fatalf("TF count = %d, want 2", got)
+	}
+	// 27 novel features per the paper.
+	count := 0
+	for i := 0; i < NumFeatures; i++ {
+		if IsNovel(i) {
+			count++
+		}
+	}
+	if count != 27 {
+		t.Fatalf("novel features = %d, want 27", count)
+	}
+	// Spot-check names and groups.
+	if Name(0) != "Origin" || GroupOf(0) != HLF {
+		t.Fatal("f1 metadata wrong")
+	}
+	if Name(6) != "Order" || GroupOf(6) != GF {
+		t.Fatal("f7 metadata wrong")
+	}
+	if Name(36) != "Avg-Inter-Transact-Time" || GroupOf(36) != TF {
+		t.Fatal("f37 metadata wrong")
+	}
+	if HLF.String() != "HLF" || TF.String() != "TF" || Group(9).String() != "?" {
+		t.Fatal("group strings wrong")
+	}
+}
+
+func TestIndicesCombined(t *testing.T) {
+	idx := Indices(HLF, HF, TF)
+	if len(idx) != 18 {
+		t.Fatalf("HLF+HF+TF = %d features, want 18", len(idx))
+	}
+	for _, i := range idx {
+		if GroupOf(i) == GF {
+			t.Fatal("GF leaked into HLF+HF+TF selection")
+		}
+	}
+}
+
+func TestExtractVector(t *testing.T) {
+	w := sampleWCG()
+	v := Extract(w)
+	if len(v) != NumFeatures {
+		t.Fatalf("vector length = %d", len(v))
+	}
+	if v[0] != 0 { // first transaction has no referrer => origin unknown
+		t.Fatalf("f1 origin = %v, want 0", v[0])
+	}
+	if v[2] != float64(w.Size()) {
+		t.Fatalf("f3 WCG-size = %v, want %v", v[2], w.Size())
+	}
+	// f4: victim + 4 remote hosts = 5 (origin excluded).
+	if v[3] != 5 {
+		t.Fatalf("f4 conversation length = %v, want 5", v[3])
+	}
+	if v[6] != float64(w.Order()) {
+		t.Fatalf("f7 order = %v", v[6])
+	}
+	if v[25] != 3 { // GETs
+		t.Fatalf("f26 GETs = %v, want 3", v[25])
+	}
+	if v[26] != 1 { // POSTs
+		t.Fatalf("f27 POSTs = %v, want 1", v[26])
+	}
+	if v[29] != 4 { // all four responses are 200
+		t.Fatalf("f30 20X = %v, want 4", v[29])
+	}
+	if v[33] != 2 || v[34] != 2 { // referrers set/empty
+		t.Fatalf("f34/f35 = %v/%v, want 2/2", v[33], v[34])
+	}
+	if v[36] <= 0 {
+		t.Fatalf("f37 inter-transaction time = %v, want > 0", v[36])
+	}
+	if v[35] <= 0 {
+		t.Fatalf("f36 duration = %v, want > 0", v[35])
+	}
+	// Avg pagerank is 1/order by construction.
+	if math.Abs(v[24]-1/float64(w.Order())) > 1e-9 {
+		t.Fatalf("f25 avg pagerank = %v, want %v", v[24], 1/float64(w.Order()))
+	}
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("feature %d (%s) is %v", i+1, Name(i), x)
+		}
+		if x < 0 {
+			t.Fatalf("feature %d (%s) negative: %v", i+1, Name(i), x)
+		}
+	}
+}
+
+func TestExtractEmptyWCG(t *testing.T) {
+	v := Extract(wcg.FromTransactions(nil))
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("empty WCG feature %d (%s) = %v, want 0", i+1, Name(i), x)
+		}
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	a := Extract(sampleWCG())
+	b := Extract(sampleWCG())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("feature %d differs between runs: %v vs %v", i+1, a[i], b[i])
+		}
+	}
+}
+
+func TestOriginKnownFeature(t *testing.T) {
+	w := wcg.FromTransactions([]httpstream.Transaction{
+		tx("site.com", "/p", "GET", 200, "text/html", 100, "http://google.com/s?q=x", 0),
+	})
+	v := Extract(w)
+	if v[0] != 1 {
+		t.Fatalf("f1 = %v, want 1 for known origin", v[0])
+	}
+}
+
+func TestExtractExtended(t *testing.T) {
+	w := sampleWCG()
+	v := ExtractExtended(w)
+	if len(v) != NumExtendedFeatures {
+		t.Fatalf("extended vector length = %d, want %d", len(v), NumExtendedFeatures)
+	}
+	// Prefix equals the base vector.
+	base := Extract(w)
+	for i := range base {
+		if v[i] != base[i] {
+			t.Fatalf("extended[%d] = %v differs from base %v", i, v[i], base[i])
+		}
+	}
+	for i := NumFeatures; i < NumExtendedFeatures; i++ {
+		if math.IsNaN(v[i]) || math.IsInf(v[i], 0) {
+			t.Fatalf("extended feature %s is %v", ExtendedName(i), v[i])
+		}
+	}
+	if ExtendedName(0) != "Origin" || ExtendedName(NumFeatures) != "Radius" {
+		t.Fatal("extended names wrong")
+	}
+	// SCC count must cover all nodes or fewer components.
+	idx := NumFeatures + 4
+	if v[idx] <= 0 || v[idx] > float64(w.Order()) {
+		t.Fatalf("SCC count = %v for order %d", v[idx], w.Order())
+	}
+}

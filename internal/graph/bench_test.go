@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchGraph builds a WCG-shaped graph: a hub (the victim) connected to
+// every host, plus a redirect chain and some host-to-host edges — sized
+// like the largest graphs in the corpus (hundreds of nodes).
+func benchGraph(n int) *Digraph {
+	rng := rand.New(rand.NewSource(1))
+	g := New(n)
+	for v := 1; v < n; v++ {
+		_ = g.AddEdge(0, v) // request
+		_ = g.AddEdge(v, 0) // response
+	}
+	for v := 1; v+1 < n/4; v++ {
+		_ = g.AddEdge(v, v+1) // chain
+	}
+	for i := 0; i < n; i++ {
+		_ = g.AddEdge(1+rng.Intn(n-1), 1+rng.Intn(n-1))
+	}
+	return g
+}
+
+func BenchmarkBetweenness200(b *testing.B) {
+	g := benchGraph(200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.BetweennessCentrality()
+	}
+}
+
+func BenchmarkLoadCentrality200(b *testing.B) {
+	g := benchGraph(200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.LoadCentrality()
+	}
+}
+
+func BenchmarkCloseness200(b *testing.B) {
+	g := benchGraph(200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.ClosenessCentrality()
+	}
+}
+
+func BenchmarkNodeConnectivity200(b *testing.B) {
+	g := benchGraph(200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.NodeConnectivity()
+	}
+}
+
+func BenchmarkPageRank200(b *testing.B) {
+	g := benchGraph(200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.PageRank(0.85, 100, 1e-10)
+	}
+}
+
+func BenchmarkDiameter200(b *testing.B) {
+	g := benchGraph(200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Diameter()
+	}
+}
+
+func BenchmarkCoreNumbers200(b *testing.B) {
+	g := benchGraph(200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.CoreNumbers()
+	}
+}

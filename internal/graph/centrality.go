@@ -1,0 +1,230 @@
+package graph
+
+// DegreeCentrality returns, for every node, its undirected simple degree
+// normalized by n-1 (the NetworkX convention). For graphs with fewer than
+// two nodes all values are zero.
+func (g *Digraph) DegreeCentrality() []float64 {
+	adj := g.undirectedSimple()
+	n := len(adj)
+	cent := make([]float64, n)
+	if n < 2 {
+		return cent
+	}
+	norm := 1 / float64(n-1)
+	for u := range adj {
+		cent[u] = float64(len(adj[u])) * norm
+	}
+	return cent
+}
+
+// ClosenessCentrality returns the improved (Wasserman–Faust) closeness for
+// every node on the undirected simple projection:
+//
+//	C(u) = ((r-1)/(n-1)) * ((r-1)/Σ d(u,v))
+//
+// where r is the number of nodes reachable from u. Isolated nodes score 0.
+func (g *Digraph) ClosenessCentrality() []float64 {
+	adj := g.undirectedSimple()
+	n := len(adj)
+	cent := make([]float64, n)
+	if n < 2 {
+		return cent
+	}
+	for u := range adj {
+		sum, reach := 0, 0
+		for _, d := range bfsDistances(adj, u) {
+			if d > 0 {
+				sum += d
+				reach++
+			}
+		}
+		if sum > 0 {
+			frac := float64(reach) / float64(n-1)
+			cent[u] = frac * float64(reach) / float64(sum)
+		}
+	}
+	return cent
+}
+
+// BetweennessCentrality computes exact shortest-path betweenness on the
+// undirected simple projection using Brandes' algorithm, normalized by
+// 2/((n-1)(n-2)) so values are comparable across graph sizes.
+func (g *Digraph) BetweennessCentrality() []float64 {
+	adj := g.undirectedSimple()
+	n := len(adj)
+	cent := make([]float64, n)
+	if n < 3 {
+		return cent
+	}
+	sigma := make([]float64, n)
+	dist := make([]int, n)
+	delta := make([]float64, n)
+	preds := make([][]int, n)
+	stack := make([]int, 0, n)
+	queue := make([]int, 0, n)
+
+	for s := 0; s < n; s++ {
+		stack = stack[:0]
+		queue = queue[:0]
+		for i := 0; i < n; i++ {
+			sigma[i] = 0
+			dist[i] = -1
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		sigma[s] = 1
+		dist[s] = 0
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, w := range adj[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				cent[w] += delta[w]
+			}
+		}
+	}
+	// Undirected: every pair was counted twice; normalize to [0,1].
+	norm := 1 / (float64(n-1) * float64(n-2))
+	for i := range cent {
+		cent[i] *= norm
+	}
+	return cent
+}
+
+// LoadCentrality computes Goh-style load centrality on the undirected
+// simple projection: a unit commodity is routed from every source to every
+// other node along shortest paths, splitting equally among the predecessors
+// at each branch, and each node accumulates the load passing through it.
+// Values are normalized by 2/((n-1)(n-2)) to match NetworkX.
+func (g *Digraph) LoadCentrality() []float64 {
+	adj := g.undirectedSimple()
+	n := len(adj)
+	cent := make([]float64, n)
+	if n < 3 {
+		return cent
+	}
+	for s := 0; s < n; s++ {
+		dist := bfsDistances(adj, s)
+		// Order nodes by decreasing distance from s.
+		order := make([]int, 0, n)
+		for v, d := range dist {
+			if d > 0 {
+				order = append(order, v)
+			}
+		}
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && dist[order[j]] > dist[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		load := make([]float64, n)
+		for v := range load {
+			if dist[v] > 0 {
+				load[v] = 1 // each node must receive one unit from s
+			}
+		}
+		for _, w := range order {
+			var preds []int
+			for _, v := range adj[w] {
+				if dist[v] >= 0 && dist[v] == dist[w]-1 {
+					preds = append(preds, v)
+				}
+			}
+			if len(preds) == 0 {
+				continue
+			}
+			share := load[w] / float64(len(preds))
+			for _, v := range preds {
+				if v != s {
+					cent[v] += share
+				}
+				load[v] += share
+			}
+		}
+	}
+	norm := 1 / (float64(n-1) * float64(n-2))
+	for i := range cent {
+		cent[i] *= norm
+	}
+	return cent
+}
+
+// PageRank computes PageRank with damping factor d over the directed simple
+// projection using power iteration (up to iters rounds, stopping early when
+// the L1 change drops below tol). Dangling mass is redistributed uniformly.
+func (g *Digraph) PageRank(d float64, iters int, tol float64) []float64 {
+	adj := g.directedSimple()
+	n := len(adj)
+	if n == 0 {
+		return nil
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	inv := 1 / float64(n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	for it := 0; it < iters; it++ {
+		dangling := 0.0
+		for u := range adj {
+			if len(adj[u]) == 0 {
+				dangling += rank[u]
+			}
+		}
+		base := (1-d)*inv + d*dangling*inv
+		for i := range next {
+			next[i] = base
+		}
+		for u, vs := range adj {
+			if len(vs) == 0 {
+				continue
+			}
+			share := d * rank[u] / float64(len(vs))
+			for _, v := range vs {
+				next[v] += share
+			}
+		}
+		diff := 0.0
+		for i := range rank {
+			delta := next[i] - rank[i]
+			if delta < 0 {
+				delta = -delta
+			}
+			diff += delta
+		}
+		rank, next = next, rank
+		if diff < tol {
+			break
+		}
+	}
+	return rank
+}
+
+// Mean is the arithmetic mean of xs, or zero when xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,98 @@
+package graph
+
+// ClusteringCoefficients returns the local clustering coefficient of every
+// node on the undirected simple projection: the fraction of pairs of a
+// node's neighbors that are themselves adjacent. Nodes with degree < 2
+// score zero.
+func (g *Digraph) ClusteringCoefficients() []float64 {
+	adj := g.undirectedSimple()
+	n := len(adj)
+	coeff := make([]float64, n)
+	isNbr := make([]bool, n)
+	for u := range adj {
+		k := len(adj[u])
+		if k < 2 {
+			continue
+		}
+		for _, v := range adj[u] {
+			isNbr[v] = true
+		}
+		links := 0
+		for _, v := range adj[u] {
+			for _, w := range adj[v] {
+				if w > v && isNbr[w] {
+					links++
+				}
+			}
+		}
+		for _, v := range adj[u] {
+			isNbr[v] = false
+		}
+		coeff[u] = 2 * float64(links) / (float64(k) * float64(k-1))
+	}
+	return coeff
+}
+
+// AvgClusteringCoefficient is the mean local clustering coefficient (f21).
+func (g *Digraph) AvgClusteringCoefficient() float64 {
+	return Mean(g.ClusteringCoefficients())
+}
+
+// AvgNeighborDegrees returns, for each node, the mean undirected simple
+// degree of its neighbors (f22). Isolated nodes score zero.
+func (g *Digraph) AvgNeighborDegrees() []float64 {
+	adj := g.undirectedSimple()
+	vals := make([]float64, len(adj))
+	for u := range adj {
+		if len(adj[u]) == 0 {
+			continue
+		}
+		sum := 0
+		for _, v := range adj[u] {
+			sum += len(adj[v])
+		}
+		vals[u] = float64(sum) / float64(len(adj[u]))
+	}
+	return vals
+}
+
+// AverageDegreeConnectivity returns the NetworkX-style map from degree k to
+// the average neighbor degree over all nodes of degree k, computed on the
+// undirected simple projection (f23).
+func (g *Digraph) AverageDegreeConnectivity() map[int]float64 {
+	adj := g.undirectedSimple()
+	sums := make(map[int]float64)
+	counts := make(map[int]int)
+	for u := range adj {
+		k := len(adj[u])
+		if k == 0 {
+			continue
+		}
+		sum := 0
+		for _, v := range adj[u] {
+			sum += len(adj[v])
+		}
+		sums[k] += float64(sum) / float64(k)
+		counts[k]++
+	}
+	out := make(map[int]float64, len(sums))
+	for k, s := range sums {
+		out[k] = s / float64(counts[k])
+	}
+	return out
+}
+
+// AvgDegreeConnectivity collapses AverageDegreeConnectivity to a scalar by
+// averaging the per-degree values, giving "average degree for connected
+// nodes" (f23) as a single feature.
+func (g *Digraph) AvgDegreeConnectivity() float64 {
+	m := g.AverageDegreeConnectivity()
+	if len(m) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum / float64(len(m))
+}

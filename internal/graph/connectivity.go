@@ -1,0 +1,157 @@
+package graph
+
+// NodeConnectivity is the minimum number of nodes whose removal disconnects
+// the undirected simple projection (or isolates a node), computed exactly
+// via vertex-split max-flow between a fixed source and every non-neighbor,
+// plus neighbor-of-source pairs — the standard exact algorithm. It returns
+// 0 for disconnected graphs and n-1 for complete graphs.
+func (g *Digraph) NodeConnectivity() int {
+	adj := g.undirectedSimple()
+	n := len(adj)
+	if n < 2 {
+		return 0
+	}
+	if !g.IsConnected() {
+		return 0
+	}
+	// Complete graph: connectivity is n-1 and no vertex cut exists.
+	complete := true
+	for u := range adj {
+		if len(adj[u]) != n-1 {
+			complete = false
+			break
+		}
+	}
+	if complete {
+		return n - 1
+	}
+	// Pick a minimum-degree node as the fixed endpoint.
+	s := 0
+	for u := range adj {
+		if len(adj[u]) < len(adj[s]) {
+			s = u
+		}
+	}
+	best := n // upper bound
+	isNbr := make([]bool, n)
+	for _, v := range adj[s] {
+		isNbr[v] = true
+	}
+	for t := 0; t < n; t++ {
+		if t == s || isNbr[t] {
+			continue
+		}
+		if k := localNodeConnectivity(adj, s, t); k < best {
+			best = k
+		}
+	}
+	// Also consider cuts separating neighbors of s from each other.
+	for _, v := range adj[s] {
+		vNbr := make(map[int]bool, len(adj[v]))
+		for _, w := range adj[v] {
+			vNbr[w] = true
+		}
+		for t := 0; t < n; t++ {
+			if t == v || t == s || vNbr[t] {
+				continue
+			}
+			if k := localNodeConnectivity(adj, v, t); k < best {
+				best = k
+			}
+		}
+	}
+	if best == n {
+		best = n - 1
+	}
+	return best
+}
+
+// localNodeConnectivity computes the maximum number of internally
+// node-disjoint paths between s and t via unit-capacity max-flow on the
+// vertex-split graph: node u becomes u_in (2u) and u_out (2u+1) joined by a
+// unit arc; each undirected edge {u,v} becomes arcs u_out->v_in and
+// v_out->u_in.
+func localNodeConnectivity(adj [][]int, s, t int) int {
+	n := len(adj)
+	nn := 2 * n
+	type arc struct {
+		to, rev int
+		cap     int
+	}
+	arcs := make([][]arc, nn)
+	addArc := func(u, v, c int) {
+		arcs[u] = append(arcs[u], arc{to: v, rev: len(arcs[v]), cap: c})
+		arcs[v] = append(arcs[v], arc{to: u, rev: len(arcs[u]) - 1, cap: 0})
+	}
+	inN := func(u int) int { return 2 * u }
+	outN := func(u int) int { return 2*u + 1 }
+	for u := 0; u < n; u++ {
+		c := 1
+		if u == s || u == t {
+			c = n // endpoints are not removable
+		}
+		addArc(inN(u), outN(u), c)
+		for _, v := range adj[u] {
+			addArc(outN(u), inN(v), n)
+		}
+	}
+	// Dinic's algorithm.
+	src, sink := outN(s), inN(t)
+	level := make([]int, nn)
+	iter := make([]int, nn)
+	queue := make([]int, 0, nn)
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[src] = 0
+		queue = queue[:0]
+		queue = append(queue, src)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range arcs[u] {
+				if a.cap > 0 && level[a.to] < 0 {
+					level[a.to] = level[u] + 1
+					queue = append(queue, a.to)
+				}
+			}
+		}
+		return level[sink] >= 0
+	}
+	var dfs func(u, f int) int
+	dfs = func(u, f int) int {
+		if u == sink {
+			return f
+		}
+		for ; iter[u] < len(arcs[u]); iter[u]++ {
+			a := &arcs[u][iter[u]]
+			if a.cap > 0 && level[a.to] == level[u]+1 {
+				got := f
+				if a.cap < got {
+					got = a.cap
+				}
+				if d := dfs(a.to, got); d > 0 {
+					a.cap -= d
+					arcs[a.to][a.rev].cap += d
+					return d
+				}
+			}
+		}
+		return 0
+	}
+	flow := 0
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := dfs(src, n)
+			if f == 0 {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow
+}

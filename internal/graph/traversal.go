@@ -1,0 +1,116 @@
+package graph
+
+// bfsDistances runs a breadth-first search over the given adjacency lists
+// starting at src and returns the distance to every node, with -1 marking
+// unreachable nodes.
+func bfsDistances(adj [][]int, src int) []int {
+	dist := make([]int, len(adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter is the longest shortest-path distance between any pair of nodes
+// in the undirected simple projection. For disconnected graphs it is the
+// maximum eccentricity over reachable pairs (the diameter of the largest
+// component by eccentricity), so it stays finite and comparable between
+// WCGs, which are frequently weakly connected but occasionally fragmented.
+func (g *Digraph) Diameter() int {
+	adj := g.undirectedSimple()
+	best := 0
+	for src := range adj {
+		for _, d := range bfsDistances(adj, src) {
+			if d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// ConnectedComponents returns the weakly connected components of the graph
+// as slices of node ids, largest first.
+func (g *Digraph) ConnectedComponents() [][]int {
+	adj := g.undirectedSimple()
+	seen := make([]bool, len(adj))
+	var comps [][]int
+	for s := range adj {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, v := range adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	for i := 1; i < len(comps); i++ {
+		for j := i; j > 0 && len(comps[j]) > len(comps[j-1]); j-- {
+			comps[j], comps[j-1] = comps[j-1], comps[j]
+		}
+	}
+	return comps
+}
+
+// IsConnected reports whether the undirected simple projection is a single
+// connected component. Graphs with fewer than two nodes are connected.
+func (g *Digraph) IsConnected() bool {
+	if len(g.out) < 2 {
+		return true
+	}
+	return len(g.ConnectedComponents()) == 1
+}
+
+// NodesWithinK returns, for each node, the number of other nodes whose
+// undirected shortest-path distance is at most k. This backs feature f24
+// (Avg-K-Nearest-Neighbors): "average number of nodes at k-nodes distance
+// from each node".
+func (g *Digraph) NodesWithinK(k int) []int {
+	adj := g.undirectedSimple()
+	counts := make([]int, len(adj))
+	for src := range adj {
+		for v, d := range bfsDistances(adj, src) {
+			if v != src && d > 0 && d <= k {
+				counts[src]++
+			}
+		}
+	}
+	return counts
+}
+
+// AvgNodesWithinK is the mean of NodesWithinK over all nodes; zero for the
+// empty graph.
+func (g *Digraph) AvgNodesWithinK(k int) float64 {
+	counts := g.NodesWithinK(k)
+	if len(counts) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	return float64(sum) / float64(len(counts))
+}

@@ -1,0 +1,96 @@
+package httpstream
+
+import (
+	"bytes"
+	"compress/flate"
+	"compress/gzip"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func gzipBytes(t *testing.T, s string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(s)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func deflateBytes(t *testing.T, s string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Write([]byte(s)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGzipResponseDecoded(t *testing.T) {
+	html := `<html><iframe src="http://exploit.evil.ru/gate"></iframe></html>`
+	gz := gzipBytes(t, html)
+	resp := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Encoding: gzip\r\nContent-Length: %d\r\n\r\n", len(gz))
+	c2s, s2c := buildConv("GET /p HTTP/1.1\r\nHost: landing.com\r\n\r\n", resp+string(gz))
+	txs := ExtractPair(c2s, s2c)
+	if len(txs) != 1 {
+		t.Fatalf("transactions = %d", len(txs))
+	}
+	if string(txs[0].Body) != html {
+		t.Fatalf("body not decoded: %q", txs[0].Body)
+	}
+	// BodySize stays the wire size.
+	if txs[0].BodySize != len(gz) {
+		t.Fatalf("body size = %d, want wire size %d", txs[0].BodySize, len(gz))
+	}
+}
+
+func TestDeflateResponseDecoded(t *testing.T) {
+	html := "<html>deflated content</html>"
+	fl := deflateBytes(t, html)
+	resp := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Encoding: deflate\r\nContent-Length: %d\r\n\r\n", len(fl))
+	c2s, s2c := buildConv("GET /p HTTP/1.1\r\nHost: a.com\r\n\r\n", resp+string(fl))
+	txs := ExtractPair(c2s, s2c)
+	if len(txs) != 1 || string(txs[0].Body) != html {
+		t.Fatalf("deflate not decoded: %q", txs[0].Body)
+	}
+}
+
+func TestCorruptGzipKeptRaw(t *testing.T) {
+	raw := "definitely-not-gzip"
+	resp := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Encoding: gzip\r\nContent-Length: %d\r\n\r\n%s", len(raw), raw)
+	c2s, s2c := buildConv("GET /p HTTP/1.1\r\nHost: a.com\r\n\r\n", resp)
+	txs := ExtractPair(c2s, s2c)
+	if len(txs) != 1 || string(txs[0].Body) != raw {
+		t.Fatalf("corrupt gzip must be kept raw: %q", txs[0].Body)
+	}
+}
+
+func TestDecodeContentIdentity(t *testing.T) {
+	body := []byte("plain")
+	if got := decodeContent(body, ""); !bytes.Equal(got, body) {
+		t.Fatal("identity encoding changed body")
+	}
+	if got := decodeContent(body, "br"); !bytes.Equal(got, body) {
+		t.Fatal("unknown encoding must keep body raw")
+	}
+}
+
+func TestDecodedBodyCapped(t *testing.T) {
+	huge := strings.Repeat("A", maxRetainedBody*3)
+	got := decodeContent(gzipBytes(t, huge), "gzip")
+	if len(got) > maxRetainedBody+1 {
+		t.Fatalf("decoded body not capped: %d", len(got))
+	}
+}

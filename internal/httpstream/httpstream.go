@@ -1,0 +1,332 @@
+// Package httpstream extracts paired HTTP/1.x transactions from
+// reassembled TCP streams. A Transaction is the unit the rest of DynaMiner
+// reasons about: the web conversation graph is built from transactions, and
+// the on-the-wire detector consumes a live transaction stream.
+package httpstream
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"dynaminer/internal/pcap"
+)
+
+// maxRetainedBody caps how much response body is kept on a Transaction.
+// DynaMiner is payload-agnostic, but the WCG construction stage sniffs
+// bodies for meta/JavaScript redirects, so a prefix is retained.
+const maxRetainedBody = 64 * 1024
+
+// Transaction is one HTTP request/response pair between a client and a
+// server, with the header and timing attributes the WCG annotations need.
+type Transaction struct {
+	ClientIP   netip.Addr
+	ServerIP   netip.Addr
+	ClientPort uint16
+	ServerPort uint16
+
+	Method      string
+	URI         string
+	Host        string
+	ReqHdr      http.Header
+	ReqTime     time.Time
+	ReqBodySize int // bytes uploaded with the request (exfiltration volume)
+
+	StatusCode  int
+	RespHdr     http.Header
+	RespTime    time.Time
+	ContentType string
+	BodySize    int
+	Body        []byte // response body prefix, at most maxRetainedBody bytes
+}
+
+// Referer returns the request Referer header ("" when absent).
+func (t *Transaction) Referer() string { return t.ReqHdr.Get("Referer") }
+
+// Location returns the response Location header ("" when absent).
+func (t *Transaction) Location() string { return t.RespHdr.Get("Location") }
+
+// UserAgent returns the request User-Agent header.
+func (t *Transaction) UserAgent() string { return t.ReqHdr.Get("User-Agent") }
+
+// DNT reports whether the client sent "DNT: 1".
+func (t *Transaction) DNT() bool { return t.ReqHdr.Get("DNT") == "1" }
+
+// XFlashVersion returns the x-flash-version request header value.
+func (t *Transaction) XFlashVersion() string { return t.ReqHdr.Get("X-Flash-Version") }
+
+// SessionID extracts a session identifier from cookies: the response
+// Set-Cookie wins, then the request Cookie header. Only the first
+// name=value pair is used, mirroring the session-URI heuristic the paper
+// cites for grouping transactions.
+func (t *Transaction) SessionID() string {
+	if sc := t.RespHdr.Get("Set-Cookie"); sc != "" {
+		return firstCookiePair(sc)
+	}
+	if c := t.ReqHdr.Get("Cookie"); c != "" {
+		return firstCookiePair(c)
+	}
+	return ""
+}
+
+func firstCookiePair(s string) string {
+	if i := strings.IndexByte(s, ';'); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+// URL reconstructs the absolute URL of the request.
+func (t *Transaction) URL() string {
+	host := t.Host
+	if host == "" {
+		host = t.ServerIP.String()
+	}
+	return "http://" + host + t.URI
+}
+
+// IsRedirect reports whether the response is a 3xx with a Location header.
+func (t *Transaction) IsRedirect() bool {
+	return t.StatusCode >= 300 && t.StatusCode < 400 && t.Location() != ""
+}
+
+// String renders a compact one-line summary, useful in logs and examples.
+func (t *Transaction) String() string {
+	return fmt.Sprintf("%s %s -> %d %s (%d bytes)", t.Method, t.URL(), t.StatusCode, t.ContentType, t.BodySize)
+}
+
+// countingReader tracks consumed bytes so message start offsets inside a
+// stream can be recovered despite bufio read-ahead.
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+type reqMsg struct {
+	req      *http.Request
+	offset   int
+	bodySize int
+}
+
+type respMsg struct {
+	resp     *http.Response
+	offset   int
+	body     []byte
+	bodySize int
+}
+
+// parseRequests parses consecutive HTTP requests from data, recording each
+// request's byte offset. Parsing stops at the first malformed message.
+func parseRequests(data []byte) []reqMsg {
+	cr := &countingReader{r: bytes.NewReader(data)}
+	br := bufio.NewReader(cr)
+	var out []reqMsg
+	for {
+		offset := cr.n - br.Buffered()
+		req, err := http.ReadRequest(br)
+		if err != nil {
+			return out
+		}
+		// Drain the request body, keeping only its size: uploaded bytes are
+		// the exfiltration volume of post-infection dialogues.
+		n, err := io.Copy(io.Discard, req.Body)
+		_ = req.Body.Close()
+		out = append(out, reqMsg{req: req, offset: offset, bodySize: int(n)})
+		if err != nil {
+			return out
+		}
+	}
+}
+
+// parseResponses parses consecutive HTTP responses from data. Each response
+// is matched positionally against the request list so HEAD and status-only
+// semantics resolve correctly.
+func parseResponses(data []byte, reqs []reqMsg) []respMsg {
+	cr := &countingReader{r: bytes.NewReader(data)}
+	br := bufio.NewReader(cr)
+	var out []respMsg
+	for i := 0; ; i++ {
+		offset := cr.n - br.Buffered()
+		var req *http.Request
+		if i < len(reqs) {
+			req = reqs[i].req
+		}
+		resp, err := http.ReadResponse(br, req)
+		if err != nil {
+			return out
+		}
+		body, bodyErr := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		size := len(body)
+		body = decodeContent(body, resp.Header.Get("Content-Encoding"))
+		if len(body) > maxRetainedBody {
+			body = body[:maxRetainedBody]
+		}
+		out = append(out, respMsg{resp: resp, offset: offset, body: body, bodySize: size})
+		if bodyErr != nil {
+			// Truncated body (capture cut mid-transfer): keep the prefix, stop.
+			return out
+		}
+	}
+}
+
+// decodeContent undoes gzip/deflate content encodings so redirect sniffing
+// sees plaintext. The reported payload size stays the on-the-wire size;
+// only the retained body is decoded. Undecodable bodies are kept raw.
+func decodeContent(body []byte, encoding string) []byte {
+	switch strings.ToLower(strings.TrimSpace(encoding)) {
+	case "gzip", "x-gzip":
+		zr, err := gzip.NewReader(bytes.NewReader(body))
+		if err != nil {
+			return body
+		}
+		defer zr.Close()
+		plain, err := io.ReadAll(io.LimitReader(zr, maxRetainedBody+1))
+		if err != nil && len(plain) == 0 {
+			return body
+		}
+		return plain
+	case "deflate":
+		fr := flate.NewReader(bytes.NewReader(body))
+		defer fr.Close()
+		plain, err := io.ReadAll(io.LimitReader(fr, maxRetainedBody+1))
+		if err != nil && len(plain) == 0 {
+			return body
+		}
+		return plain
+	default:
+		return body
+	}
+}
+
+// ExtractPair parses the two directions of one TCP conversation into
+// transactions. c2s must be the client-to-server stream; s2c may be nil for
+// a capture that recorded only requests. Unmatched requests keep a zero
+// StatusCode.
+func ExtractPair(c2s, s2c *pcap.Stream) []Transaction {
+	reqs := parseRequests(c2s.Data)
+	var resps []respMsg
+	if s2c != nil {
+		resps = parseResponses(s2c.Data, reqs)
+	}
+	n := len(resps)
+	out := make([]Transaction, 0, len(reqs))
+	for i, rm := range reqs {
+		tx := Transaction{
+			ClientIP:    c2s.Key.SrcIP,
+			ServerIP:    c2s.Key.DstIP,
+			ClientPort:  c2s.Key.SrcPort,
+			ServerPort:  c2s.Key.DstPort,
+			Method:      rm.req.Method,
+			URI:         rm.req.URL.RequestURI(),
+			Host:        rm.req.Host,
+			ReqHdr:      rm.req.Header,
+			ReqTime:     c2s.TimeAt(rm.offset),
+			ReqBodySize: rm.bodySize,
+		}
+		if i < n {
+			pm := resps[i]
+			tx.StatusCode = pm.resp.StatusCode
+			tx.RespHdr = pm.resp.Header
+			tx.RespTime = s2c.TimeAt(pm.offset)
+			tx.ContentType = pm.resp.Header.Get("Content-Type")
+			tx.BodySize = pm.bodySize
+			tx.Body = pm.body
+		} else {
+			tx.RespHdr = http.Header{}
+		}
+		out = append(out, tx)
+	}
+	return out
+}
+
+type convKey struct {
+	aIP, bIP     netip.Addr
+	aPort, bPort uint16
+}
+
+func canonicalConvKey(k pcap.FlowKey) convKey {
+	if c := k.SrcIP.Compare(k.DstIP); c < 0 || (c == 0 && k.SrcPort <= k.DstPort) {
+		return convKey{aIP: k.SrcIP, bIP: k.DstIP, aPort: k.SrcPort, bPort: k.DstPort}
+	}
+	return convKey{aIP: k.DstIP, bIP: k.SrcIP, aPort: k.DstPort, bPort: k.SrcPort}
+}
+
+// ExtractAll pairs the directions of every conversation in streams and
+// returns all transactions sorted by request time. The client side of a
+// conversation is recognized by its bytes starting with an HTTP method; if
+// both or neither direction qualifies, the direction targeting the lower
+// port is assumed to be client-to-server (clients use ephemeral high
+// ports).
+func ExtractAll(streams []*pcap.Stream) []Transaction {
+	groups := make(map[convKey][]*pcap.Stream)
+	var order []convKey
+	for _, s := range streams {
+		k := canonicalConvKey(s.Key)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], s)
+	}
+	var all []Transaction
+	for _, k := range order {
+		ss := groups[k]
+		var c2s, s2c *pcap.Stream
+		if len(ss) == 1 {
+			if looksLikeRequest(ss[0].Data) {
+				c2s = ss[0]
+			}
+		} else {
+			a, b := ss[0], ss[1]
+			aReq, bReq := looksLikeRequest(a.Data), looksLikeRequest(b.Data)
+			switch {
+			case aReq && !bReq:
+				c2s, s2c = a, b
+			case bReq && !aReq:
+				c2s, s2c = b, a
+			case a.Key.DstPort < a.Key.SrcPort:
+				c2s, s2c = a, b
+			default:
+				c2s, s2c = b, a
+			}
+		}
+		if c2s == nil {
+			continue
+		}
+		all = append(all, ExtractPair(c2s, s2c)...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].ReqTime.Before(all[j].ReqTime) })
+	return all
+}
+
+var methodPrefixes = []string{"GET ", "POST ", "HEAD ", "PUT ", "DELETE ", "OPTIONS ", "PATCH ", "TRACE ", "CONNECT "}
+
+// looksLikeRequest reports whether data starts with an HTTP method token.
+func looksLikeRequest(data []byte) bool {
+	for _, m := range methodPrefixes {
+		if bytes.HasPrefix(data, []byte(m)) {
+			return true
+		}
+	}
+	return false
+}
+
+// FromPackets is the end-to-end convenience: decode packets, reassemble
+// TCP, and extract every HTTP transaction in the capture.
+func FromPackets(pkts []pcap.Packet) []Transaction {
+	return ExtractAll(pcap.AssembleStreams(pkts))
+}

@@ -1,0 +1,314 @@
+package httpstream
+
+import (
+	"fmt"
+	"net/http"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"dynaminer/internal/pcap"
+)
+
+var (
+	clientIP = netip.MustParseAddr("10.0.0.5")
+	serverIP = netip.MustParseAddr("203.0.113.80")
+	baseTime = time.Date(2016, 7, 10, 14, 0, 0, 0, time.UTC)
+)
+
+func mkStream(src, dst netip.Addr, sp, dp uint16, data string) *pcap.Stream {
+	conv := pcap.Conversation{
+		ClientIP:   src,
+		ServerIP:   dst,
+		ClientPort: sp,
+		ServerPort: dp,
+		Exchanges: []pcap.Exchange{
+			{ClientToServer: true, Payload: []byte(data), Timestamp: baseTime},
+		},
+	}
+	pkts, err := pcap.BuildConversation(conv)
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range pcap.AssembleStreams(pkts) {
+		if s.Key.SrcIP == src && s.Key.SrcPort == sp {
+			return s
+		}
+	}
+	panic("stream not found")
+}
+
+// buildConv renders alternating request/response payload strings into a
+// full conversation and returns the reassembled streams.
+func buildConv(reqData, respData string) (c2s, s2c *pcap.Stream) {
+	conv := pcap.Conversation{
+		ClientIP:   clientIP,
+		ServerIP:   serverIP,
+		ClientPort: 49200,
+		ServerPort: 80,
+		Exchanges: []pcap.Exchange{
+			{ClientToServer: true, Payload: []byte(reqData), Timestamp: baseTime},
+			{ClientToServer: false, Payload: []byte(respData), Timestamp: baseTime.Add(40 * time.Millisecond)},
+		},
+	}
+	pkts, err := pcap.BuildConversation(conv)
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range pcap.AssembleStreams(pkts) {
+		if s.Key.DstPort == 80 {
+			c2s = s
+		} else {
+			s2c = s
+		}
+	}
+	return c2s, s2c
+}
+
+const simpleGet = "GET /index.html HTTP/1.1\r\n" +
+	"Host: example.com\r\n" +
+	"Referer: http://bing.com/search?q=x\r\n" +
+	"User-Agent: MSIE8.0\r\n" +
+	"DNT: 1\r\n" +
+	"X-Flash-Version: 18,0,0,232\r\n" +
+	"Cookie: sid=abc123; theme=dark\r\n" +
+	"\r\n"
+
+const simpleResp = "HTTP/1.1 200 OK\r\n" +
+	"Content-Type: text/html\r\n" +
+	"Content-Length: 12\r\n" +
+	"Set-Cookie: sid=abc123; Path=/\r\n" +
+	"\r\n" +
+	"<html></html"
+
+func TestExtractPairBasic(t *testing.T) {
+	c2s, s2c := buildConv(simpleGet, simpleResp)
+	txs := ExtractPair(c2s, s2c)
+	if len(txs) != 1 {
+		t.Fatalf("transactions = %d, want 1", len(txs))
+	}
+	tx := txs[0]
+	if tx.Method != "GET" || tx.URI != "/index.html" || tx.Host != "example.com" {
+		t.Fatalf("request fields wrong: %+v", tx)
+	}
+	if tx.StatusCode != 200 || tx.ContentType != "text/html" || tx.BodySize != 12 {
+		t.Fatalf("response fields wrong: code=%d ct=%q size=%d", tx.StatusCode, tx.ContentType, tx.BodySize)
+	}
+	if tx.Referer() != "http://bing.com/search?q=x" {
+		t.Fatalf("referer = %q", tx.Referer())
+	}
+	if !tx.DNT() {
+		t.Fatal("DNT must be true")
+	}
+	if tx.XFlashVersion() != "18,0,0,232" {
+		t.Fatalf("x-flash-version = %q", tx.XFlashVersion())
+	}
+	if tx.SessionID() != "sid=abc123" {
+		t.Fatalf("session id = %q", tx.SessionID())
+	}
+	if tx.UserAgent() != "MSIE8.0" {
+		t.Fatalf("user agent = %q", tx.UserAgent())
+	}
+	if tx.URL() != "http://example.com/index.html" {
+		t.Fatalf("url = %q", tx.URL())
+	}
+	if tx.RespTime.Before(tx.ReqTime) {
+		t.Fatal("response time precedes request time")
+	}
+	if tx.IsRedirect() {
+		t.Fatal("200 is not a redirect")
+	}
+}
+
+func TestSessionIDFallsBackToRequestCookie(t *testing.T) {
+	tx := Transaction{
+		ReqHdr:  http.Header{"Cookie": {"u=9; x=1"}},
+		RespHdr: http.Header{},
+	}
+	if tx.SessionID() != "u=9" {
+		t.Fatalf("session id = %q", tx.SessionID())
+	}
+	tx2 := Transaction{ReqHdr: http.Header{}, RespHdr: http.Header{}}
+	if tx2.SessionID() != "" {
+		t.Fatal("empty headers must give empty session id")
+	}
+}
+
+func TestPipelinedTransactions(t *testing.T) {
+	reqs := "GET /a HTTP/1.1\r\nHost: h1.com\r\n\r\n" +
+		"POST /b HTTP/1.1\r\nHost: h1.com\r\nContent-Length: 3\r\n\r\nxyz" +
+		"GET /c HTTP/1.1\r\nHost: h1.com\r\n\r\n"
+	resps := "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok" +
+		"HTTP/1.1 302 Found\r\nLocation: http://h2.com/l\r\nContent-Length: 0\r\n\r\n" +
+		"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"
+	c2s, s2c := buildConv(reqs, resps)
+	txs := ExtractPair(c2s, s2c)
+	if len(txs) != 3 {
+		t.Fatalf("transactions = %d, want 3", len(txs))
+	}
+	if txs[0].StatusCode != 200 || txs[1].StatusCode != 302 || txs[2].StatusCode != 404 {
+		t.Fatalf("status codes: %d %d %d", txs[0].StatusCode, txs[1].StatusCode, txs[2].StatusCode)
+	}
+	if txs[1].Method != "POST" {
+		t.Fatalf("method[1] = %q", txs[1].Method)
+	}
+	if !txs[1].IsRedirect() || txs[1].Location() != "http://h2.com/l" {
+		t.Fatalf("redirect detection failed: %+v", txs[1])
+	}
+}
+
+func TestChunkedResponse(t *testing.T) {
+	resp := "HTTP/1.1 200 OK\r\n" +
+		"Content-Type: application/x-shockwave-flash\r\n" +
+		"Transfer-Encoding: chunked\r\n\r\n" +
+		"5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n"
+	c2s, s2c := buildConv("GET /f.swf HTTP/1.1\r\nHost: ek.com\r\n\r\n", resp)
+	txs := ExtractPair(c2s, s2c)
+	if len(txs) != 1 {
+		t.Fatalf("transactions = %d", len(txs))
+	}
+	if txs[0].BodySize != 11 || string(txs[0].Body) != "hello world" {
+		t.Fatalf("chunked body: size=%d body=%q", txs[0].BodySize, txs[0].Body)
+	}
+}
+
+func TestRequestWithoutResponse(t *testing.T) {
+	c2s := mkStream(clientIP, serverIP, 49300, 80, "GET /x HTTP/1.1\r\nHost: a.com\r\n\r\n")
+	txs := ExtractPair(c2s, nil)
+	if len(txs) != 1 {
+		t.Fatalf("transactions = %d, want 1", len(txs))
+	}
+	if txs[0].StatusCode != 0 {
+		t.Fatalf("status = %d, want 0 for missing response", txs[0].StatusCode)
+	}
+}
+
+func TestMalformedRequestStopsParsing(t *testing.T) {
+	data := "GET /ok HTTP/1.1\r\nHost: a.com\r\n\r\nNOT-HTTP GARBAGE"
+	c2s := mkStream(clientIP, serverIP, 49301, 80, data)
+	txs := ExtractPair(c2s, nil)
+	if len(txs) != 1 {
+		t.Fatalf("transactions = %d, want 1 (garbage must stop parsing)", len(txs))
+	}
+}
+
+func TestTruncatedResponseBodyKept(t *testing.T) {
+	// Content-Length promises 100 bytes but only 10 arrive.
+	resp := "HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\n0123456789"
+	c2s, s2c := buildConv("GET /t HTTP/1.1\r\nHost: a.com\r\n\r\n", resp)
+	txs := ExtractPair(c2s, s2c)
+	if len(txs) != 1 {
+		t.Fatalf("transactions = %d, want 1", len(txs))
+	}
+	if txs[0].BodySize != 10 {
+		t.Fatalf("truncated body size = %d, want 10", txs[0].BodySize)
+	}
+}
+
+func TestExtractAllEndToEnd(t *testing.T) {
+	var convs []pcap.Conversation
+	for i := 0; i < 3; i++ {
+		req := fmt.Sprintf("GET /page%d HTTP/1.1\r\nHost: site%d.com\r\n\r\n", i, i)
+		resp := "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi"
+		convs = append(convs, pcap.Conversation{
+			ClientIP:   clientIP,
+			ServerIP:   netip.MustParseAddr(fmt.Sprintf("203.0.113.%d", 10+i)),
+			ClientPort: uint16(49400 + i),
+			ServerPort: 80,
+			Exchanges: []pcap.Exchange{
+				{ClientToServer: true, Payload: []byte(req), Timestamp: baseTime.Add(time.Duration(2-i) * time.Second)},
+				{ClientToServer: false, Payload: []byte(resp), Timestamp: baseTime.Add(time.Duration(2-i)*time.Second + 50*time.Millisecond)},
+			},
+		})
+	}
+	var pkts []pcap.Packet
+	for _, c := range convs {
+		p, err := pcap.BuildConversation(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts = append(pkts, p...)
+	}
+	txs := FromPackets(pkts)
+	if len(txs) != 3 {
+		t.Fatalf("transactions = %d, want 3", len(txs))
+	}
+	// Sorted by request time: conversation order is reversed.
+	if txs[0].Host != "site2.com" || txs[2].Host != "site0.com" {
+		t.Fatalf("not time-sorted: %s .. %s", txs[0].Host, txs[2].Host)
+	}
+}
+
+func TestLooksLikeRequest(t *testing.T) {
+	if !looksLikeRequest([]byte("POST /x HTTP/1.1\r\n")) {
+		t.Fatal("POST must look like a request")
+	}
+	if looksLikeRequest([]byte("HTTP/1.1 200 OK\r\n")) {
+		t.Fatal("response must not look like a request")
+	}
+}
+
+func TestTransactionString(t *testing.T) {
+	tx := Transaction{
+		Method: "GET", Host: "a.com", URI: "/x",
+		StatusCode: 200, ContentType: "text/html", BodySize: 5,
+		ReqHdr: http.Header{}, RespHdr: http.Header{},
+	}
+	s := tx.String()
+	if !strings.Contains(s, "GET http://a.com/x") || !strings.Contains(s, "200") {
+		t.Fatalf("string = %q", s)
+	}
+}
+
+func TestLargeBodyCapped(t *testing.T) {
+	body := strings.Repeat("A", maxRetainedBody+5000)
+	resp := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
+	c2s, s2c := buildConv("GET /big HTTP/1.1\r\nHost: a.com\r\n\r\n", resp)
+	txs := ExtractPair(c2s, s2c)
+	if len(txs) != 1 {
+		t.Fatalf("transactions = %d", len(txs))
+	}
+	if txs[0].BodySize != len(body) {
+		t.Fatalf("body size = %d, want %d", txs[0].BodySize, len(body))
+	}
+	if len(txs[0].Body) != maxRetainedBody {
+		t.Fatalf("retained body = %d, want cap %d", len(txs[0].Body), maxRetainedBody)
+	}
+}
+
+func TestHTTP10CloseDelimitedResponse(t *testing.T) {
+	// HTTP/1.0 without Content-Length: the body runs to connection close.
+	resp := "HTTP/1.0 200 OK\r\nContent-Type: text/html\r\n\r\n<html>old school</html>"
+	c2s, s2c := buildConv("GET /legacy HTTP/1.0\r\nHost: old.com\r\n\r\n", resp)
+	txs := ExtractPair(c2s, s2c)
+	if len(txs) != 1 {
+		t.Fatalf("transactions = %d, want 1", len(txs))
+	}
+	if string(txs[0].Body) != "<html>old school</html>" {
+		t.Fatalf("body = %q", txs[0].Body)
+	}
+	if txs[0].BodySize != len("<html>old school</html>") {
+		t.Fatalf("size = %d", txs[0].BodySize)
+	}
+}
+
+func TestHeadRequestNoBodyConfusion(t *testing.T) {
+	// HEAD responses carry headers but no body; the next response must
+	// still parse correctly thanks to positional request matching.
+	reqs := "HEAD /a HTTP/1.1\r\nHost: h.com\r\n\r\n" +
+		"GET /b HTTP/1.1\r\nHost: h.com\r\n\r\n"
+	resps := "HTTP/1.1 200 OK\r\nContent-Length: 999\r\nContent-Type: text/html\r\n\r\n" +
+		"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok"
+	c2s, s2c := buildConv(reqs, resps)
+	txs := ExtractPair(c2s, s2c)
+	if len(txs) != 2 {
+		t.Fatalf("transactions = %d, want 2", len(txs))
+	}
+	if txs[0].Method != "HEAD" || txs[0].BodySize != 0 {
+		t.Fatalf("HEAD tx = %+v", txs[0])
+	}
+	if string(txs[1].Body) != "ok" {
+		t.Fatalf("second body = %q", txs[1].Body)
+	}
+}

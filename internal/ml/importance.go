@@ -1,0 +1,136 @@
+package ml
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// trainTreeWithImportance grows a CART tree while accumulating each
+// feature's mean-decrease-in-impurity contribution into imp (weighted Gini
+// gain, normalized by the root sample count).
+func trainTreeWithImportance(ds *Dataset, cfg TreeConfig, rng *rand.Rand, imp []float64) *Tree {
+	cfg = cfg.withDefaults()
+	t := &Tree{cfg: cfg}
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = growTracked(ds, idx, cfg, rng, 0, imp, ds.Len())
+	return t
+}
+
+// growTracked mirrors grow but records impurity decreases. The two are
+// kept separate so the hot training path stays allocation-lean when
+// importances are not requested.
+func growTracked(ds *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand, depth int, imp []float64, rootN int) *treeNode {
+	counts := classCounts(ds, idx)
+	total := len(idx)
+	pure := counts[0] == total || counts[1] == total
+	if pure || total < 2*cfg.MinSamplesLeaf || (cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) {
+		return makeLeaf(counts, total)
+	}
+	feature, threshold, gain := bestSplit(ds, idx, counts, cfg, rng)
+	if feature < 0 {
+		return makeLeaf(counts, total)
+	}
+	var left, right []int
+	for _, j := range idx {
+		if ds.X[j][feature] <= threshold {
+			left = append(left, j)
+		} else {
+			right = append(right, j)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return makeLeaf(counts, total)
+	}
+	if imp != nil {
+		imp[feature] += gain * float64(total) / float64(rootN)
+	}
+	return &treeNode{
+		feature:   feature,
+		threshold: threshold,
+		left:      growTracked(ds, left, cfg, rng, depth+1, imp, rootN),
+		right:     growTracked(ds, right, cfg, rng, depth+1, imp, rootN),
+	}
+}
+
+// bestSplit finds the Gini-optimal (feature, threshold) over a feature
+// subsample; it returns feature -1 when no split improves purity.
+func bestSplit(ds *Dataset, idx []int, counts [numClasses]int, cfg TreeConfig, rng *rand.Rand) (feature int, threshold, gain float64) {
+	total := len(idx)
+	parentGini := gini(counts, total)
+	candidates := featureSample(ds.NumFeatures(), cfg.MaxFeatures, rng)
+	feature = -1
+
+	type vl struct {
+		v float64
+		y int
+	}
+	buf := make([]vl, total)
+	for _, f := range candidates {
+		for i, j := range idx {
+			buf[i] = vl{v: ds.X[j][f], y: ds.Y[j]}
+		}
+		sort.Slice(buf, func(a, b int) bool { return buf[a].v < buf[b].v })
+		var leftCounts [numClasses]int
+		for i := 0; i+1 < total; i++ {
+			leftCounts[buf[i].y]++
+			if buf[i].v == buf[i+1].v {
+				continue
+			}
+			nl, nr := i+1, total-i-1
+			if nl < cfg.MinSamplesLeaf || nr < cfg.MinSamplesLeaf {
+				continue
+			}
+			var rightCounts [numClasses]int
+			rightCounts[0] = counts[0] - leftCounts[0]
+			rightCounts[1] = counts[1] - leftCounts[1]
+			g := parentGini -
+				(float64(nl)*gini(leftCounts, nl)+float64(nr)*gini(rightCounts, nr))/float64(total)
+			if g > gain {
+				gain = g
+				feature = f
+				threshold = (buf[i].v + buf[i+1].v) / 2
+			}
+		}
+	}
+	return feature, threshold, gain
+}
+
+// FeatureImportances retrains the ensemble's structure over ds and returns
+// the per-feature mean decrease in impurity, normalized to sum to 1.
+// Deterministic for a fixed config and dataset.
+func FeatureImportances(ds *Dataset, cfg ForestConfig) ([]float64, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NumTrees <= 0 {
+		cfg.NumTrees = 20
+	}
+	maxF := cfg.MaxFeatures
+	if maxF <= 0 {
+		maxF = LogMaxFeatures(ds.NumFeatures())
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	imp := make([]float64, ds.NumFeatures())
+	treeCfg := TreeConfig{
+		MaxFeatures:    maxF,
+		MinSamplesLeaf: cfg.MinSamplesLeaf,
+		MaxDepth:       cfg.MaxDepth,
+	}
+	for i := 0; i < cfg.NumTrees; i++ {
+		sample := ds.Subset(bootstrap(ds.Len(), rng))
+		trainTreeWithImportance(sample, treeCfg, rng, imp)
+	}
+	sum := 0.0
+	for _, v := range imp {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range imp {
+			imp[i] /= sum
+		}
+	}
+	return imp, nil
+}

@@ -1,0 +1,104 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Wire formats for persisting a trained forest. Node is flattened into a
+// preorder array so the JSON stays compact and version-checkable.
+type forestWire struct {
+	Version  int          `json:"version"`
+	Features int          `json:"features"`
+	Config   ForestConfig `json:"config"`
+	Trees    []treeWire   `json:"trees"`
+}
+
+type treeWire struct {
+	Nodes []nodeWire `json:"nodes"`
+}
+
+type nodeWire struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t"`
+	Leaf      bool    `json:"leaf,omitempty"`
+	P0        float64 `json:"p0,omitempty"`
+	P1        float64 `json:"p1,omitempty"`
+}
+
+const forestWireVersion = 1
+
+// Save serializes the trained forest as JSON.
+func (f *Forest) Save(w io.Writer) error {
+	wire := forestWire{Version: forestWireVersion, Features: f.nf, Config: f.cfg}
+	for _, t := range f.trees {
+		var tw treeWire
+		flattenTree(t.root, &tw.Nodes)
+		wire.Trees = append(wire.Trees, tw)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(wire); err != nil {
+		return fmt.Errorf("ml: save forest: %w", err)
+	}
+	return nil
+}
+
+func flattenTree(n *treeNode, out *[]nodeWire) {
+	if n.leaf {
+		*out = append(*out, nodeWire{Leaf: true, P0: n.probs[0], P1: n.probs[1]})
+		return
+	}
+	*out = append(*out, nodeWire{Feature: n.feature, Threshold: n.threshold})
+	flattenTree(n.left, out)
+	flattenTree(n.right, out)
+}
+
+// LoadForest deserializes a forest previously written by Save.
+func LoadForest(r io.Reader) (*Forest, error) {
+	var wire forestWire
+	if err := json.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("ml: load forest: %w", err)
+	}
+	if wire.Version != forestWireVersion {
+		return nil, fmt.Errorf("ml: unsupported forest version %d", wire.Version)
+	}
+	if len(wire.Trees) == 0 {
+		return nil, fmt.Errorf("ml: forest file has no trees")
+	}
+	f := &Forest{cfg: wire.Config, nf: wire.Features}
+	for ti, tw := range wire.Trees {
+		pos := 0
+		root, err := unflattenTree(tw.Nodes, &pos)
+		if err != nil {
+			return nil, fmt.Errorf("ml: tree %d: %w", ti, err)
+		}
+		if pos != len(tw.Nodes) {
+			return nil, fmt.Errorf("ml: tree %d: %d trailing nodes", ti, len(tw.Nodes)-pos)
+		}
+		f.trees = append(f.trees, &Tree{root: root})
+	}
+	return f, nil
+}
+
+func unflattenTree(nodes []nodeWire, pos *int) (*treeNode, error) {
+	if *pos >= len(nodes) {
+		return nil, fmt.Errorf("truncated node stream at %d", *pos)
+	}
+	nw := nodes[*pos]
+	*pos++
+	if nw.Leaf {
+		n := &treeNode{leaf: true}
+		n.probs[0], n.probs[1] = nw.P0, nw.P1
+		return n, nil
+	}
+	left, err := unflattenTree(nodes, pos)
+	if err != nil {
+		return nil, err
+	}
+	right, err := unflattenTree(nodes, pos)
+	if err != nil {
+		return nil, err
+	}
+	return &treeNode{feature: nw.Feature, threshold: nw.Threshold, left: left, right: right}, nil
+}

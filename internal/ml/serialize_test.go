@@ -1,0 +1,81 @@
+package ml
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestForestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	ds := gaussDataset(200, 6, 3, 1.5, rng)
+	f, err := TrainForest(ds, ForestConfig{NumTrees: 7, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTrees() != f.NumTrees() {
+		t.Fatalf("trees = %d, want %d", g.NumTrees(), f.NumTrees())
+	}
+	for i := 0; i < 100; i++ {
+		x := make([]float64, 6)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 2
+		}
+		if f.Score(x) != g.Score(x) {
+			t.Fatalf("scores differ on probe %d", i)
+		}
+	}
+}
+
+func TestLoadForestErrors(t *testing.T) {
+	if _, err := LoadForest(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage must error")
+	}
+	if _, err := LoadForest(strings.NewReader(`{"version":99,"trees":[{"nodes":[]}]}`)); err == nil {
+		t.Fatal("bad version must error")
+	}
+	if _, err := LoadForest(strings.NewReader(`{"version":1,"trees":[]}`)); err == nil {
+		t.Fatal("empty forest must error")
+	}
+	// Truncated node stream.
+	if _, err := LoadForest(strings.NewReader(`{"version":1,"trees":[{"nodes":[{"f":0,"t":1}]}]}`)); err == nil {
+		t.Fatal("truncated tree must error")
+	}
+	// Trailing nodes.
+	trailing := `{"version":1,"trees":[{"nodes":[{"leaf":true,"p0":1},{"leaf":true,"p1":1}]}]}`
+	if _, err := LoadForest(strings.NewReader(trailing)); err == nil {
+		t.Fatal("trailing nodes must error")
+	}
+}
+
+func TestSaveLoadPreservesFeatureCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	ds := gaussDataset(60, 9, 3, 2.0, rng)
+	f, err := TrainForest(ds, ForestConfig{NumTrees: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumFeatures() != 9 {
+		t.Fatalf("trained NumFeatures = %d", f.NumFeatures())
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumFeatures() != 9 {
+		t.Fatalf("loaded NumFeatures = %d", g.NumFeatures())
+	}
+}

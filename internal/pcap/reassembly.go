@@ -1,0 +1,147 @@
+package pcap
+
+import (
+	"sort"
+	"time"
+)
+
+// Stream is one direction of a reassembled TCP conversation: a contiguous
+// byte stream plus enough timing information to attribute byte offsets back
+// to capture timestamps.
+type Stream struct {
+	Key       FlowKey
+	Data      []byte
+	FirstSeen time.Time
+	LastSeen  time.Time
+
+	marks []streamMark
+}
+
+type streamMark struct {
+	offset int
+	ts     time.Time
+}
+
+// TimeAt returns the capture timestamp of the segment containing byte
+// offset off, falling back to FirstSeen for out-of-range offsets.
+func (s *Stream) TimeAt(off int) time.Time {
+	if len(s.marks) == 0 {
+		return s.FirstSeen
+	}
+	idx := sort.Search(len(s.marks), func(i int) bool { return s.marks[i].offset > off }) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s.marks[idx].ts
+}
+
+// segment is a raw TCP payload pending reassembly.
+type segment struct {
+	relSeq  int64 // sequence relative to the ISN
+	payload []byte
+	ts      time.Time
+}
+
+type flowState struct {
+	key    FlowKey
+	isn    uint32
+	sawISN bool
+	segs   []segment
+}
+
+// Assembler reconstructs per-direction TCP byte streams from frames fed in
+// capture order. It tolerates out-of-order delivery, retransmissions, and
+// overlapping segments (first copy wins). It does not track TCP state
+// machines beyond the ISN: synthetic and well-formed captures are the
+// target, mirroring the paper's use of pre-recorded traces.
+type Assembler struct {
+	flows map[FlowKey]*flowState
+	order []FlowKey // insertion order for deterministic output
+}
+
+// NewAssembler returns an empty Assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{flows: make(map[FlowKey]*flowState)}
+}
+
+// Feed ingests one decoded frame with its capture timestamp.
+func (a *Assembler) Feed(f *Frame, ts time.Time) {
+	key := f.Key()
+	st, ok := a.flows[key]
+	if !ok {
+		st = &flowState{key: key}
+		a.flows[key] = st
+		a.order = append(a.order, key)
+	}
+	if f.Flags&FlagSYN != 0 && !st.sawISN {
+		st.isn = f.Seq + 1 // data begins after SYN consumes one sequence number
+		st.sawISN = true
+	}
+	if len(f.Payload) == 0 {
+		return
+	}
+	if !st.sawISN {
+		// Mid-stream capture: treat the first data seq as the origin.
+		st.isn = f.Seq
+		st.sawISN = true
+	}
+	rel := int64(int32(f.Seq - st.isn)) // handles 32-bit wraparound locally
+	payload := make([]byte, len(f.Payload))
+	copy(payload, f.Payload)
+	st.segs = append(st.segs, segment{relSeq: rel, payload: payload, ts: ts})
+}
+
+// Streams finalizes reassembly and returns one Stream per flow direction in
+// first-seen order. Gaps in the sequence space are skipped (the stream
+// continues at the next available segment), matching what offline forensic
+// tooling does with lossy captures.
+func (a *Assembler) Streams() []*Stream {
+	out := make([]*Stream, 0, len(a.order))
+	for _, key := range a.order {
+		st := a.flows[key]
+		if len(st.segs) == 0 {
+			continue
+		}
+		segs := make([]segment, len(st.segs))
+		copy(segs, st.segs)
+		sort.SliceStable(segs, func(i, j int) bool { return segs[i].relSeq < segs[j].relSeq })
+
+		stream := &Stream{Key: key, FirstSeen: segs[0].ts, LastSeen: segs[0].ts}
+		var nextSeq int64 = segs[0].relSeq
+		for _, seg := range segs {
+			if seg.ts.Before(stream.FirstSeen) {
+				stream.FirstSeen = seg.ts
+			}
+			if seg.ts.After(stream.LastSeen) {
+				stream.LastSeen = seg.ts
+			}
+			end := seg.relSeq + int64(len(seg.payload))
+			if end <= nextSeq {
+				continue // full retransmission
+			}
+			data := seg.payload
+			if seg.relSeq < nextSeq {
+				data = data[nextSeq-seg.relSeq:] // partial overlap
+			}
+			stream.marks = append(stream.marks, streamMark{offset: len(stream.Data), ts: seg.ts})
+			stream.Data = append(stream.Data, data...)
+			nextSeq = end
+		}
+		out = append(out, stream)
+	}
+	return out
+}
+
+// AssembleStreams is a convenience that decodes every packet (skipping
+// non-TCP frames) and returns the reassembled streams.
+func AssembleStreams(pkts []Packet) []*Stream {
+	a := NewAssembler()
+	for _, p := range pkts {
+		f, err := DecodeFrame(p.Data)
+		if err != nil {
+			continue // non-IPv4/TCP frame: irrelevant to HTTP analytics
+		}
+		a.Feed(f, p.Timestamp)
+	}
+	return a.Streams()
+}

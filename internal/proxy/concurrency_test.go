@@ -1,0 +1,69 @@
+package proxy
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestProxyConcurrentClients drives many goroutine clients through the
+// proxy at once; run with -race to validate the engine locking.
+func TestProxyConcurrentClients(t *testing.T) {
+	p, client, cleanup := testSetup(t, Config{}, constScorer(0.2))
+	defer cleanup()
+
+	var wg sync.WaitGroup
+	const workers = 8
+	const perWorker = 20
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				resp, err := client.Get(fmt.Sprintf("http://benign.com/?w=%d&i=%d", w, i))
+				if err != nil {
+					errs <- err
+					return
+				}
+				_ = resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := p.Stats().Relayed; got != workers*perWorker {
+		t.Fatalf("relayed = %d, want %d", got, workers*perWorker)
+	}
+	if es := p.EngineStats(); es.Transactions != workers*perWorker {
+		t.Fatalf("engine transactions = %d", es.Transactions)
+	}
+}
+
+// TestProxyDirectRequest covers the non-proxied (origin-form) request path
+// where the URL has no host and the Host header is used.
+func TestProxyDirectRequest(t *testing.T) {
+	p, _, cleanup := testSetup(t, Config{}, constScorer(0))
+	defer cleanup()
+	// Hit the proxy directly (reverse-proxy style): URL path only.
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Host = "benign.com"
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

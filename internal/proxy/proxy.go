@@ -1,0 +1,287 @@
+// Package proxy deploys DynaMiner the way the paper's live case study does
+// (Section VI-D): as a forward HTTP web proxy that relays every
+// request/response pair, feeds it to the on-the-wire detection engine, and
+// terminates the sessions of clients whose conversations are deemed
+// infectious.
+package proxy
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+
+	"dynaminer/internal/detector"
+	"dynaminer/internal/httpstream"
+)
+
+// maxCapturedBody bounds how much response body is buffered for analysis;
+// the remainder streams through uninspected (payload-agnostic analysis
+// needs sizes and document prefixes, not full binaries).
+const maxCapturedBody = 256 << 10
+
+// Config tunes the proxy.
+type Config struct {
+	// Detector configures the embedded on-the-wire engine.
+	Detector detector.Config
+	// BlockAfterAlert terminates the offending client's web session: once
+	// a client alerts, its requests are refused with 403 for
+	// BlockDuration.
+	BlockAfterAlert bool
+	// BlockDuration is how long an alerted client stays blocked; zero
+	// selects 10 minutes.
+	BlockDuration time.Duration
+	// OnAlert, when set, is invoked synchronously for every alert.
+	OnAlert func(detector.Alert)
+	// Transport performs the upstream requests; nil selects
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+	// Now supplies time for block expiry; nil selects time.Now. Tests
+	// inject a fake clock.
+	Now func() time.Time
+	// TrustXForwardedFor attributes traffic to the first X-Forwarded-For
+	// address instead of the TCP peer. Enable only when an upstream
+	// load balancer or proxy chain sets the header trustworthily.
+	TrustXForwardedFor bool
+}
+
+// Stats counts proxy activity.
+type Stats struct {
+	Requests       int
+	Relayed        int
+	BlockedClients int
+	Refused        int
+	UpstreamErrors int
+	Alerts         int
+}
+
+// Proxy is an http.Handler implementing a detecting forward proxy. Safe
+// for concurrent use.
+type Proxy struct {
+	cfg       Config
+	transport http.RoundTripper
+	now       func() time.Time
+
+	mu      sync.Mutex
+	engine  *detector.Engine
+	blocked map[netip.Addr]time.Time // client -> block expiry
+	stats   Stats
+}
+
+var _ http.Handler = (*Proxy)(nil)
+
+// New returns a Proxy detecting with the given trained model.
+func New(cfg Config, model detector.Scorer) *Proxy {
+	if cfg.BlockDuration == 0 {
+		cfg.BlockDuration = 10 * time.Minute
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Proxy{
+		cfg:       cfg,
+		transport: transport,
+		now:       now,
+		engine:    detector.New(cfg.Detector, model),
+		blocked:   make(map[netip.Addr]time.Time),
+	}
+}
+
+// Stats returns a snapshot of proxy counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// EngineStats returns a snapshot of the embedded detector's counters.
+func (p *Proxy) EngineStats() detector.Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.engine.Stats()
+}
+
+// clientAddr extracts the client IP from a request, honoring
+// X-Forwarded-For when configured.
+func (p *Proxy) clientAddr(r *http.Request) netip.Addr {
+	if p.cfg.TrustXForwardedFor {
+		if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+			first := xff
+			if i := strings.IndexByte(first, ','); i >= 0 {
+				first = first[:i]
+			}
+			if addr, err := netip.ParseAddr(strings.TrimSpace(first)); err == nil {
+				return addr.Unmap()
+			}
+		}
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	addr, err := netip.ParseAddr(host)
+	if err != nil {
+		return netip.Addr{}
+	}
+	return addr.Unmap()
+}
+
+// ServeHTTP relays one proxied request and runs detection on the exchange.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	p.stats.Requests++
+	client := p.clientAddr(r)
+	if expiry, ok := p.blocked[client]; ok {
+		if p.now().Before(expiry) {
+			p.stats.Refused++
+			p.mu.Unlock()
+			http.Error(w, "session terminated by DynaMiner", http.StatusForbidden)
+			return
+		}
+		delete(p.blocked, client)
+	}
+	p.mu.Unlock()
+
+	if r.Method == http.MethodConnect {
+		// DynaMiner operates on unencrypted HTTP (Section VII); tunneled
+		// TLS cannot be inspected and is refused by this deployment.
+		http.Error(w, "CONNECT not supported: DynaMiner inspects plain HTTP", http.StatusMethodNotAllowed)
+		return
+	}
+
+	out, err := p.buildUpstreamRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	reqTime := p.now()
+	resp, err := p.transport.RoundTrip(out)
+	if err != nil {
+		p.mu.Lock()
+		p.stats.UpstreamErrors++
+		p.mu.Unlock()
+		http.Error(w, fmt.Sprintf("upstream: %v", err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	respTime := p.now()
+
+	// Buffer a prefix of the body for analysis, stream the rest through.
+	prefix, rest, err := bufferPrefix(resp.Body, maxCapturedBody)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("upstream body: %v", err), http.StatusBadGateway)
+		return
+	}
+	copyHeader(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	written, _ := w.Write(prefix)
+	tail, _ := io.Copy(w, rest)
+
+	tx := p.buildTransaction(r, resp, client, reqTime, respTime, prefix, int(tail)+written)
+	p.mu.Lock()
+	alerts := p.engine.Process(tx)
+	p.stats.Relayed++
+	p.stats.Alerts += len(alerts)
+	if len(alerts) > 0 && p.cfg.BlockAfterAlert {
+		if _, already := p.blocked[client]; !already {
+			p.stats.BlockedClients++
+		}
+		p.blocked[client] = p.now().Add(p.cfg.BlockDuration)
+	}
+	p.mu.Unlock()
+	if p.cfg.OnAlert != nil {
+		for _, a := range alerts {
+			p.cfg.OnAlert(a)
+		}
+	}
+}
+
+// buildUpstreamRequest converts the proxied request into an origin request.
+func (p *Proxy) buildUpstreamRequest(r *http.Request) (*http.Request, error) {
+	u := *r.URL
+	if u.Host == "" {
+		u.Host = r.Host
+	}
+	if u.Scheme == "" {
+		u.Scheme = "http"
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("proxy: request has no target host")
+	}
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), r.Body)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: build upstream request: %w", err)
+	}
+	out.Header = r.Header.Clone()
+	out.Header.Del("Proxy-Connection")
+	return out, nil
+}
+
+// bufferPrefix reads up to limit bytes and returns them plus a reader for
+// any remainder.
+func bufferPrefix(body io.Reader, limit int) ([]byte, io.Reader, error) {
+	prefix := make([]byte, 0, 4096)
+	buf := make([]byte, 4096)
+	for len(prefix) < limit {
+		n, err := body.Read(buf)
+		prefix = append(prefix, buf[:n]...)
+		if err == io.EOF {
+			return prefix, emptyReader{}, nil
+		}
+		if err != nil {
+			return prefix, emptyReader{}, err
+		}
+	}
+	return prefix, body, nil
+}
+
+type emptyReader struct{}
+
+func (emptyReader) Read([]byte) (int, error) { return 0, io.EOF }
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// buildTransaction assembles the httpstream view of the exchange.
+func (p *Proxy) buildTransaction(r *http.Request, resp *http.Response, client netip.Addr, reqTime, respTime time.Time, prefix []byte, totalBody int) httpstream.Transaction {
+	host := r.URL.Host
+	if host == "" {
+		host = r.Host
+	}
+	if h, _, err := net.SplitHostPort(host); err == nil {
+		host = h
+	}
+	uri := r.URL.RequestURI()
+	body := prefix
+	if len(body) > 64<<10 {
+		body = body[:64<<10]
+	}
+	return httpstream.Transaction{
+		ClientIP:    client,
+		Method:      r.Method,
+		URI:         uri,
+		Host:        host,
+		ReqHdr:      r.Header,
+		ReqTime:     reqTime,
+		StatusCode:  resp.StatusCode,
+		RespHdr:     resp.Header,
+		RespTime:    respTime,
+		ContentType: resp.Header.Get("Content-Type"),
+		BodySize:    totalBody,
+		Body:        body,
+	}
+}

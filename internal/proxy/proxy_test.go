@@ -1,0 +1,345 @@
+package proxy
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dynaminer/internal/detector"
+)
+
+// constScorer returns a fixed infection probability.
+type constScorer float64
+
+func (c constScorer) Score([]float64) float64 { return float64(c) }
+
+// fakeClock is an injectable clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(50 * time.Millisecond)
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+}
+
+// originMux simulates the web: a benign page, a redirect chain, and an
+// exploit payload, all host-routed via the Host header.
+func originMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Host == "benign.com":
+			w.Header().Set("Content-Type", "text/html")
+			fmt.Fprint(w, "<html>hello</html>")
+		case r.Host == "hop1.evil" && r.URL.Path == "/go":
+			http.Redirect(w, r, "http://hop2.evil/go", http.StatusFound)
+		case r.Host == "hop2.evil" && r.URL.Path == "/go":
+			http.Redirect(w, r, "http://hop3.evil/land", http.StatusFound)
+		case r.Host == "hop3.evil" && r.URL.Path == "/land":
+			w.Header().Set("Content-Type", "text/html")
+			fmt.Fprint(w, `<html><iframe src="http://drop.evil/p.exe"></iframe></html>`)
+		case r.Host == "drop.evil":
+			w.Header().Set("Content-Type", "application/x-msdownload")
+			fmt.Fprint(w, strings.Repeat("M", 4096))
+		default:
+			http.NotFound(w, r)
+		}
+	})
+	return mux
+}
+
+// testSetup wires origin server -> proxy -> client.
+func testSetup(t *testing.T, cfg Config, model detector.Scorer) (*Proxy, *http.Client, func()) {
+	t.Helper()
+	origin := httptest.NewServer(originMux())
+
+	// Route all upstream traffic to the test origin regardless of logical
+	// host, preserving the Host header for routing.
+	cfg.Transport = rewriteTransport{target: origin.URL}
+
+	p := New(cfg, model)
+	proxySrv := httptest.NewServer(p)
+	proxyURL, err := url.Parse(proxySrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{
+		Transport: &http.Transport{Proxy: http.ProxyURL(proxyURL)},
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse // follow redirects manually
+		},
+	}
+	cleanup := func() {
+		proxySrv.Close()
+		origin.Close()
+	}
+	return p, client, cleanup
+}
+
+// rewriteTransport sends every request to the test origin, keeping the
+// logical Host for routing.
+type rewriteTransport struct{ target string }
+
+func (rt rewriteTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	u, err := url.Parse(rt.target)
+	if err != nil {
+		return nil, err
+	}
+	clone := r.Clone(r.Context())
+	clone.URL.Scheme = u.Scheme
+	clone.Host = r.URL.Host
+	clone.URL.Host = u.Host
+	return http.DefaultTransport.RoundTrip(clone)
+}
+
+func get(t *testing.T, client *http.Client, rawurl, referer string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, rawurl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if referer != "" {
+		req.Header.Set("Referer", referer)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp
+}
+
+func TestProxyRelaysBenignTraffic(t *testing.T) {
+	p, client, cleanup := testSetup(t, Config{}, constScorer(0))
+	defer cleanup()
+
+	resp := get(t, client, "http://benign.com/", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	st := p.Stats()
+	if st.Relayed != 1 || st.Alerts != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if es := p.EngineStats(); es.Transactions != 1 {
+		t.Fatalf("engine stats = %+v", es)
+	}
+}
+
+// driveInfection walks the client through the redirect chain and payload.
+func driveInfection(t *testing.T, client *http.Client) {
+	t.Helper()
+	get(t, client, "http://hop1.evil/go", "http://benign.com/")
+	get(t, client, "http://hop2.evil/go", "http://hop1.evil/go")
+	get(t, client, "http://hop3.evil/land", "http://hop2.evil/go")
+	get(t, client, "http://drop.evil/p.exe", "http://hop3.evil/land")
+}
+
+func TestProxyDetectsAndAlerts(t *testing.T) {
+	var alerts []detector.Alert
+	cfg := Config{
+		Detector: detector.Config{RedirectThreshold: 3},
+		OnAlert:  func(a detector.Alert) { alerts = append(alerts, a) },
+	}
+	p, client, cleanup := testSetup(t, cfg, constScorer(0.95))
+	defer cleanup()
+
+	get(t, client, "http://benign.com/", "")
+	driveInfection(t, client)
+
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d (engine %+v)", len(alerts), p.EngineStats())
+	}
+	if alerts[0].TriggerHost != "drop.evil" {
+		t.Fatalf("alert host = %s", alerts[0].TriggerHost)
+	}
+	if p.Stats().Alerts != 1 {
+		t.Fatalf("stats = %+v", p.Stats())
+	}
+}
+
+func TestProxyBlocksAfterAlert(t *testing.T) {
+	clock := &fakeClock{t: time.Date(2016, 7, 10, 12, 0, 0, 0, time.UTC)}
+	cfg := Config{
+		Detector:        detector.Config{RedirectThreshold: 3},
+		BlockAfterAlert: true,
+		BlockDuration:   10 * time.Minute,
+		Now:             clock.Now,
+	}
+	p, client, cleanup := testSetup(t, cfg, constScorer(0.95))
+	defer cleanup()
+
+	driveInfection(t, client)
+	if p.Stats().BlockedClients != 1 {
+		t.Fatalf("blocked = %d, want 1 (stats %+v, engine %+v)", p.Stats().BlockedClients, p.Stats(), p.EngineStats())
+	}
+	// The session is terminated: further requests are refused.
+	resp := get(t, client, "http://benign.com/", "")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("post-alert status = %d, want 403", resp.StatusCode)
+	}
+	if p.Stats().Refused != 1 {
+		t.Fatalf("refused = %d", p.Stats().Refused)
+	}
+	// After the block expires the client may browse again.
+	clock.Advance(11 * time.Minute)
+	resp = get(t, client, "http://benign.com/", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-expiry status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestProxyRefusesConnect(t *testing.T) {
+	_, client, cleanup := testSetup(t, Config{}, constScorer(0))
+	defer cleanup()
+	// https through the proxy would use CONNECT; simulate with a raw
+	// CONNECT request.
+	req, err := http.NewRequest(http.MethodConnect, "http://secure.example:443", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		// Transport-level CONNECT handling can also surface as an error;
+		// both outcomes mean the tunnel was refused.
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("CONNECT must be refused")
+	}
+}
+
+func TestProxyUpstreamError(t *testing.T) {
+	cfg := Config{Transport: errTransport{}}
+	p := New(cfg, constScorer(0))
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+	proxyURL, _ := url.Parse(srv.URL)
+	client := &http.Client{Transport: &http.Transport{Proxy: http.ProxyURL(proxyURL)}}
+	resp, err := client.Get("http://unreachable.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", resp.StatusCode)
+	}
+	if p.Stats().UpstreamErrors != 1 {
+		t.Fatalf("stats = %+v", p.Stats())
+	}
+}
+
+type errTransport struct{}
+
+func (errTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	return nil, fmt.Errorf("synthetic upstream failure")
+}
+
+func TestBufferPrefix(t *testing.T) {
+	prefix, rest, err := bufferPrefix(strings.NewReader("hello world"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(prefix) != "hello" && len(prefix) < 5 {
+		t.Fatalf("prefix = %q", prefix)
+	}
+	tail, _ := io.ReadAll(rest)
+	if string(prefix)+string(tail) != "hello world" {
+		t.Fatalf("prefix+tail = %q + %q", prefix, tail)
+	}
+	// Short body: everything buffered.
+	prefix, rest, err = bufferPrefix(strings.NewReader("tiny"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(prefix) != "tiny" {
+		t.Fatalf("prefix = %q", prefix)
+	}
+	if tail, _ := io.ReadAll(rest); len(tail) != 0 {
+		t.Fatal("short body must leave no tail")
+	}
+}
+
+func TestXForwardedForAttribution(t *testing.T) {
+	clock := &fakeClock{t: time.Date(2016, 7, 10, 12, 0, 0, 0, time.UTC)}
+	cfg := Config{
+		Detector:           detector.Config{RedirectThreshold: 3},
+		BlockAfterAlert:    true,
+		Now:                clock.Now,
+		TrustXForwardedFor: true,
+	}
+	p, client, cleanup := testSetup(t, cfg, constScorer(0.95))
+	defer cleanup()
+
+	// Drive the infection with one forwarded client identity.
+	infected := func(rawurl, referer string) {
+		req, err := http.NewRequest(http.MethodGet, rawurl, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if referer != "" {
+			req.Header.Set("Referer", referer)
+		}
+		req.Header.Set("X-Forwarded-For", "203.0.113.50, 10.0.0.1")
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}
+	infected("http://hop1.evil/go", "http://benign.com/")
+	infected("http://hop2.evil/go", "http://hop1.evil/go")
+	infected("http://hop3.evil/land", "http://hop2.evil/go")
+	infected("http://drop.evil/p.exe", "http://hop3.evil/land")
+	if p.Stats().BlockedClients != 1 {
+		t.Fatalf("blocked = %d (stats %+v)", p.Stats().BlockedClients, p.EngineStats())
+	}
+
+	// A different forwarded identity from the same TCP peer is NOT blocked.
+	req, err := http.NewRequest(http.MethodGet, "http://benign.com/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Forwarded-For", "203.0.113.99")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("other client status = %d, want 200", resp.StatusCode)
+	}
+	// The infected identity IS blocked.
+	req2, err := http.NewRequest(http.MethodGet, "http://benign.com/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set("X-Forwarded-For", "203.0.113.50")
+	resp2, err := client.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusForbidden {
+		t.Fatalf("infected client status = %d, want 403", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,332 @@
+package synth
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Benign scenario names (Section II-A's collection methodology) with their
+// share of the benign corpus. The last two are the noise sources the
+// paper's false-positive analysis names: downloads of benign content from
+// unofficial sites, and long torrent/video sessions.
+var benignScenarios = []struct {
+	name  string
+	share float64
+}{
+	{"search", 0.28},
+	{"social", 0.15},
+	{"webmail", 0.14},
+	{"video", 0.12},
+	{"alexa", 0.23},
+	{"unofficial-download", 0.05},
+	{"torrent", 0.03},
+}
+
+func benignScenario(rng *rand.Rand) string {
+	r := rng.Float64()
+	for _, s := range benignScenarios {
+		if r < s.share {
+			return s.name
+		}
+		r -= s.share
+	}
+	return "alexa"
+}
+
+// GenerateBenign synthesizes one infection-free browsing episode of the
+// given scenario starting at the given time.
+func GenerateBenign(scenario string, at time.Time, rng *rand.Rand) Episode {
+	b := newBuilder(at, rng)
+	ua := userAgents[rng.Intn(len(userAgents))]
+	dnt := rng.Float64() < 0.25
+
+	switch scenario {
+	case "search":
+		genSearch(b, ua, dnt, rng)
+	case "social":
+		genSocial(b, ua, dnt, rng)
+	case "webmail":
+		genWebmail(b, ua, dnt, rng)
+	case "video":
+		genVideo(b, ua, dnt, rng)
+	case "unofficial-download":
+		genUnofficialDownload(b, ua, dnt, rng)
+	case "torrent":
+		genTorrent(b, ua, dnt, rng)
+	default:
+		scenario = "alexa"
+		genAlexa(b, ua, dnt, rng)
+	}
+	return Episode{Infection: false, Family: "Benign", Enticement: scenario, Txs: b.txs}
+}
+
+// pageVisit renders a normal page load: the HTML document plus a handful of
+// subresources (images, scripts, styles) with human think-time afterwards.
+func pageVisit(b *episodeBuilder, host, uri, referer, ua string, dnt bool, rng *rand.Rand) string {
+	// Tracking parameters make benign URI lengths overlap exploit-kit
+	// gate URIs.
+	if rng.Float64() < 0.35 {
+		uri += "?utm_source=" + randWord(rng) + "&sid=" + randHex(rng, 8)
+	}
+	b.add(host, uri, txOpts{
+		referer: referer, ua: ua, dnt: dnt, ctype: "text/html",
+		size: 2000 + rng.Intn(40000), cookie: "sid=" + randHex(rng, 12),
+	})
+	page := url(host, uri)
+	sub := rng.Intn(5)
+	for i := 0; i < sub; i++ {
+		b.advance(50*time.Millisecond, 600*time.Millisecond)
+		switch rng.Intn(3) {
+		case 0:
+			b.add(host, "/"+randWord(rng)+".png", txOpts{
+				referer: page, ua: ua, dnt: dnt, ctype: "image/png", size: 500 + rng.Intn(60000),
+			})
+		case 1:
+			cdn := randAdHost(rng)
+			b.add(cdn, "/"+randWord(rng)+".js", txOpts{
+				referer: page, ua: ua, dnt: dnt, ctype: "application/javascript", size: 300 + rng.Intn(30000),
+			})
+		default:
+			b.add(host, "/"+randWord(rng)+".css", txOpts{
+				referer: page, ua: ua, dnt: dnt, ctype: "text/css", size: 200 + rng.Intn(8000),
+			})
+		}
+	}
+	// Dead links happen in normal browsing too.
+	if rng.Float64() < 0.08 {
+		b.advance(100*time.Millisecond, 500*time.Millisecond)
+		b.add(host, "/"+randWord(rng), txOpts{
+			referer: page, ua: ua, dnt: dnt, status: 404, ctype: "text/html", size: 300,
+		})
+	}
+	// Analytics beacons: modern pages POST telemetry machine-paced.
+	if rng.Float64() < 0.25 {
+		b.advance(200*time.Millisecond, 900*time.Millisecond)
+		b.add(randAdHost(rng), "/collect", txOpts{
+			method: "POST", referer: page, ua: ua, dnt: dnt, ctype: "text/plain", size: 2 + rng.Intn(40),
+		})
+	}
+	// Ad-network bounces: an occasional benign redirect hop (Table I:
+	// benign redirects range 0-2).
+	if rng.Float64() < 0.05 {
+		b.advance(150*time.Millisecond, 700*time.Millisecond)
+		dest := randBenignHost(rng)
+		b.add(randAdHost(rng), "/click?"+randHex(rng, 5), txOpts{
+			referer: page, ua: ua, dnt: dnt, status: 302, location: url(dest, "/"),
+		})
+		b.advance(100*time.Millisecond, 400*time.Millisecond)
+		b.add(dest, "/", txOpts{
+			referer: page, ua: ua, dnt: dnt, ctype: "text/html", size: 1500 + rng.Intn(20000),
+		})
+	}
+	return page
+}
+
+func humanPause(b *episodeBuilder, rng *rand.Rand) {
+	b.advance(8*time.Second, 45*time.Second)
+}
+
+// sideTabs models the paper's multi-tab collection setup: direct
+// navigations (typed URLs, restored tabs) with no referrer.
+func sideTabs(b *episodeBuilder, ua string, dnt bool, rng *rand.Rand) {
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		humanPause(b, rng)
+		pageVisit(b, randBenignHost(rng), "/"+randWord(rng), "", ua, dnt, rng)
+	}
+}
+
+func genSearch(b *episodeBuilder, ua string, dnt bool, rng *rand.Rand) {
+	engine := searchEngines[rng.Intn(len(searchEngines))]
+	var ref string
+	if rng.Float64() < 0.5 {
+		// The capture starts at the clicked result: the search itself
+		// happened before recording began, so the session has a
+		// search-engine origin exactly like enticed infections do.
+		ref = url(engine, "/search?q="+randWord(rng))
+		pageVisit(b, randBenignHost(rng), "/"+randWord(rng), ref, ua, dnt, rng)
+		humanPause(b, rng)
+	} else {
+		ref = pageVisit(b, engine, "/search?q="+randWord(rng), "", ua, dnt, rng)
+	}
+	if rng.Float64() < 0.5 {
+		sideTabs(b, ua, dnt, rng)
+	}
+	// Official software downloads from trusted stores/repositories: the
+	// traffic the detector's vendor weed-out list exists for.
+	if rng.Float64() < 0.08 {
+		humanPause(b, rng)
+		store := storeSites[rng.Intn(len(storeSites))]
+		sref := pageVisit(b, store, "/apps", ref, ua, dnt, rng)
+		b.advance(2*time.Second, 10*time.Second)
+		b.add(store, "/get/"+randWord(rng)+".exe", txOpts{
+			referer: sref, ua: ua, dnt: dnt,
+			ctype: "application/x-msdownload", size: (2 << 20) + rng.Intn(80<<20),
+		})
+	}
+	clicks := 1 + rng.Intn(3)
+	for i := 0; i < clicks; i++ {
+		humanPause(b, rng)
+		site := randBenignHost(rng)
+		// Some result clicks bounce through the engine's tracking redirect.
+		if rng.Float64() < 0.10 {
+			b.add(engine, "/url?q="+randWord(rng), txOpts{
+				referer: ref, ua: ua, dnt: dnt, status: 302, location: url(site, "/"),
+			})
+			b.advance(80*time.Millisecond, 300*time.Millisecond)
+		}
+		ref2 := pageVisit(b, site, "/"+randWord(rng), ref, ua, dnt, rng)
+		if rng.Float64() < 0.4 { // browse deeper
+			humanPause(b, rng)
+			pageVisit(b, site, "/"+randWord(rng), ref2, ua, dnt, rng)
+		}
+	}
+}
+
+func genSocial(b *episodeBuilder, ua string, dnt bool, rng *rand.Rand) {
+	social := socialSites[rng.Intn(len(socialSites))]
+	var ref string
+	if rng.Float64() < 0.4 {
+		// Capture starts at a shared link: social-site origin.
+		ref = url(social, "/l.php?u="+randWord(rng))
+		pageVisit(b, randBenignHost(rng), "/"+randWord(rng), ref, ua, dnt, rng)
+		humanPause(b, rng)
+	} else {
+		ref = pageVisit(b, social, "/feed", "", ua, dnt, rng)
+	}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		humanPause(b, rng)
+		// Shared link opens an external article.
+		pageVisit(b, randBenignHost(rng), "/"+randWord(rng), ref, ua, dnt, rng)
+	}
+	if rng.Float64() < 0.5 {
+		sideTabs(b, ua, dnt, rng)
+	}
+}
+
+func genWebmail(b *episodeBuilder, ua string, dnt bool, rng *rand.Rand) {
+	mail := webmailSites[rng.Intn(len(webmailSites))]
+	ref := pageVisit(b, mail, "/inbox", "", ua, dnt, rng)
+	humanPause(b, rng)
+	// Attachment download: PDFs, office docs, occasionally executables
+	// (Table I benign payload counts: 60 pdf, 30 exe over 980 episodes).
+	r := rng.Float64()
+	switch {
+	case r < 0.30:
+		b.add(mail, "/attachment/"+randHex(rng, 6)+".pdf", txOpts{
+			referer: ref, ua: ua, dnt: dnt, ctype: "application/pdf", size: (50 << 10) + rng.Intn(2<<20),
+		})
+	case r < 0.45:
+		b.add(mail, "/attachment/"+randHex(rng, 6)+".exe", txOpts{
+			referer: ref, ua: ua, dnt: dnt, ctype: "application/x-msdownload", size: (200 << 10) + rng.Intn(8<<20),
+		})
+	case r < 0.75:
+		b.add(mail, "/attachment/"+randHex(rng, 6)+".docx", txOpts{
+			referer: ref, ua: ua, dnt: dnt, ctype: "application/vnd.openxmlformats", size: (20 << 10) + rng.Intn(1<<20),
+		})
+	}
+	// Click a link embedded in a message.
+	if rng.Float64() < 0.5 {
+		humanPause(b, rng)
+		pageVisit(b, randBenignHost(rng), "/"+randWord(rng), ref, ua, dnt, rng)
+	}
+	if rng.Float64() < 0.4 {
+		sideTabs(b, ua, dnt, rng)
+	}
+	// Compose / sync polling: web apps fire machine-paced POSTs, giving
+	// benign traffic fast inter-transaction stretches too.
+	for i := 0; i < 2+rng.Intn(6); i++ {
+		b.advance(800*time.Millisecond, 3*time.Second)
+		b.add(mail, "/sync", txOpts{
+			method: "POST", referer: ref, ua: ua, dnt: dnt, ctype: "application/json", size: 200 + rng.Intn(2000),
+		})
+	}
+}
+
+func genVideo(b *episodeBuilder, ua string, dnt bool, rng *rand.Rand) {
+	site := videoSites[rng.Intn(len(videoSites))]
+	ref := pageVisit(b, site, "/watch?v="+randHex(rng, 8), "", ua, dnt, rng)
+	// Streaming chunks.
+	xflash := ""
+	if rng.Float64() < 0.4 { // Flash-based players send the version header
+		xflash = "18,0,0," + randDigits(rng, 3)
+	}
+	for i := 0; i < 3+rng.Intn(8); i++ {
+		b.advance(2*time.Second, 12*time.Second)
+		b.add("video-cdn"+randDigits(rng, 2)+".net", "/chunk/"+randHex(rng, 10), txOpts{
+			referer: ref, ua: ua, dnt: dnt, xflash: xflash, ctype: "video/mp4", size: (500 << 10) + rng.Intn(2<<20),
+		})
+	}
+	// Ad click with a benign redirect hop or two (benign redirects max 2).
+	if rng.Float64() < 0.35 {
+		humanPause(b, rng)
+		adHost := randAdHost(rng)
+		dest := randBenignHost(rng)
+		b.add(adHost, "/click?id="+randHex(rng, 6), txOpts{
+			referer: ref, ua: ua, dnt: dnt, status: 302, location: url(dest, "/"+randWord(rng)),
+		})
+		b.advance(200*time.Millisecond, time.Second)
+		pageVisit(b, dest, "/"+randWord(rng), url(adHost, "/click"), ua, dnt, rng)
+	}
+}
+
+func genAlexa(b *episodeBuilder, ua string, dnt bool, rng *rand.Rand) {
+	// Multi-tab browsing of random popular sites: up to the benign host
+	// maximum of 34 (Table I), but typically a handful.
+	tabs := 1 + rng.Intn(4)
+	if rng.Float64() < 0.12 {
+		tabs = 5 + rng.Intn(9) // heavy multi-tab session (up to ~34 hosts)
+	}
+	for i := 0; i < tabs; i++ {
+		site := randBenignHost(rng)
+		// Each tab is a direct navigation: no referrer.
+		ref := pageVisit(b, site, "/", "", ua, dnt, rng)
+		humanPause(b, rng)
+		if rng.Float64() < 0.5 {
+			pageVisit(b, site, "/"+randWord(rng), ref, ua, dnt, rng)
+			humanPause(b, rng)
+		}
+	}
+}
+
+// genUnofficialDownload is the paper's leading false-positive shape: benign
+// content fetched from unofficial mirrors behind ad redirects, with
+// download dynamics that resemble an infection.
+func genUnofficialDownload(b *episodeBuilder, ua string, dnt bool, rng *rand.Rand) {
+	ref := pageVisit(b, randBenignHost(rng), "/freeware", "", ua, dnt, rng)
+	humanPause(b, rng)
+	hops := 1 + rng.Intn(2)
+	prev := ref
+	host := randAdHost(rng)
+	for i := 0; i < hops; i++ {
+		next := randMaliciousHost(rng) // unofficial mirrors share shady TLDs
+		b.add(host, "/go?"+randHex(rng, 5), txOpts{
+			referer: prev, ua: ua, dnt: dnt, status: 302, location: url(next, "/dl"),
+		})
+		b.advance(100*time.Millisecond, 800*time.Millisecond)
+		prev = url(host, "/go")
+		host = next
+	}
+	ext := ".exe"
+	ct := "application/x-msdownload"
+	if rng.Float64() < 0.4 {
+		ext, ct = ".zip", "application/zip"
+	}
+	b.add(host, "/files/"+randWord(rng)+ext, txOpts{
+		referer: prev, ua: ua, dnt: dnt, ctype: ct, size: (1 << 20) + rng.Intn(200<<20),
+	})
+}
+
+// genTorrent is the paper's second false-positive shape: very large video
+// payloads over an exceptionally long session.
+func genTorrent(b *episodeBuilder, ua string, dnt bool, rng *rand.Rand) {
+	site := randMaliciousHost(rng)
+	ref := pageVisit(b, site, "/torrents", "", ua, dnt, rng)
+	files := 2 + rng.Intn(6)
+	for i := 0; i < files; i++ {
+		b.advance(30*time.Second, 8*time.Minute)
+		b.add("peer"+randDigits(rng, 3)+".swarm.net", "/piece/"+randHex(rng, 12), txOpts{
+			referer: ref, ua: ua, dnt: dnt, ctype: "video/x-matroska",
+			size: (246 << 20) + rng.Intn(900<<20), // 246MB - 1.1GB per the paper
+		})
+	}
+}

@@ -1,0 +1,380 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"dynaminer/internal/httpstream"
+)
+
+// Download records one payload fetched during a case-study session, with
+// the identity and in-the-wild age information the AV simulator needs.
+type Download struct {
+	ID        string // stable pseudo-hash of the payload
+	HostName  string // which monitored client downloaded it
+	Server    string // remote host that served it
+	Ext       string // payload extension ("exe", "jar", "pdf", ...)
+	Malicious bool
+	// FirstSeen is when the payload first appeared in the wild; fresh
+	// payloads (FirstSeen == download time) are the zero-days AV lags on.
+	FirstSeen time.Time
+	Time      time.Time // download time within the session
+}
+
+// StreamingSession is the Section VI-C forensic scenario: a 90-minute free
+// live-streaming session (18 tabs, ~3000 transactions, 12 unique remote
+// domains) during which fake "player update" popups lure the user into 32
+// payload downloads, 5 of them malicious infection chains and one of those
+// a fresh payload no AV engine knows yet.
+type StreamingSession struct {
+	Episode   Episode
+	Downloads []Download
+}
+
+// GenerateStreamingSession synthesizes the forensic case-study capture.
+func GenerateStreamingSession(start time.Time, rng *rand.Rand) StreamingSession {
+	b := newBuilder(start, rng)
+	ua := userAgents[0] // single user
+	site := "atdhe-stream.net"
+	cdn := []string{"chunk1.stream-cdn.net", "chunk2.stream-cdn.net"}
+
+	// 12 unique remote domains total: site + 2 CDNs + 2 ad hosts + 2 tabs
+	// + 5 malicious lure hosts (raw-IP C&C endpoints excluded).
+	adHosts := []string{"ads.popnetwork.biz", "track.viewstat.com"}
+	malHosts := []string{"player-fix.xyz", "flashupd.top", "swiftdl.pw", "getplugin.ru", "mediasetup.cc"}
+	extraTabs := []string{"sportsnews.com", "forum-goals.net"}
+
+	var downloads []Download
+	session := StreamingSession{}
+
+	ref := url(site, "/watch/euro2016-final")
+	b.add(site, "/watch/euro2016-final", txOpts{ua: ua, ctype: "text/html", size: 48000})
+
+	// Background tabs opened at the start.
+	for _, tab := range extraTabs {
+		b.advance(time.Second, 5*time.Second)
+		b.add(tab, "/", txOpts{ua: ua, ctype: "text/html", size: 20000})
+	}
+
+	interruptions := []time.Duration{18 * time.Minute, 47 * time.Minute, 71 * time.Minute}
+	nextInterrupt := 0
+	benignDrops := 0
+	const wantBenignDrops = 27
+
+	end := start.Add(90 * time.Minute)
+	for b.now.Before(end) {
+		// Streaming chunks dominate the transaction count.
+		host := cdn[rng.Intn(len(cdn))]
+		b.add(host, "/seg/"+randHex(rng, 10)+".ts", txOpts{
+			ua: ua, referer: ref, ctype: "video/mp2t", size: 180000 + rng.Intn(250000),
+		})
+		// Occasional ad beacons.
+		if rng.Float64() < 0.15 {
+			ah := adHosts[rng.Intn(len(adHosts))]
+			b.add(ah, "/pixel?"+randHex(rng, 6), txOpts{
+				ua: ua, referer: ref, ctype: "image/gif", size: 43,
+			})
+		}
+		// Occasional benign media/codec downloads, spread across the
+		// session to reach 27 benign payloads. These are archive and media
+		// files — not likely-malicious types — so they draw no clue.
+		if benignDrops < wantBenignDrops && rng.Float64() < 0.02 {
+			server := adHosts[rng.Intn(len(adHosts))]
+			ext := []string{"zip", "flv", "mp4"}[rng.Intn(3)]
+			dl := Download{
+				ID:        "stream-benign-" + fmt.Sprint(benignDrops),
+				HostName:  "viewer",
+				Server:    server,
+				Ext:       ext,
+				Malicious: false,
+				FirstSeen: start.Add(-30 * 24 * time.Hour),
+				Time:      b.now,
+			}
+			b.add(server, "/pack/"+randHex(rng, 6)+"."+ext, txOpts{
+				ua: ua, referer: ref, ctype: "application/octet-stream", size: (1 << 20) + rng.Intn(5<<20),
+			})
+			downloads = append(downloads, dl)
+			benignDrops++
+		}
+
+		// Stream interruption: popup demands a "player update"; the user
+		// clicks and is chained through up to 4 redirects to a payload.
+		if nextInterrupt < len(interruptions) && b.now.Sub(start) >= interruptions[nextInterrupt] {
+			mal := malHosts[nextInterrupt : nextInterrupt+3]
+			downloads = append(downloads, playerUpdateLure(b, ua, ref, mal, nextInterrupt, start, rng)...)
+			nextInterrupt++
+			// Page reload after the interruption.
+			b.add(site, "/watch/euro2016-final", txOpts{ua: ua, ctype: "text/html", size: 48000})
+		}
+		b.advance(800*time.Millisecond, 2200*time.Millisecond)
+	}
+
+	session.Episode = Episode{Infection: true, Family: "FreeStreaming", Enticement: "legit", Txs: b.txs}
+	session.Downloads = downloads
+	return session
+}
+
+// playerUpdateLure renders one fake-update infection chain: redirects
+// through the malicious hosts, then payload downloads. The first
+// interruption delivers the fresh PDF nobody detects yet plus a Flash
+// "update" executable; later interruptions deliver known Flash EXEs and a
+// JAR, matching the 5 alerts of the case study.
+func playerUpdateLure(b *episodeBuilder, ua, ref string, mal []string, wave int, start time.Time, rng *rand.Rand) []Download {
+	prev := ref
+	for i, host := range mal {
+		b.advance(300*time.Millisecond, 900*time.Millisecond)
+		next := "/update/" + randHex(rng, 5)
+		if i+1 < len(mal) {
+			b.add(host, next, txOpts{
+				ua: ua, referer: prev, status: 302, location: url(mal[i+1], "/get"),
+			})
+		} else {
+			b.add(host, next, txOpts{
+				ua: ua, referer: prev, ctype: "text/html",
+				body: landingBody(host, rng),
+			})
+		}
+		prev = url(host, next)
+	}
+	last := mal[len(mal)-1]
+	// Plugin-detection scripts served by the lure chain.
+	for i := 0; i < 2+rng.Intn(3); i++ {
+		b.add(mal[rng.Intn(len(mal))], "/"+randWord(rng)+".js", txOpts{
+			ua: ua, referer: prev, ctype: "application/javascript", size: 500 + rng.Intn(6000),
+		})
+		b.advance(30*time.Millisecond, 200*time.Millisecond)
+	}
+
+	var drops []Download
+	drop := func(ext, ctype, id string, fresh bool) {
+		b.advance(500*time.Millisecond, 1500*time.Millisecond)
+		firstSeen := start.Add(-30 * 24 * time.Hour) // circulating for a month
+		if fresh {
+			firstSeen = b.now // zero-day
+		}
+		drops = append(drops, Download{
+			ID: id, HostName: "viewer", Server: last, Ext: ext,
+			Malicious: true, FirstSeen: firstSeen, Time: b.now,
+		})
+		b.add(last, "/dl/"+randHex(rng, 6)+"."+ext, txOpts{
+			ua: ua, referer: prev, ctype: ctype, size: (300 << 10) + rng.Intn(700<<10),
+		})
+	}
+	switch wave {
+	case 0:
+		drop("exe", "application/x-msdownload", "flashfix-exe-0", false)
+		drop("pdf", "application/pdf", freshPDFID, true)
+	case 1:
+		drop("exe", "application/x-msdownload", "flashfix-exe-1", false)
+		drop("jar", "application/java-archive", "playerfix-jar", false)
+	default:
+		drop("exe", "application/x-msdownload", "flashfix-exe-2", false)
+	}
+	// Post-infection beacon.
+	b.advance(2*time.Second, 8*time.Second)
+	b.add(randCncIP(rng), "/u.php", txOpts{method: "POST", ua: ua, ctype: "text/plain", size: 64})
+	return drops
+}
+
+// freshPDFID identifies the case study's zero-day PDF. The suffix is chosen
+// so the simulated AV ensemble first flags it 11 days after first seen —
+// the scenario parameter the paper reports, not a tuned result.
+const freshPDFID = "fresh-pdf-dropper-v256"
+
+// HostProfile describes one monitored machine of the Table VI
+// mini-enterprise.
+type HostProfile struct {
+	Name string
+	OS   string // "windows", "ubuntu", "macos"
+	// Downloads per payload type over the 48 hours (Table VI rows).
+	PDF, EXE, JAR int
+	// Infections embedded in this host's traffic: extensions of the
+	// malicious payloads whose downloads should raise alerts.
+	InfectionExts []string
+}
+
+// Table6Hosts reproduces the Table VI setup: a Windows host (with a COTS
+// AV), an Ubuntu host, and a MacOS host. The infection payload mixes match
+// the alert breakdown the paper reports (3 Flash-update EXEs + 1 JAR on
+// Windows, 3 JARs on Ubuntu, 1 DMG on MacOS); the two trojanized PDFs on
+// the Windows host carry no conversation dynamics and are invisible to
+// payload-agnostic analysis.
+var Table6Hosts = []HostProfile{
+	{Name: "win-host", OS: "windows", PDF: 11, EXE: 6, JAR: 5,
+		InfectionExts: []string{"exe", "exe", "exe", "jar"}},
+	{Name: "ubuntu-host", OS: "ubuntu", PDF: 15, EXE: 0, JAR: 8,
+		InfectionExts: []string{"jar", "jar", "jar"}},
+	{Name: "macos-host", OS: "macos", PDF: 6, EXE: 8, JAR: 3,
+		InfectionExts: []string{"dmg"}},
+}
+
+// EnterpriseCapture is the 48-hour three-host capture of Table VI.
+type EnterpriseCapture struct {
+	Txs       []httpstream.Transaction
+	Downloads []Download
+}
+
+// GenerateEnterprise48h synthesizes the live case-study traffic: two days
+// of routine browsing per host with the profile's benign downloads spread
+// through it and the profile's infections embedded as redirect-chained
+// exploit deliveries. The per-host transaction streams are interleaved in
+// time, as a proxy-deployed DynaMiner would observe them.
+func GenerateEnterprise48h(start time.Time, rng *rand.Rand) EnterpriseCapture {
+	var out EnterpriseCapture
+	for hi, hp := range Table6Hosts {
+		txs, dls := enterpriseHostTraffic(hp, start, rng, hi)
+		out.Txs = append(out.Txs, txs...)
+		out.Downloads = append(out.Downloads, dls...)
+	}
+	sort.SliceStable(out.Txs, func(i, j int) bool { return out.Txs[i].ReqTime.Before(out.Txs[j].ReqTime) })
+	sort.SliceStable(out.Downloads, func(i, j int) bool { return out.Downloads[i].Time.Before(out.Downloads[j].Time) })
+	return out
+}
+
+func enterpriseHostTraffic(hp HostProfile, start time.Time, rng *rand.Rand, hostIdx int) ([]httpstream.Transaction, []Download) {
+	b := newBuilder(start.Add(time.Duration(hostIdx)*7*time.Minute), rng)
+	ua := userAgents[hostIdx%len(userAgents)]
+	var downloads []Download
+	end := start.Add(48 * time.Hour)
+
+	// Benign download schedule: spread the profile's counts over 48 h.
+	type sched struct {
+		ext, ctype string
+		count      int
+	}
+	plan := []sched{
+		{"pdf", "application/pdf", hp.PDF},
+		{"exe", "application/x-msdownload", hp.EXE},
+		{"jar", "application/java-archive", hp.JAR},
+	}
+	var benignDrops []sched
+	for _, p := range plan {
+		for i := 0; i < p.count; i++ {
+			benignDrops = append(benignDrops, sched{p.ext, p.ctype, 1})
+		}
+	}
+	rng.Shuffle(len(benignDrops), func(i, j int) { benignDrops[i], benignDrops[j] = benignDrops[j], benignDrops[i] })
+
+	// Reserve slots: the first two PDFs on the Windows host are the
+	// trojanized ones VirusTotal flags but DynaMiner cannot.
+	trojanPDFs := 0
+	infections := append([]string(nil), hp.InfectionExts...)
+
+	sessionsPerDay := 10
+	totalSessions := 2 * sessionsPerDay
+	for s := 0; s < totalSessions && b.now.Before(end); s++ {
+		// A browsing burst: a couple of page visits.
+		ref := pageVisit(b, randBenignHost(rng), "/", "", ua, false, rng)
+		humanPause(b, rng)
+		if rng.Float64() < 0.5 {
+			ref = pageVisit(b, randBenignHost(rng), "/"+randWord(rng), ref, ua, false, rng)
+			humanPause(b, rng)
+		}
+
+		// Scheduled benign download in this session?
+		if len(benignDrops) > 0 && rng.Float64() < 0.75 {
+			d := benignDrops[0]
+			benignDrops = benignDrops[1:]
+			server := randBenignHost(rng)
+			malPDF := hp.OS == "windows" && d.ext == "pdf" && trojanPDFs < 2
+			if malPDF {
+				trojanPDFs++
+			}
+			id := fmt.Sprintf("ent-%s-%s-%d", hp.Name, d.ext, s)
+			downloads = append(downloads, Download{
+				ID: id, HostName: hp.Name, Server: server, Ext: d.ext,
+				Malicious: malPDF, FirstSeen: b.now.Add(-20 * 24 * time.Hour), Time: b.now,
+			})
+			b.add(server, "/files/"+randHex(rng, 6)+"."+d.ext, txOpts{
+				ua: ua, referer: ref, ctype: d.ctype, size: (100 << 10) + rng.Intn(4<<20),
+			})
+			humanPause(b, rng)
+		}
+
+		// Embedded infection in this session?
+		if len(infections) > 0 && s >= 3 && rng.Float64() < 0.35 {
+			ext := infections[0]
+			infections = infections[1:]
+			downloads = append(downloads, embedInfection(b, ua, ref, hp.Name, ext, s, rng))
+		}
+
+		// Idle gap to the next session (~2.4 h average).
+		b.advance(30*time.Minute, 4*time.Hour)
+	}
+	// Any infections not yet placed go in trailing sessions.
+	for _, ext := range infections {
+		ref := pageVisit(b, randBenignHost(rng), "/", "", ua, false, rng)
+		downloads = append(downloads, embedInfection(b, ua, ref, hp.Name, ext, 99, rng))
+		b.advance(20*time.Minute, time.Hour)
+	}
+	return b.txs, downloads
+}
+
+// embedInfection renders a redirect-chained exploit delivery (chain length
+// 2-6 per Table VI) followed by the payload download and a C&C beacon.
+func embedInfection(b *episodeBuilder, ua, ref, hostName, ext string, seq int, rng *rand.Rand) Download {
+	hops := 2 + rng.Intn(4)
+	// Pre-draw the chain so each Location header targets the next host
+	// actually visited, plus a final exploit host fed by the landing page.
+	chain := make([]string, hops+1)
+	for i := range chain {
+		chain[i] = randMaliciousHost(rng)
+	}
+	session := "PHPSESSID=" + randHex(rng, 16)
+	prev := ref
+	for i := 0; i < hops; i++ {
+		if i+1 == hops {
+			b.add(chain[i], "/landing", txOpts{
+				ua: ua, referer: prev, ctype: "text/html", cookie: session,
+				body: landingBody(chain[i+1], rng),
+			})
+		} else {
+			b.add(chain[i], "/go", txOpts{
+				ua: ua, referer: prev, status: 302, location: url(chain[i+1], "/go"),
+			})
+		}
+		prev = url(chain[i], "/go")
+		b.advance(100*time.Millisecond, 500*time.Millisecond)
+	}
+	host := chain[hops]
+	// Fingerprinting / plugin-detection scripts along the chain, as in
+	// every ground-truth exploit-kit episode.
+	for i := 0; i < 2+rng.Intn(4); i++ {
+		b.add(chain[rng.Intn(len(chain))], "/"+randWord(rng)+".js", txOpts{
+			ua: ua, referer: prev, ctype: "application/javascript", size: 400 + rng.Intn(8000),
+		})
+		b.advance(20*time.Millisecond, 250*time.Millisecond)
+	}
+	ctype := map[string]string{
+		"exe": "application/x-msdownload",
+		"jar": "application/java-archive",
+		"dmg": "application/x-apple-diskimage",
+	}[ext]
+	dl := Download{
+		ID: fmt.Sprintf("ent-inf-%s-%s-%d", hostName, ext, seq), HostName: hostName,
+		Server: host, Ext: ext, Malicious: true,
+		FirstSeen: b.now.Add(-15 * 24 * time.Hour), Time: b.now,
+	}
+	xflash := ""
+	if rng.Float64() < 0.5 {
+		xflash = "18,0,0," + randDigits(rng, 3)
+	}
+	b.add(host, "/drop/"+randHex(rng, 6)+"."+ext, txOpts{
+		ua: ua, referer: prev, cookie: session, xflash: xflash,
+		ctype: ctype, size: (200 << 10) + rng.Intn(600<<10),
+	})
+	// Dead resource probes, as exploit kits rotate payload URLs.
+	for rng.Float64() < 0.4 {
+		b.advance(50*time.Millisecond, 400*time.Millisecond)
+		b.add(host, "/"+randHex(rng, 6), txOpts{
+			ua: ua, referer: prev, status: 404, ctype: "text/html", size: 250,
+		})
+	}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		b.advance(2*time.Second, 10*time.Second)
+		b.add(randCncIP(rng), "/b.php", txOpts{method: "POST", ua: ua, ctype: "text/plain", size: 48})
+	}
+	return dl
+}

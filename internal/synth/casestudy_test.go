@@ -1,0 +1,141 @@
+package synth
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dynaminer/internal/wcg"
+)
+
+var csStart = time.Date(2016, 7, 10, 19, 0, 0, 0, time.UTC)
+
+func TestStreamingSessionShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ss := GenerateStreamingSession(csStart, rng)
+
+	// Section VI-C: ~3000 transactions over 90 minutes.
+	if n := len(ss.Episode.Txs); n < 2000 || n > 4500 {
+		t.Fatalf("transactions = %d, want ~3000", n)
+	}
+	span := ss.Episode.Txs[len(ss.Episode.Txs)-1].ReqTime.Sub(ss.Episode.Txs[0].ReqTime)
+	if span < 85*time.Minute || span > 100*time.Minute {
+		t.Fatalf("session span = %v, want ~90 min", span)
+	}
+
+	// 32 downloads total, 5 malicious, exactly one fresh (the PDF).
+	if len(ss.Downloads) != 32 {
+		t.Fatalf("downloads = %d, want 32", len(ss.Downloads))
+	}
+	mal, fresh := 0, 0
+	var freshExt string
+	for _, d := range ss.Downloads {
+		if d.Malicious {
+			mal++
+			if d.FirstSeen.Equal(d.Time) {
+				fresh++
+				freshExt = d.Ext
+			}
+		}
+	}
+	if mal != 5 {
+		t.Fatalf("malicious downloads = %d, want 5", mal)
+	}
+	if fresh != 1 || freshExt != "pdf" {
+		t.Fatalf("fresh downloads = %d (%s), want 1 pdf", fresh, freshExt)
+	}
+
+	// 12 unique remote domain names (raw-IP C&C endpoints excluded).
+	hosts := make(map[string]bool)
+	for _, tx := range ss.Episode.Txs {
+		if _, err := netip.ParseAddr(tx.Host); err == nil {
+			continue
+		}
+		hosts[tx.Host] = true
+	}
+	if len(hosts) != 12 {
+		t.Fatalf("unique domains = %d, want 12", len(hosts))
+	}
+
+	// Redirect chains bounded by 4 per the case study.
+	w := wcg.FromTransactions(ss.Episode.Txs)
+	if st := w.RedirectStats(); st.MaxChainLen > 4 {
+		t.Fatalf("max chain = %d, want <= 4", st.MaxChainLen)
+	}
+}
+
+func TestStreamingSessionDeterministic(t *testing.T) {
+	a := GenerateStreamingSession(csStart, rand.New(rand.NewSource(1)))
+	b := GenerateStreamingSession(csStart, rand.New(rand.NewSource(1)))
+	if len(a.Episode.Txs) != len(b.Episode.Txs) || len(a.Downloads) != len(b.Downloads) {
+		t.Fatal("same seed must reproduce the session")
+	}
+}
+
+func TestEnterprise48hShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ec := GenerateEnterprise48h(csStart, rng)
+
+	if len(ec.Txs) == 0 {
+		t.Fatal("no traffic")
+	}
+	// Time-ordered interleaving.
+	for i := 1; i < len(ec.Txs); i++ {
+		if ec.Txs[i].ReqTime.Before(ec.Txs[i-1].ReqTime) {
+			t.Fatalf("transactions not time-ordered at %d", i)
+		}
+	}
+	// Span close to 48 hours.
+	span := ec.Txs[len(ec.Txs)-1].ReqTime.Sub(ec.Txs[0].ReqTime)
+	if span < 20*time.Hour || span > 60*time.Hour {
+		t.Fatalf("span = %v, want ~48h", span)
+	}
+
+	// Three distinct clients.
+	clients := make(map[string]bool)
+	for _, tx := range ec.Txs {
+		clients[tx.ClientIP.String()] = true
+	}
+	if len(clients) != 3 {
+		t.Fatalf("clients = %d, want 3", len(clients))
+	}
+
+	// Infection counts per host per Table VI: 4 + 3 + 1.
+	infPerHost := make(map[string]int)
+	trojanPDF := 0
+	for _, d := range ec.Downloads {
+		if d.Malicious {
+			if d.Ext == "pdf" {
+				trojanPDF++
+			} else {
+				infPerHost[d.HostName]++
+			}
+		}
+	}
+	if infPerHost["win-host"] != 4 || infPerHost["ubuntu-host"] != 3 || infPerHost["macos-host"] != 1 {
+		t.Fatalf("infections per host = %v, want 4/3/1", infPerHost)
+	}
+	if trojanPDF != 2 {
+		t.Fatalf("trojanized PDFs = %d, want 2", trojanPDF)
+	}
+
+	// Benign download schedule delivered (62 total downloads per paper:
+	// the plan plus infections; allow the schedule to not fully drain).
+	if len(ec.Downloads) < 40 {
+		t.Fatalf("downloads = %d, too few", len(ec.Downloads))
+	}
+}
+
+func TestTable6HostProfiles(t *testing.T) {
+	if len(Table6Hosts) != 3 {
+		t.Fatal("want 3 hosts")
+	}
+	totalInf := 0
+	for _, h := range Table6Hosts {
+		totalInf += len(h.InfectionExts)
+	}
+	if totalInf != 8 {
+		t.Fatalf("total embedded infections = %d, want 8 (Table VI alerts)", totalInf)
+	}
+}

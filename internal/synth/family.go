@@ -1,0 +1,457 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FamilyModel captures the Table I statistics of one exploit-kit family:
+// its share of the corpus, host-count and redirect-chain distributions, and
+// the per-episode expectation of each payload type.
+type FamilyModel struct {
+	Name   string
+	Weight int // number of PCAPs in the paper's ground truth
+
+	HostsAvg int
+	HostsMax int
+
+	RedirAvg int
+	RedirMax int
+
+	// Per-episode payload expectations (ground-truth count / Weight).
+	PDF, EXE, JAR, SWF, Crypt, JS float64
+}
+
+// Families is the Table I family mix, "Other Kits" included.
+var Families = []FamilyModel{
+	{Name: "Angler", Weight: 253, HostsAvg: 6, HostsMax: 74, RedirAvg: 1, RedirMax: 18,
+		PDF: 0, EXE: 80.0 / 253, JAR: 133.0 / 253, SWF: 0.4, Crypt: 64.0 / 253, JS: 1163.0 / 253},
+	{Name: "RIG", Weight: 62, HostsAvg: 4, HostsMax: 17, RedirAvg: 1, RedirMax: 3,
+		PDF: 0, EXE: 35.0 / 62, JAR: 74.0 / 62, SWF: 13.0 / 62, Crypt: 0, JS: 240.0 / 62},
+	{Name: "Nuclear", Weight: 132, HostsAvg: 8, HostsMax: 213, RedirAvg: 1, RedirMax: 18,
+		PDF: 8.0 / 132, EXE: 730.0 / 132, JAR: 146.0 / 132, SWF: 13.0 / 132, Crypt: 11.0 / 132, JS: 935.0 / 132},
+	{Name: "Magnitude", Weight: 43, HostsAvg: 20, HostsMax: 231, RedirAvg: 2, RedirMax: 12,
+		PDF: 0, EXE: 862.0 / 43, JAR: 22.0 / 43, SWF: 0, Crypt: 2.0 / 43, JS: 330.0 / 43},
+	{Name: "SweetOrange", Weight: 33, HostsAvg: 8, HostsMax: 90, RedirAvg: 1, RedirMax: 6,
+		PDF: 0, EXE: 310.0 / 33, JAR: 22.0 / 33, SWF: 0, Crypt: 0, JS: 227.0 / 33},
+	{Name: "FlashPack", Weight: 29, HostsAvg: 5, HostsMax: 15, RedirAvg: 2, RedirMax: 8,
+		PDF: 0, EXE: 556.0 / 29, JAR: 35.0 / 29, SWF: 0, Crypt: 0, JS: 159.0 / 29},
+	{Name: "Neutrino", Weight: 40, HostsAvg: 6, HostsMax: 30, RedirAvg: 2, RedirMax: 14,
+		PDF: 0, EXE: 45.0 / 40, JAR: 31.0 / 40, SWF: 5.0 / 40, Crypt: 6.0 / 40, JS: 217.0 / 40},
+	{Name: "Goon", Weight: 19, HostsAvg: 9, HostsMax: 90, RedirAvg: 2, RedirMax: 30,
+		PDF: 0, EXE: 78.0 / 19, JAR: 15.0 / 19, SWF: 10.0 / 19, Crypt: 0, JS: 71.0 / 19},
+	{Name: "Fiesta", Weight: 89, HostsAvg: 7, HostsMax: 182, RedirAvg: 1, RedirMax: 3,
+		PDF: 21.0 / 89, EXE: 226.0 / 89, JAR: 72.0 / 89, SWF: 63.0 / 89, Crypt: 0, JS: 414.0 / 89},
+	{Name: "Other Kits", Weight: 70, HostsAvg: 4, HostsMax: 68, RedirAvg: 1, RedirMax: 5,
+		PDF: 1.0 / 70, EXE: 420.0 / 70, JAR: 13.0 / 70, SWF: 4.0 / 70, Crypt: 0, JS: 271.0 / 70},
+}
+
+// FamilyByName returns the model for a family.
+func FamilyByName(name string) (FamilyModel, error) {
+	for _, f := range Families {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return FamilyModel{}, fmt.Errorf("%w: %q", errUnknownFamily, name)
+}
+
+// Enticement categories with the Figure 1 shares. Redacted referrers behave
+// like empty ones on the wire but are tracked as their own category.
+var enticements = []struct {
+	name  string
+	share float64
+}{
+	{"google", 0.37},
+	{"bing", 0.25},
+	{"empty", 0.1776},
+	{"compromised", 0.1284},
+	{"redacted", 0.0751},
+	{"social", 0.009},
+}
+
+func pickEnticement(rng *rand.Rand) string {
+	total := 0.0
+	for _, e := range enticements {
+		total += e.share
+	}
+	r := rng.Float64() * total
+	for _, e := range enticements {
+		if r < e.share {
+			return e.name
+		}
+		r -= e.share
+	}
+	return "empty"
+}
+
+// entryReferer renders an enticement category into the Referer of the first
+// request and possibly a compromised entry URI.
+func entryReferer(ent string, rng *rand.Rand) (referer, entryURI string) {
+	switch ent {
+	case "google":
+		return "http://google.com/search?q=" + randWord(rng), "/" + randWord(rng)
+	case "bing":
+		return "http://bing.com/search?q=" + randWord(rng), "/" + randWord(rng)
+	case "social":
+		return "http://facebook.com/l.php?u=" + randWord(rng), "/" + randWord(rng)
+	case "compromised":
+		// Predominantly WordPress-style URIs (Section II-B).
+		if rng.Float64() < 0.6 {
+			return "", "/wp-content/plugins/" + randWord(rng) + "/view.php"
+		}
+		return "", "/index.php?option=com_" + randWord(rng)
+	default: // empty, redacted
+		return "", "/" + randWord(rng)
+	}
+}
+
+// userAgents seen across the corpus.
+var userAgents = []string{
+	"Mozilla/4.0 (compatible; MSIE 8.0; Windows NT 6.1)",
+	"Mozilla/5.0 (Windows NT 6.1; rv:38.0) Gecko/20100101 Firefox/38.0",
+	"Mozilla/5.0 (Macintosh; Intel Mac OS X 10_10) AppleWebKit/600.1",
+	"Mozilla/5.0 (X11; Ubuntu; Linux x86_64; rv:41.0) Gecko Firefox/41.0",
+}
+
+// Rates of the paper's false-negative-shaped infection variants.
+const (
+	// noRedirectCompressedRate: infections with no redirections (11 of the
+	// 770 ground-truth WCGs per Section VII), modeled as delivering a
+	// compressed payload per the false-negative analysis.
+	noRedirectCompressedRate = 11.0 / 770
+	// noCallbackRate: infections without post-download dynamics (62 of 770).
+	noCallbackRate = 62.0 / 770
+)
+
+// infectionTweaks parameterizes evasion variants of the infection
+// generator, modeling the adversarial moves of the paper's Section VII.
+type infectionTweaks struct {
+	// NoRedirects skips the redirection chain ("cloaked redirection
+	// dynamics": the victim is led directly to the exploit server).
+	NoRedirects bool
+	// CompressedOnly replaces exploit-class payloads with a compressed
+	// archive (the paper's leading false-negative cause).
+	CompressedOnly bool
+	// Fileless drops nothing at all ("cloaked download dynamics" /
+	// in-memory infection).
+	Fileless bool
+	// NoCallback suppresses post-download C&C traffic.
+	NoCallback bool
+	// CallbackDelay postpones the first call-back by this much ("delaying
+	// the call to the C&C server").
+	CallbackDelay time.Duration
+}
+
+// EvasionModes names the Section VII evasion strategies accepted by
+// GenerateEvasiveInfection.
+var EvasionModes = []string{
+	"none", "no-redirect", "compressed-payload", "fileless", "no-callback", "delayed-callback",
+}
+
+// GenerateEvasiveInfection synthesizes an infection episode of the family
+// with one of the paper's Section VII evasion strategies applied.
+func GenerateEvasiveInfection(mode, family string, at time.Time, rng *rand.Rand) (Episode, error) {
+	var tw infectionTweaks
+	switch mode {
+	case "none":
+	case "no-redirect":
+		tw.NoRedirects = true
+	case "compressed-payload":
+		tw.CompressedOnly = true
+	case "fileless":
+		tw.Fileless = true
+	case "no-callback":
+		tw.NoCallback = true
+	case "delayed-callback":
+		tw.CallbackDelay = time.Duration(10+rng.Intn(20)) * time.Minute
+	default:
+		return Episode{}, fmt.Errorf("synth: unknown evasion mode %q", mode)
+	}
+	return generateInfection(family, at, rng, tw), nil
+}
+
+// GenerateInfection synthesizes one exploit-kit infection episode of the
+// given family starting at the given time, with the ground-truth corpus's
+// natural variant rates (a small fraction redirect-free with compressed
+// payloads, ~8% without call-backs).
+func GenerateInfection(family string, at time.Time, rng *rand.Rand) Episode {
+	var tw infectionTweaks
+	if rng.Float64() < noRedirectCompressedRate {
+		tw.NoRedirects = true
+		tw.CompressedOnly = true
+		tw.NoCallback = true
+	}
+	if rng.Float64() < noCallbackRate {
+		tw.NoCallback = true
+	}
+	return generateInfection(family, at, rng, tw)
+}
+
+func generateInfection(family string, at time.Time, rng *rand.Rand, tw infectionTweaks) Episode {
+	model, err := FamilyByName(family)
+	if err != nil {
+		model = Families[len(Families)-1] // fall back to "Other Kits"
+	}
+	b := newBuilder(at, rng)
+	ent := pickEnticement(rng)
+	referer, entryURI := entryReferer(ent, rng)
+	ua := userAgents[rng.Intn(len(userAgents))]
+	session := "PHPSESSID=" + randHex(rng, 16)
+
+	// --- Pre-download: redirection chain to the exploit server. ---
+	redirects := sampleCount(model.RedirAvg, model.RedirMax, rng)
+	if tw.NoRedirects {
+		redirects = 0
+	}
+	entry := randMaliciousHost(rng)
+	if ent == "compromised" {
+		entry = randBenignHost(rng) // a legitimate but compromised site
+	}
+	chain := []string{entry}
+	for i := 0; i < redirects; i++ {
+		chain = append(chain, randMaliciousHost(rng))
+	}
+	exploitHost := randMaliciousHost(rng)
+
+	prev := referer
+	for i, host := range chain {
+		uri := entryURI
+		if i > 0 {
+			uri = "/gate.php?id=" + randHex(rng, 6)
+		}
+		isLast := i == len(chain)-1
+		if isLast {
+			// Landing page: 200 HTML carrying an iframe to the exploit host.
+			body := landingBody(exploitHost, rng)
+			b.add(host, uri, txOpts{
+				referer: prev, ua: ua, ctype: "text/html", body: body, cookie: session,
+			})
+		} else {
+			b.add(host, uri, txOpts{
+				referer: prev, ua: ua, status: 302,
+				location: url(chain[i+1], "/gate.php?id="+randHex(rng, 6)),
+			})
+		}
+		prev = url(host, uri)
+		b.advance(30*time.Millisecond, 400*time.Millisecond)
+	}
+
+	// JS fetched along the chain (fingerprinting / plugin detection code).
+	jsCount := samplePoissonish(model.JS, rng)
+	for i := 0; i < jsCount; i++ {
+		host := chain[rng.Intn(len(chain))]
+		b.add(host, "/"+randWord(rng)+".js", txOpts{
+			referer: prev, ua: ua, ctype: "application/javascript",
+			size: 400 + rng.Intn(8000),
+		})
+		b.advance(20*time.Millisecond, 250*time.Millisecond)
+	}
+
+	// --- Download stage. ---
+	// X-Flash-Version travels with Flash-related fetches; Flash-heavy kits
+	// trigger it more often, but benign Flash content sends it too (see
+	// the benign video scenario), so it is indicative, not decisive.
+	xflash := ""
+	if rng.Float64() < 0.35+0.25*minFloat(model.SWF, 1) {
+		xflash = "18,0,0," + randDigits(rng, 3)
+	}
+	type drop struct {
+		ext, ctype string
+		min, max   int
+	}
+	drops := []struct {
+		mean float64
+		d    drop
+	}{
+		{model.PDF, drop{"pdf", "application/pdf", 50 << 10, 300 << 10}},
+		{model.EXE, drop{"exe", "application/x-msdownload", 100 << 10, 900 << 10}},
+		{model.JAR, drop{"jar", "application/java-archive", 5 << 10, 60 << 10}},
+		{model.SWF, drop{"swf", "application/x-shockwave-flash", 20 << 10, 120 << 10}},
+		{model.Crypt, drop{"crypt", "application/octet-stream", 100 << 10, 1 << 20}},
+	}
+	dropped := 0
+	if !tw.Fileless && !tw.CompressedOnly {
+		for _, dd := range drops {
+			n := samplePoissonish(dd.mean, rng)
+			// Cap bulk droppers (Magnitude serves ~20 EXEs per episode, keep
+			// the long tail but bound generation cost).
+			if n > 30 {
+				n = 30
+			}
+			for i := 0; i < n; i++ {
+				ext := dd.d.ext
+				if ext == "crypt" {
+					ext = randCryptExt(rng)
+				}
+				b.add(exploitHost, "/"+randHex(rng, 8)+"."+ext, txOpts{
+					referer: prev, ua: ua, cookie: session, xflash: xflash,
+					ctype: dd.d.ctype, size: dd.d.min + rng.Intn(dd.d.max-dd.d.min),
+				})
+				b.advance(150*time.Millisecond, 1500*time.Millisecond)
+				dropped++
+			}
+		}
+	}
+	switch {
+	case tw.Fileless:
+		// In-memory infection: the exploit runs off the landing page; the
+		// only server contact is a final script fetch.
+		b.add(exploitHost, "/"+randWord(rng)+".js", txOpts{
+			referer: prev, ua: ua, cookie: session,
+			ctype: "application/javascript", size: 2000 + rng.Intn(30000),
+		})
+		b.advance(200*time.Millisecond, time.Second)
+	case tw.CompressedOnly:
+		// Compressed payload: no exploit-class file types on the wire.
+		b.add(exploitHost, "/"+randHex(rng, 8)+".zip", txOpts{
+			referer: prev, ua: ua, ctype: "application/zip",
+			size: (200 << 10) + rng.Intn(1<<20),
+		})
+		b.advance(time.Second, 3*time.Second)
+	case dropped == 0:
+		// Every non-evasive infection episode involves at least one
+		// exploit download (Section VII).
+		b.add(exploitHost, "/"+randHex(rng, 8)+".exe", txOpts{
+			referer: prev, ua: ua, cookie: session, xflash: xflash,
+			ctype: "application/x-msdownload", size: (100 << 10) + rng.Intn(800<<10),
+		})
+		b.advance(150*time.Millisecond, 1500*time.Millisecond)
+	}
+
+	// Sprinkle 40x errors: exploit kits probe and rotate resources (Fig 4).
+	for rng.Float64() < 0.45 {
+		b.add(exploitHost, "/"+randHex(rng, 6), txOpts{
+			referer: prev, ua: ua, status: 404, ctype: "text/html", size: 250,
+		})
+		b.advance(50*time.Millisecond, 500*time.Millisecond)
+	}
+
+	// --- Filler hosts up to the family's host-count profile. ---
+	target := sampleCount(model.HostsAvg, model.HostsMax, rng)
+	for extra := len(chain) + 2; extra < target; extra++ {
+		host := randAdHost(rng)
+		b.add(host, "/"+randWord(rng)+".gif", txOpts{
+			referer: prev, ua: ua, ctype: "image/gif", size: 40 + rng.Intn(3000),
+		})
+		b.advance(20*time.Millisecond, 300*time.Millisecond)
+	}
+
+	// --- Post-download: C&C callbacks to never-before-seen IPs. ---
+	if !tw.NoCallback {
+		b.advance(2*time.Second, 20*time.Second)
+		if tw.CallbackDelay > 0 {
+			b.now = b.now.Add(tw.CallbackDelay)
+		}
+		calls := 1 + rng.Intn(4)
+		for i := 0; i < calls; i++ {
+			host := randCncIP(rng)
+			status := 200
+			if rng.Float64() < 0.2 {
+				status = 404
+			}
+			b.add(host, "/"+randWord(rng)+".php", txOpts{
+				method: "POST", ua: ua, status: status,
+				ctype: "text/plain", size: 16 + rng.Intn(128),
+			})
+			b.advance(2*time.Second, 12*time.Second)
+		}
+	}
+
+	// --- Benign background traffic. The infection dynamics "is often
+	// buried in benign traffic" (Section I): the victim keeps browsing
+	// normally before, during and after the infection, which blurs the
+	// header and temporal aggregates the way real captures do.
+	bg := newBuilder(at, rng)
+	bg.victim = b.victim
+	bg.port = b.port
+	window := b.now.Sub(at) + time.Duration(5+rng.Intn(15))*time.Second
+	bgVisits := 1 + rng.Intn(4)
+	// The victim revisits a small set of sites; only the first visit to
+	// each lacks a referrer, as in real click-through browsing.
+	bgSites := make([]string, 1+rng.Intn(2))
+	for i := range bgSites {
+		bgSites[i] = randBenignHost(rng)
+	}
+	seenSite := make(map[string]string) // site -> last page URL
+	for visits := bgVisits; visits > 0; visits-- {
+		bg.now = at.Add(time.Duration(rng.Int63n(int64(window) + 1)))
+		site := bgSites[rng.Intn(len(bgSites))]
+		uri := "/" + randWord(rng)
+		bg.add(site, uri, txOpts{
+			referer: seenSite[site], ua: ua, ctype: "text/html", size: 1500 + rng.Intn(30000),
+		})
+		seenSite[site] = url(site, uri)
+		for res := rng.Intn(3); res > 0; res-- {
+			bg.advance(60*time.Millisecond, 500*time.Millisecond)
+			bg.add(site, "/"+randWord(rng)+".png", txOpts{
+				referer: seenSite[site], ua: ua, ctype: "image/png", size: 400 + rng.Intn(40000),
+			})
+		}
+	}
+	txs := append(b.txs, bg.txs...)
+	sort.SliceStable(txs, func(i, j int) bool { return txs[i].ReqTime.Before(txs[j].ReqTime) })
+
+	return Episode{Infection: true, Family: model.Name, Enticement: ent, Txs: txs}
+}
+
+// landingBody renders an exploit-kit landing page with an iframe redirect
+// to the exploit host, obfuscated about a third of the time.
+func landingBody(exploitHost string, rng *rand.Rand) []byte {
+	target := url(exploitHost, "/"+randWord(rng))
+	iframe := `<iframe src="` + target + `" width=1 height=1></iframe>`
+	if rng.Float64() < 0.35 {
+		// Percent-encode the scheme to mimic obfuscated droppers.
+		iframe = strings.Replace(iframe, "http://", "%68%74%74%70://", 1)
+	}
+	return []byte("<html><body>" + randWord(rng) + iframe + "</body></html>")
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sampleCount draws a count with the given mean and max: exponential
+// around the mean with a hard floor of the minimum meaningful value, a
+// cap, and a rare heavy tail reaching toward the cap — Table I's per-family
+// maxima (213-host Nuclear episodes, 30-hop Goon chains) are outliers that
+// a pure exponential never produces.
+func sampleCount(avg, max int, rng *rand.Rand) int {
+	if avg <= 0 {
+		return 0
+	}
+	if max > 4*avg && rng.Float64() < 0.02 {
+		// Tail episode: land in the top half of the range.
+		return max/2 + rng.Intn(max/2+1)
+	}
+	v := int(rng.ExpFloat64() * float64(avg))
+	if v < avg/2 {
+		v = avg/2 + rng.Intn(avg/2+1)
+	}
+	if v > max {
+		v = max
+	}
+	return v
+}
+
+// samplePoissonish draws a non-negative count with the given mean: the
+// integer part plus a Bernoulli trial on the fraction, with a small
+// geometric tail.
+func samplePoissonish(mean float64, rng *rand.Rand) int {
+	n := int(mean)
+	frac := mean - float64(n)
+	if rng.Float64() < frac {
+		n++
+	}
+	for n > 0 && rng.Float64() < 0.15 {
+		n++
+		break
+	}
+	return n
+}

@@ -1,0 +1,12 @@
+package synth
+
+import (
+	"bytes"
+
+	"dynaminer/internal/pcap"
+)
+
+// readAllPackets parses an in-memory pcap capture.
+func readAllPackets(data []byte) ([]pcap.Packet, error) {
+	return pcap.ReadAll(bytes.NewReader(data))
+}

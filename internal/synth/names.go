@@ -1,0 +1,77 @@
+package synth
+
+import (
+	"math/rand"
+	"strconv"
+)
+
+var (
+	syllables  = []string{"net", "soft", "blog", "shop", "news", "media", "cloud", "tech", "data", "info", "web", "play", "game", "mail", "photo", "video", "travel", "food", "music", "sport"}
+	benignTLDs = []string{"com", "com", "com", "net", "org", "io", "co"}
+	shadyTLDs  = []string{"ru", "info", "biz", "top", "xyz", "pw", "cc", "com", "net"}
+	adWords    = []string{"ads", "track", "pixel", "banner", "click", "stat", "cdn", "metrics"}
+	words      = []string{"index", "view", "watch", "page", "item", "post", "story", "offer", "deal", "update", "main", "home", "search", "result"}
+)
+
+func randWord(rng *rand.Rand) string {
+	return words[rng.Intn(len(words))] + strconv.Itoa(rng.Intn(1000))
+}
+
+func randHex(rng *rand.Rand, n int) string {
+	const hexDigits = "0123456789abcdef"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = hexDigits[rng.Intn(16)]
+	}
+	return string(b)
+}
+
+func randDigits(rng *rand.Rand, n int) string {
+	const digits = "0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = digits[rng.Intn(10)]
+	}
+	return string(b)
+}
+
+// randBenignHost generates a plausible legitimate site name.
+func randBenignHost(rng *rand.Rand) string {
+	return syllables[rng.Intn(len(syllables))] +
+		syllables[rng.Intn(len(syllables))] +
+		strconv.Itoa(rng.Intn(100)) + "." + benignTLDs[rng.Intn(len(benignTLDs))]
+}
+
+// randMaliciousHost generates an exploit-kit-style throwaway domain.
+func randMaliciousHost(rng *rand.Rand) string {
+	return randHex(rng, 3+rng.Intn(8)) + syllables[rng.Intn(len(syllables))] +
+		"." + shadyTLDs[rng.Intn(len(shadyTLDs))]
+}
+
+// randAdHost generates an advertising / tracking host name.
+func randAdHost(rng *rand.Rand) string {
+	return adWords[rng.Intn(len(adWords))] + strconv.Itoa(rng.Intn(1000)) +
+		"." + benignTLDs[rng.Intn(len(benignTLDs))]
+}
+
+// randCncIP generates a raw-IP C&C endpoint, matching the paper's
+// observation that post-download hosts are fresh IP addresses.
+func randCncIP(rng *rand.Rand) string {
+	return "185." + strconv.Itoa(rng.Intn(256)) + "." +
+		strconv.Itoa(rng.Intn(256)) + "." + strconv.Itoa(1+rng.Intn(254))
+}
+
+var cryptExts = []string{"crypt", "locky", "cerber", "zepto", "vault", "ecc", "xtbl", "micro", "locked", "encrypted"}
+
+func randCryptExt(rng *rand.Rand) string {
+	return cryptExts[rng.Intn(len(cryptExts))]
+}
+
+// Popular destinations used by the benign scenario models.
+var (
+	searchEngines = []string{"google.com", "bing.com"}
+	socialSites   = []string{"facebook.com", "twitter.com"}
+	webmailSites  = []string{"mail.google.com", "mail.yahoo.com"}
+	videoSites    = []string{"youtube.com"}
+	storeSites    = []string{"downloads.vendor-store.com", "apps.trusted-repo.org"}
+)

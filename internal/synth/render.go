@@ -1,0 +1,161 @@
+package synth
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dynaminer/internal/httpstream"
+	"dynaminer/internal/pcap"
+)
+
+// maxRenderedBody caps response bodies written into pcap files so multi-
+// hundred-megabyte synthetic payloads do not bloat captures. Payload *size*
+// is irrelevant to the 37 features (only counts and types matter), so the
+// cap does not change analytics results on the pcap path.
+const maxRenderedBody = 64 << 10
+
+// Conversations renders the episode into TCP conversations with real HTTP
+// bytes, one conversation per (client port, server) pair, ready to be
+// written as a pcap file and re-parsed by the full ingestion pipeline.
+func (e *Episode) Conversations() []pcap.Conversation {
+	// Group transactions by server, keeping capture order within a group.
+	type group struct {
+		key string
+		txs []*httpstream.Transaction
+	}
+	var order []string
+	byServer := make(map[string]*group)
+	for i := range e.Txs {
+		tx := &e.Txs[i]
+		key := tx.Host + "|" + tx.ServerIP.String()
+		g, ok := byServer[key]
+		if !ok {
+			g = &group{key: key}
+			byServer[key] = g
+			order = append(order, key)
+		}
+		g.txs = append(g.txs, tx)
+	}
+
+	convs := make([]pcap.Conversation, 0, len(order))
+	for gi, key := range order {
+		g := byServer[key]
+		first := g.txs[0]
+		conv := pcap.Conversation{
+			ClientIP:   first.ClientIP,
+			ServerIP:   first.ServerIP,
+			ClientPort: first.ClientPort + uint16(gi),
+			ServerPort: first.ServerPort,
+		}
+		for _, tx := range g.txs {
+			conv.Exchanges = append(conv.Exchanges,
+				pcap.Exchange{ClientToServer: true, Payload: renderRequest(tx), Timestamp: tx.ReqTime},
+				pcap.Exchange{ClientToServer: false, Payload: renderResponse(tx), Timestamp: tx.RespTime},
+			)
+		}
+		convs = append(convs, conv)
+	}
+	return convs
+}
+
+// WritePCAP renders the episode and writes it as a pcap capture.
+func (e *Episode) WritePCAP(w io.Writer) error {
+	return pcap.WriteConversations(w, e.Conversations())
+}
+
+// renderRequest serializes the request half of a transaction as HTTP/1.1
+// wire bytes.
+func renderRequest(tx *httpstream.Transaction) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s HTTP/1.1\r\nHost: %s\r\n", tx.Method, tx.URI, tx.Host)
+	keys := make([]string, 0, len(tx.ReqHdr))
+	for k := range tx.ReqHdr {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, v := range tx.ReqHdr[k] {
+			fmt.Fprintf(&sb, "%s: %s\r\n", k, v)
+		}
+	}
+	if tx.Method == "POST" {
+		sb.WriteString("Content-Length: 11\r\nContent-Type: application/x-www-form-urlencoded\r\n\r\ndata=beacon")
+		return []byte(sb.String())
+	}
+	sb.WriteString("\r\n")
+	return []byte(sb.String())
+}
+
+// renderResponse serializes the response half of a transaction. Body bytes
+// come from tx.Body when present (redirect-bearing documents), otherwise
+// filler of the declared size capped at maxRenderedBody.
+func renderResponse(tx *httpstream.Transaction) []byte {
+	body := tx.Body
+	if len(body) == 0 && tx.BodySize > 0 {
+		n := tx.BodySize
+		if n > maxRenderedBody {
+			n = maxRenderedBody
+		}
+		body = make([]byte, n)
+		for i := range body {
+			body[i] = 'x'
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "HTTP/1.1 %d %s\r\n", tx.StatusCode, statusText(tx.StatusCode))
+	if tx.ContentType != "" {
+		fmt.Fprintf(&sb, "Content-Type: %s\r\n", tx.ContentType)
+	}
+	if loc := tx.RespHdr.Get("Location"); loc != "" {
+		fmt.Fprintf(&sb, "Location: %s\r\n", loc)
+	}
+	if sc := tx.RespHdr.Get("Set-Cookie"); sc != "" {
+		fmt.Fprintf(&sb, "Set-Cookie: %s\r\n", sc)
+	}
+	fmt.Fprintf(&sb, "Content-Length: %d\r\n\r\n", len(body))
+	out := append([]byte(sb.String()), body...)
+	return out
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 301:
+		return "Moved Permanently"
+	case 302:
+		return "Found"
+	case 304:
+		return "Not Modified"
+	case 404:
+		return "Not Found"
+	case 403:
+		return "Forbidden"
+	case 500:
+		return "Internal Server Error"
+	default:
+		return "Status"
+	}
+}
+
+// WritePCAPNG renders the episode and writes it as a pcapng capture.
+func (e *Episode) WritePCAPNG(w io.Writer) error {
+	var all []pcap.Packet
+	for i, c := range e.Conversations() {
+		pkts, err := pcap.BuildConversation(c)
+		if err != nil {
+			return fmt.Errorf("conversation %d: %w", i, err)
+		}
+		all = append(all, pkts...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Timestamp.Before(all[j].Timestamp) })
+	nw := pcap.NewNGWriter(w)
+	for _, p := range all {
+		if err := nw.WritePacket(p); err != nil {
+			return err
+		}
+	}
+	return nw.Flush()
+}

@@ -1,0 +1,216 @@
+// Package synth generates the ground-truth corpus DynaMiner is trained and
+// evaluated on. The paper's dataset (770 exploit-kit infection PCAPs from
+// malware-traffic-analysis.net plus 980 benign browsing captures) is not
+// redistributable, so this package synthesizes statistically equivalent
+// episodes: per-family models parameterized with Table I's host counts,
+// redirect-chain lengths and payload mixes, the Figure 1/2 enticement
+// distribution, Section II's timing statistics, and the noise sources the
+// paper's misclassification analysis names (redirect-free compressed-
+// payload infections, benign downloads from unofficial sources, torrent
+// sessions). Because DynaMiner is payload-agnostic, reproducing these
+// observable distributions reproduces the learning problem.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/netip"
+	"time"
+
+	"dynaminer/internal/httpstream"
+)
+
+// Episode is one labeled conversation: the unit of ground truth.
+type Episode struct {
+	Infection  bool
+	Family     string // exploit-kit family, or benign scenario name
+	Enticement string // "google", "bing", "social", "compromised", "empty", "redacted", "legit"
+	Txs        []httpstream.Transaction
+}
+
+// Config parameterizes corpus generation.
+type Config struct {
+	// Seed drives all randomness; equal seeds give equal corpora.
+	Seed int64
+	// Infections and Benign are episode counts. Zero values default to the
+	// paper's ground truth sizes (770 / 980).
+	Infections int
+	Benign     int
+	// StartTime anchors episode timestamps; zero defaults to the ground
+	// truth collection window.
+	StartTime time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Infections == 0 {
+		c.Infections = 770
+	}
+	if c.Benign == 0 {
+		c.Benign = 980
+	}
+	if c.StartTime.IsZero() {
+		c.StartTime = time.Date(2016, 3, 1, 8, 0, 0, 0, time.UTC)
+	}
+	return c
+}
+
+// GenerateCorpus produces the labeled episode corpus: infections drawn from
+// the family mix of Table I and benign episodes from the Section II-A
+// browsing scenarios. The order interleaves classes deterministically.
+func GenerateCorpus(cfg Config) []Episode {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	episodes := make([]Episode, 0, cfg.Infections+cfg.Benign)
+
+	fams := familyPicks(cfg.Infections, rng)
+	for i := 0; i < cfg.Infections; i++ {
+		at := cfg.StartTime.Add(time.Duration(rng.Int63n(int64(90 * 24 * time.Hour))))
+		episodes = append(episodes, GenerateInfection(fams[i], at, rng))
+	}
+	for i := 0; i < cfg.Benign; i++ {
+		at := cfg.StartTime.Add(time.Duration(rng.Int63n(int64(90 * 24 * time.Hour))))
+		episodes = append(episodes, GenerateBenign(benignScenario(rng), at, rng))
+	}
+	rng.Shuffle(len(episodes), func(i, j int) { episodes[i], episodes[j] = episodes[j], episodes[i] })
+	return episodes
+}
+
+// familyPicks distributes n infections over the families proportionally to
+// the Table I PCAP counts.
+func familyPicks(n int, rng *rand.Rand) []string {
+	total := 0
+	for _, f := range Families {
+		total += f.Weight
+	}
+	out := make([]string, n)
+	for i := range out {
+		r := rng.Intn(total)
+		for _, f := range Families {
+			if r < f.Weight {
+				out[i] = f.Name
+				break
+			}
+			r -= f.Weight
+		}
+	}
+	return out
+}
+
+// episodeBuilder accumulates transactions with a moving clock.
+type episodeBuilder struct {
+	rng    *rand.Rand
+	now    time.Time
+	victim netip.Addr
+	port   uint16
+	txs    []httpstream.Transaction
+}
+
+func newBuilder(start time.Time, rng *rand.Rand) *episodeBuilder {
+	return &episodeBuilder{
+		rng:    rng,
+		now:    start,
+		victim: netip.AddrFrom4([4]byte{10, 0, byte(rng.Intn(250)), byte(1 + rng.Intn(250))}),
+		port:   uint16(49152 + rng.Intn(10000)),
+	}
+}
+
+// advance moves the clock forward by a uniform duration in [min,max].
+func (b *episodeBuilder) advance(min, max time.Duration) {
+	span := int64(max - min)
+	if span <= 0 {
+		b.now = b.now.Add(min)
+		return
+	}
+	b.now = b.now.Add(min + time.Duration(b.rng.Int63n(span)))
+}
+
+// txOpts carries the optional fields of a generated transaction.
+type txOpts struct {
+	method   string
+	status   int
+	ctype    string
+	size     int
+	referer  string
+	location string
+	body     []byte
+	cookie   string
+	ua       string
+	dnt      bool
+	xflash   string
+	respLag  time.Duration
+}
+
+// add appends one transaction at the current clock.
+func (b *episodeBuilder) add(host, uri string, o txOpts) {
+	if o.method == "" {
+		o.method = "GET"
+	}
+	if o.status == 0 {
+		o.status = 200
+	}
+	if o.respLag == 0 {
+		o.respLag = time.Duration(10+b.rng.Intn(120)) * time.Millisecond
+	}
+	reqHdr := http.Header{}
+	if o.referer != "" {
+		reqHdr.Set("Referer", o.referer)
+	}
+	if o.cookie != "" {
+		reqHdr.Set("Cookie", o.cookie)
+	}
+	if o.ua != "" {
+		reqHdr.Set("User-Agent", o.ua)
+	}
+	if o.dnt {
+		reqHdr.Set("DNT", "1")
+	}
+	if o.xflash != "" {
+		reqHdr.Set("X-Flash-Version", o.xflash)
+	}
+	respHdr := http.Header{}
+	if o.location != "" {
+		respHdr.Set("Location", o.location)
+	}
+	if o.ctype != "" {
+		respHdr.Set("Content-Type", o.ctype)
+	}
+	size := o.size
+	if size == 0 && len(o.body) > 0 {
+		size = len(o.body)
+	}
+	b.txs = append(b.txs, httpstream.Transaction{
+		ClientIP:    b.victim,
+		ServerIP:    ipForHost(host),
+		ClientPort:  b.port,
+		ServerPort:  80,
+		Method:      o.method,
+		URI:         uri,
+		Host:        host,
+		ReqHdr:      reqHdr,
+		ReqTime:     b.now,
+		StatusCode:  o.status,
+		RespHdr:     respHdr,
+		RespTime:    b.now.Add(o.respLag),
+		ContentType: o.ctype,
+		BodySize:    size,
+		Body:        o.body,
+	})
+}
+
+// url builds an absolute URL for referrer/location fields.
+func url(host, uri string) string { return "http://" + host + uri }
+
+// ipForHost derives a stable pseudo-random public IPv4 for a hostname, so
+// repeated contacts hit the same address and distinct hosts differ.
+func ipForHost(host string) netip.Addr {
+	var h uint32 = 2166136261
+	for i := 0; i < len(host); i++ {
+		h ^= uint32(host[i])
+		h *= 16777619
+	}
+	// Map into 198.18.0.0/15 (benchmark range, never a victim 10/8 address).
+	return netip.AddrFrom4([4]byte{198, byte(18 + (h>>24)&1), byte(h >> 16), byte(h >> 8)})
+}
+
+var errUnknownFamily = fmt.Errorf("synth: unknown family")

@@ -1,0 +1,204 @@
+package vtsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+var (
+	seen = time.Date(2016, 6, 1, 0, 0, 0, 0, time.UTC)
+)
+
+func TestScanDeterministic(t *testing.T) {
+	e := Default()
+	at := seen.Add(48 * time.Hour)
+	a := e.Scan("sample-1", true, seen, at)
+	b := e.Scan("sample-1", true, seen, at)
+	if a != b {
+		t.Fatalf("scans differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestFreshMalwareUndetected(t *testing.T) {
+	e := Default()
+	misses := 0
+	n := 500
+	for i := 0; i < n; i++ {
+		v := e.Scan(fmt.Sprintf("fresh-%d", i), true, seen, seen)
+		if !v.Flagged(e.Threshold) {
+			misses++
+		}
+	}
+	// At age zero signatures have not shipped: nearly everything is missed.
+	if misses < n*95/100 {
+		t.Fatalf("fresh samples missed = %d/%d, want nearly all", misses, n)
+	}
+}
+
+func TestMatureMalwareMostlyDetected(t *testing.T) {
+	e := Default()
+	hits := 0
+	n := 2000
+	at := seen.Add(60 * 24 * time.Hour) // two months old
+	for i := 0; i < n; i++ {
+		v := e.Scan(fmt.Sprintf("old-%d", i), true, seen, at)
+		if v.Flagged(e.Threshold) {
+			hits++
+		}
+	}
+	rate := float64(hits) / float64(n)
+	// Table V shape: ~84% of validation infections flagged.
+	if rate < 0.75 || rate > 0.92 {
+		t.Fatalf("mature detection rate = %v, want ~0.84", rate)
+	}
+}
+
+func TestBenignFPRate(t *testing.T) {
+	e := Default()
+	flagged := 0
+	n := 3000
+	for i := 0; i < n; i++ {
+		v := e.Scan(fmt.Sprintf("benign-%d", i), false, seen, seen)
+		if v.Flagged(e.Threshold) {
+			flagged++
+		}
+	}
+	rate := float64(flagged) / float64(n)
+	// Table V shape: 91/1500 = ~6% of benign flagged.
+	if rate < 0.03 || rate > 0.10 {
+		t.Fatalf("benign FP rate = %v, want ~0.06", rate)
+	}
+}
+
+func TestTimeoutRate(t *testing.T) {
+	e := Default()
+	timeouts := 0
+	n := 5000
+	for i := 0; i < n; i++ {
+		v := e.Scan(fmt.Sprintf("t-%d", i), true, seen, seen)
+		if v.TimedOut {
+			timeouts++
+			if v.Flagged(e.Threshold) {
+				t.Fatal("timed-out scan must not flag")
+			}
+		}
+	}
+	rate := float64(timeouts) / float64(n)
+	if rate < 0.005 || rate > 0.03 {
+		t.Fatalf("timeout rate = %v, want ~0.015", rate)
+	}
+}
+
+func TestDetectionsBounded(t *testing.T) {
+	e := Default()
+	for i := 0; i < 500; i++ {
+		v := e.Scan(fmt.Sprintf("b-%d", i), true, seen, seen.Add(365*24*time.Hour))
+		if v.Detections < 0 || v.Detections > e.Engines {
+			t.Fatalf("detections out of range: %d", v.Detections)
+		}
+	}
+}
+
+func TestDetectionDateLag(t *testing.T) {
+	e := Default()
+	// Across many samples, detection dates must span a lag distribution:
+	// some immediate-ish, some after many days, some never.
+	histogram := map[string]int{"early": 0, "late": 0, "never": 0}
+	n := 400
+	for i := 0; i < n; i++ {
+		d := e.DetectionDate(fmt.Sprintf("lag-%d", i), seen, 60)
+		switch {
+		case d < 0:
+			histogram["never"]++
+		case d <= 3:
+			histogram["early"]++
+		default:
+			histogram["late"]++
+		}
+	}
+	if histogram["late"] == 0 {
+		t.Fatal("no samples with multi-day lag; the 11-days-early scenario is impossible")
+	}
+	if histogram["never"] == 0 {
+		t.Fatal("every sample eventually detected; hard samples missing")
+	}
+	if histogram["early"] == 0 {
+		t.Fatal("no promptly detected samples")
+	}
+}
+
+func TestDetectionDateMonotoneWithThreshold(t *testing.T) {
+	e := Default()
+	strict := e
+	strict.Threshold = 10
+	for i := 0; i < 50; i++ {
+		id := fmt.Sprintf("m-%d", i)
+		loose := e.DetectionDate(id, seen, 90)
+		hard := strict.DetectionDate(id, seen, 90)
+		if loose >= 0 && hard >= 0 && hard < loose {
+			t.Fatalf("stricter threshold detected earlier: %d < %d", hard, loose)
+		}
+	}
+}
+
+func TestHashUnitRange(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		u := hashUnit(fmt.Sprintf("h-%d", i))
+		if u < 0 || u >= 1 {
+			t.Fatalf("hashUnit out of range: %v", u)
+		}
+	}
+	if hashUnit("x") != hashUnit("x") {
+		t.Fatal("hashUnit must be deterministic")
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	e := Default()
+	names := e.EngineNames()
+	if len(names) != 56 {
+		t.Fatalf("names = %d", len(names))
+	}
+	seenName := make(map[string]bool)
+	for _, n := range names {
+		if n == "" || seenName[n] {
+			t.Fatalf("bad or duplicate engine name %q", n)
+		}
+		seenName[n] = true
+	}
+}
+
+func TestScanDetail(t *testing.T) {
+	e := Default()
+	at := seen.Add(45 * 24 * time.Hour)
+	rep := e.ScanDetail("detail-sample", true, seen, at)
+	if len(rep.Flagging) != rep.Verdict.Detections {
+		t.Fatalf("flagging = %d, detections = %d", len(rep.Flagging), rep.Verdict.Detections)
+	}
+	// Deterministic.
+	rep2 := e.ScanDetail("detail-sample", true, seen, at)
+	if len(rep2.Flagging) != len(rep.Flagging) {
+		t.Fatal("repeat scan differs")
+	}
+	for i := range rep.Flagging {
+		if rep.Flagging[i] != rep2.Flagging[i] {
+			t.Fatal("flagging engines differ between scans")
+		}
+	}
+	// Maturity monotonicity: more engines flag later, and early flaggers
+	// stay flaggers (affinity ordering is scan-time independent).
+	early := e.ScanDetail("detail-sample", true, seen, seen.Add(24*time.Hour))
+	if early.Verdict.Detections > rep.Verdict.Detections {
+		t.Fatal("detections decreased with age")
+	}
+	inLate := make(map[string]bool)
+	for _, n := range rep.Flagging {
+		inLate[n] = true
+	}
+	for _, n := range early.Flagging {
+		if !inLate[n] {
+			t.Fatalf("early flagger %s vanished later", n)
+		}
+	}
+}

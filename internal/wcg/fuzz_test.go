@@ -1,0 +1,40 @@
+package wcg
+
+import (
+	"testing"
+)
+
+// FuzzDeobfuscate: the decoder must terminate and never panic on arbitrary
+// script text.
+func FuzzDeobfuscate(f *testing.F) {
+	f.Add(`String.fromCharCode(104,116,116,112)`)
+	f.Add(`\x68\x74%74%70`)
+	f.Add(`%5Cx68`)
+	f.Add(`String.fromCharCode(`)
+	f.Add(`String.fromCharCode(-1,99999999999999999999)`)
+	f.Fuzz(func(t *testing.T, body string) {
+		out := Deobfuscate(body)
+		// Decoding only ever shrinks or preserves escape sequences; a
+		// pathological blow-up would indicate a decode loop bug.
+		if len(out) > 4*len(body)+16 {
+			t.Fatalf("deobfuscation grew %d -> %d bytes", len(body), len(out))
+		}
+	})
+}
+
+// FuzzSniffBodyRedirects: sniffing arbitrary HTML must not panic and every
+// extracted URL must be non-empty.
+func FuzzSniffBodyRedirects(f *testing.F) {
+	f.Add([]byte(`<meta http-equiv="refresh" content="0; url=http://a.b/c">`))
+	f.Add([]byte(`<iframe src="http://x.y/z">`))
+	f.Add([]byte(`window.location="http://q.r/s"`))
+	f.Add([]byte(``))
+	f.Add([]byte(`<<<>>>"'`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		for _, u := range SniffBodyRedirects(body) {
+			if u == "" {
+				t.Fatal("empty redirect target extracted")
+			}
+		}
+	})
+}

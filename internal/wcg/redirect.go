@@ -1,0 +1,174 @@
+package wcg
+
+import (
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Redirect evidence patterns in document bodies (Section III-D: redirection
+// evidence is often embedded in HTML or JavaScript, sometimes obfuscated).
+var (
+	reMetaRefresh = regexp.MustCompile(`(?i)<meta[^>]*http-equiv=["']?refresh["']?[^>]*url=([^"'> ]+)`)
+	reJSLocation  = regexp.MustCompile(`(?i)(?:window\.location|document\.location|location\.href|top\.location)\s*=\s*["']([^"']+)["']`)
+	reIFrameSrc   = regexp.MustCompile(`(?i)<iframe[^>]*src=["']?(http[^"'> ]+)`)
+	reFromChar    = regexp.MustCompile(`String\.fromCharCode\(([0-9,\s]+)\)`)
+	reHexEscape   = regexp.MustCompile(`\\x([0-9a-fA-F]{2})`)
+	rePctEscape   = regexp.MustCompile(`%([0-9a-fA-F]{2})`)
+)
+
+// Deobfuscate applies the lightweight decoding passes miscreants commonly
+// layer over redirect code: String.fromCharCode(...) expansion, \xNN
+// escapes, and percent-encoding. The passes run until a fixed point (at
+// most four rounds) so stacked encodings unwrap.
+func Deobfuscate(body string) string {
+	for round := 0; round < 4; round++ {
+		decoded := reFromChar.ReplaceAllStringFunc(body, func(m string) string {
+			inner := reFromChar.FindStringSubmatch(m)[1]
+			var sb strings.Builder
+			for _, part := range strings.Split(inner, ",") {
+				code, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil || code < 0 || code > 0x10ffff {
+					return m
+				}
+				sb.WriteRune(rune(code))
+			}
+			return sb.String()
+		})
+		decoded = reHexEscape.ReplaceAllStringFunc(decoded, func(m string) string {
+			v, err := strconv.ParseUint(m[2:], 16, 8)
+			if err != nil {
+				return m
+			}
+			return string(rune(v))
+		})
+		decoded = rePctEscape.ReplaceAllStringFunc(decoded, func(m string) string {
+			v, err := strconv.ParseUint(m[1:], 16, 8)
+			if err != nil {
+				return m
+			}
+			return string(rune(v))
+		})
+		if decoded == body {
+			return decoded
+		}
+		body = decoded
+	}
+	return body
+}
+
+// SniffBodyRedirects extracts redirect target URLs from an HTML or
+// JavaScript body after deobfuscation: meta refreshes, JavaScript location
+// assignments, and iframe sources.
+func SniffBodyRedirects(body []byte) []string {
+	if len(body) == 0 {
+		return nil
+	}
+	text := Deobfuscate(string(body))
+	var out []string
+	seen := make(map[string]struct{})
+	add := func(matches [][]string) {
+		for _, m := range matches {
+			u := strings.TrimSpace(m[1])
+			if u == "" {
+				continue
+			}
+			if _, ok := seen[u]; ok {
+				continue
+			}
+			seen[u] = struct{}{}
+			out = append(out, u)
+		}
+	}
+	add(reMetaRefresh.FindAllStringSubmatch(text, -1))
+	add(reJSLocation.FindAllStringSubmatch(text, -1))
+	add(reIFrameSrc.FindAllStringSubmatch(text, -1))
+	return out
+}
+
+// Chain is one reconstructed redirection chain: the ordered node ids and
+// the timestamps of the hops between them.
+type Chain struct {
+	Nodes []int
+	Times []time.Time // one per hop: len(Nodes)-1 entries
+}
+
+// Hops is the number of redirect hops in the chain.
+func (c Chain) Hops() int { return len(c.Nodes) - 1 }
+
+// RedirectChains reconstructs redirection chains from the redirect edges:
+// edges are sorted by time and greedily linked head-to-tail (a hop B->C
+// continues a chain ending at B if it is not earlier than the chain's last
+// hop). Each redirect edge belongs to exactly one chain.
+func (w *WCG) RedirectChains() []Chain {
+	var redirs []*Edge
+	for _, e := range w.Edges {
+		if e.Kind == EdgeRedirect {
+			redirs = append(redirs, e)
+		}
+	}
+	sort.SliceStable(redirs, func(i, j int) bool { return redirs[i].Time.Before(redirs[j].Time) })
+
+	var chains []Chain
+	// chainAt maps a node id to the index of the open chain ending there.
+	chainAt := make(map[int]int)
+	for _, e := range redirs {
+		if ci, ok := chainAt[e.From]; ok {
+			c := &chains[ci]
+			c.Nodes = append(c.Nodes, e.To)
+			c.Times = append(c.Times, e.Time)
+			delete(chainAt, e.From)
+			chainAt[e.To] = ci
+			continue
+		}
+		chains = append(chains, Chain{Nodes: []int{e.From, e.To}, Times: []time.Time{e.Time}})
+		chainAt[e.To] = len(chains) - 1
+	}
+	return chains
+}
+
+// RedirectStats aggregates redirect-chain measures for graph-level
+// annotations and features.
+type RedirectStats struct {
+	TotalRedirects   int           // all redirect edges (the paper's modified sum-of-all rule)
+	MaxChainLen      int           // unique hops in the longest chain
+	CrossDomainCount int           // redirects crossing registered domains
+	TLDDiversity     int           // unique TLDs among redirect participants
+	AvgRedirectDelay time.Duration // mean delay between successive hops within chains
+}
+
+// RedirectStats computes the redirect aggregates of the WCG.
+func (w *WCG) RedirectStats() RedirectStats {
+	var st RedirectStats
+	tlds := make(map[string]struct{})
+	for _, e := range w.Edges {
+		if e.Kind != EdgeRedirect {
+			continue
+		}
+		st.TotalRedirects++
+		if e.CrossDomain {
+			st.CrossDomainCount++
+		}
+		tlds[topLevelDomain(w.Nodes[e.From].Host)] = struct{}{}
+		tlds[topLevelDomain(w.Nodes[e.To].Host)] = struct{}{}
+	}
+	st.TLDDiversity = len(tlds)
+
+	var delaySum time.Duration
+	delays := 0
+	for _, c := range w.RedirectChains() {
+		if c.Hops() > st.MaxChainLen {
+			st.MaxChainLen = c.Hops()
+		}
+		for i := 1; i < len(c.Times); i++ {
+			delaySum += c.Times[i].Sub(c.Times[i-1])
+			delays++
+		}
+	}
+	if delays > 0 {
+		st.AvgRedirectDelay = delaySum / time.Duration(delays)
+	}
+	return st
+}

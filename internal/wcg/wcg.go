@@ -1,0 +1,270 @@
+// Package wcg implements DynaMiner's Web Conversation Graph (Section III):
+// the payload-agnostic abstraction of an HTTP conversation between a client
+// and remote hosts, its construction from transaction streams, the node/
+// edge/graph annotations, conversation-stage assignment (pre-download,
+// download, post-download), and redirect-chain inference including
+// deobfuscation of meta/JavaScript redirects.
+package wcg
+
+import (
+	"net/netip"
+	"strings"
+	"time"
+
+	"dynaminer/internal/graph"
+)
+
+// NodeType classifies a WCG node per Section III-A.
+type NodeType int
+
+// Node roles. A node is Malicious if at least one exploit payload was
+// downloaded from it to the victim; Intermediary if it only chains
+// redirections; Origin marks the special enticement-source node.
+const (
+	NodeVictim NodeType = iota + 1
+	NodeRemote
+	NodeIntermediary
+	NodeMalicious
+	NodeOrigin
+)
+
+// String names the node type.
+func (t NodeType) String() string {
+	switch t {
+	case NodeVictim:
+		return "victim"
+	case NodeRemote:
+		return "remote"
+	case NodeIntermediary:
+		return "intermediary"
+	case NodeMalicious:
+		return "malicious"
+	case NodeOrigin:
+		return "origin"
+	default:
+		return "unknown"
+	}
+}
+
+// EdgeKind is the relation an edge encodes (Section III-A: Φ requests,
+// Ψ responses, Σ redirects).
+type EdgeKind int
+
+// Edge kinds.
+const (
+	EdgeRequest EdgeKind = iota + 1
+	EdgeResponse
+	EdgeRedirect
+)
+
+// String names the edge kind the way Figure 6 labels edges.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeRequest:
+		return "req"
+	case EdgeResponse:
+		return "res"
+	case EdgeRedirect:
+		return "redir"
+	default:
+		return "unknown"
+	}
+}
+
+// Stage is the conversation stage of an edge (Section III-C): 0 for
+// pre-download, 1 for download, 2 for post-download.
+type Stage int
+
+// Conversation stages.
+const (
+	StagePreDownload  Stage = 0
+	StageDownload     Stage = 1
+	StagePostDownload Stage = 2
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StagePreDownload:
+		return "pre-download"
+	case StageDownload:
+		return "download"
+	case StagePostDownload:
+		return "post-download"
+	default:
+		return "unknown"
+	}
+}
+
+// Node is a unique host participating in the conversation, annotated per
+// Section III-C (basic attributes, URIs per host, payload summary).
+type Node struct {
+	ID       int
+	Host     string // hostname, or IP string when no Host header was seen
+	IP       netip.Addr
+	Type     NodeType
+	URIs     map[string]struct{}
+	Payloads map[PayloadClass]int // payloads originating from or received by this node
+}
+
+// Edge is one relation between two hosts, annotated per Section III-C.
+type Edge struct {
+	From, To    int
+	Kind        EdgeKind
+	Stage       Stage
+	Time        time.Time
+	Method      string
+	URILen      int
+	UploadSize  int // request-body bytes (exfiltration volume)
+	StatusCode  int
+	PayloadType PayloadClass
+	PayloadSize int
+	Referer     string
+	UserAgent   string
+	CrossDomain bool // redirect edges: target registered domain differs
+}
+
+// WCG is a fully annotated web conversation graph.
+type WCG struct {
+	Nodes []*Node
+	Edges []*Edge
+
+	// Origin metadata: the enticement source per Section III-B.
+	OriginKnown bool
+	OriginHost  string // "" when unknown ("empty" origin node)
+
+	// Graph-level annotations.
+	DNT           bool
+	XFlashVersion string
+
+	byHost map[string]int
+	g      *graph.Digraph // cached structural projection
+}
+
+// NodeByHost returns the node for host, or nil.
+func (w *WCG) NodeByHost(host string) *Node {
+	if id, ok := w.byHost[host]; ok {
+		return w.Nodes[id]
+	}
+	return nil
+}
+
+// ensureNode returns the id of the node for host, creating it as typ if it
+// does not exist yet. An existing node's type is never downgraded.
+func (w *WCG) ensureNode(host string, ip netip.Addr, typ NodeType) int {
+	if id, ok := w.byHost[host]; ok {
+		n := w.Nodes[id]
+		if !n.IP.IsValid() && ip.IsValid() {
+			n.IP = ip
+		}
+		return id
+	}
+	id := len(w.Nodes)
+	w.Nodes = append(w.Nodes, &Node{
+		ID:       id,
+		Host:     host,
+		IP:       ip,
+		Type:     typ,
+		URIs:     make(map[string]struct{}),
+		Payloads: make(map[PayloadClass]int),
+	})
+	w.byHost[host] = id
+	w.g = nil
+	return id
+}
+
+// addEdge appends e and invalidates the cached structural graph.
+func (w *WCG) addEdge(e *Edge) {
+	w.Edges = append(w.Edges, e)
+	w.g = nil
+}
+
+// Graph returns the structural projection of the WCG as a directed
+// multigraph over node ids, building and caching it on first use.
+func (w *WCG) Graph() *graph.Digraph {
+	if w.g != nil {
+		return w.g
+	}
+	g := graph.New(len(w.Nodes))
+	for _, e := range w.Edges {
+		_ = g.AddEdge(e.From, e.To) // ids are internally consistent
+	}
+	w.g = g
+	return g
+}
+
+// Order is the number of nodes (feature f7).
+func (w *WCG) Order() int { return len(w.Nodes) }
+
+// Size is the number of edges (features f3/f8).
+func (w *WCG) Size() int { return len(w.Edges) }
+
+// Duration is the wall-clock span from the first to the last edge.
+func (w *WCG) Duration() time.Duration {
+	first, last := w.timeBounds()
+	if first.IsZero() {
+		return 0
+	}
+	return last.Sub(first)
+}
+
+func (w *WCG) timeBounds() (first, last time.Time) {
+	for _, e := range w.Edges {
+		if e.Time.IsZero() {
+			continue
+		}
+		if first.IsZero() || e.Time.Before(first) {
+			first = e.Time
+		}
+		if last.IsZero() || e.Time.After(last) {
+			last = e.Time
+		}
+	}
+	return first, last
+}
+
+// registeredDomain approximates the eTLD+1 of a host: the final two labels
+// of a domain name, or the full string for IP addresses and single-label
+// hosts. Sufficient for cross-domain redirect detection on both real and
+// synthetic traces.
+func registeredDomain(host string) string {
+	if _, err := netip.ParseAddr(host); err == nil {
+		return host
+	}
+	labels := strings.Split(host, ".")
+	if len(labels) < 2 {
+		return host
+	}
+	return strings.Join(labels[len(labels)-2:], ".")
+}
+
+// topLevelDomain returns the final label of a hostname ("com", "net"), or
+// "ip" for address literals.
+func topLevelDomain(host string) string {
+	if _, err := netip.ParseAddr(host); err == nil {
+		return "ip"
+	}
+	if i := strings.LastIndexByte(host, '.'); i >= 0 {
+		return host[i+1:]
+	}
+	return host
+}
+
+// hostOfURL extracts the host part of an absolute or schemeless URL.
+func hostOfURL(raw string) string {
+	s := raw
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	} else if strings.HasPrefix(s, "//") {
+		s = s[2:]
+	} else if strings.HasPrefix(s, "/") {
+		return "" // relative: same host
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '/', '?', '#', ':':
+			return s[:i]
+		}
+	}
+	return s
+}

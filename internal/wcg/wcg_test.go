@@ -1,0 +1,555 @@
+package wcg
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"net/http"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"dynaminer/internal/httpstream"
+)
+
+var (
+	victimIP = netip.MustParseAddr("10.0.0.5")
+	t0       = time.Date(2015, 12, 21, 10, 0, 0, 0, time.UTC)
+)
+
+// txb is a fluent builder for test transactions.
+type txb struct{ t httpstream.Transaction }
+
+func newTx(host, uri string, at time.Duration) *txb {
+	return &txb{t: httpstream.Transaction{
+		ClientIP: victimIP, ServerIP: netip.MustParseAddr("203.0.113.1"),
+		Method: "GET", URI: uri, Host: host,
+		ReqHdr: http.Header{}, RespHdr: http.Header{},
+		ReqTime: t0.Add(at), RespTime: t0.Add(at + 20*time.Millisecond),
+		StatusCode: 200, ContentType: "text/html", BodySize: 1024,
+	}}
+}
+
+func (b *txb) method(m string) *txb          { b.t.Method = m; return b }
+func (b *txb) status(c int) *txb             { b.t.StatusCode = c; return b }
+func (b *txb) ctype(ct string) *txb          { b.t.ContentType = ct; return b }
+func (b *txb) size(n int) *txb               { b.t.BodySize = n; return b }
+func (b *txb) referer(r string) *txb         { b.t.ReqHdr.Set("Referer", r); return b }
+func (b *txb) location(l string) *txb        { b.t.RespHdr.Set("Location", l); return b }
+func (b *txb) body(s string) *txb            { b.t.Body = []byte(s); return b }
+func (b *txb) hdr(k, v string) *txb          { b.t.ReqHdr.Set(k, v); return b }
+func (b *txb) build() httpstream.Transaction { return b.t }
+
+func TestClassifyPayload(t *testing.T) {
+	cases := []struct {
+		uri, ct string
+		want    PayloadClass
+	}{
+		{"/a.exe", "", PayloadEXE},
+		{"/a.exe?x=1", "text/html", PayloadEXE}, // extension beats content type
+		{"/x.jar", "", PayloadJAR},
+		{"/y.swf", "", PayloadSWF},
+		{"/z.xap", "", PayloadXAP},
+		{"/doc.pdf", "", PayloadPDF},
+		{"/file.locky", "", PayloadCrypt},
+		{"/file.cerber", "", PayloadCrypt},
+		{"/app.dmg", "", PayloadDMG},
+		{"/page.html", "", PayloadHTML},
+		{"/s.js", "", PayloadJS},
+		{"/i.png", "", PayloadImage},
+		{"/a.zip", "", PayloadArchive},
+		{"/api", "application/json", PayloadJSON},
+		{"/bin", "application/x-msdownload", PayloadEXE},
+		{"/flash", "application/x-shockwave-flash", PayloadSWF},
+		{"/", "text/html; charset=utf-8", PayloadHTML},
+		{"/", "", PayloadHTML}, // bare page fetch
+		{"/mystery.qqq", "application/weird", PayloadOther},
+	}
+	for _, tc := range cases {
+		if got := ClassifyPayload(tc.uri, tc.ct); got != tc.want {
+			t.Errorf("ClassifyPayload(%q,%q) = %v, want %v", tc.uri, tc.ct, got, tc.want)
+		}
+	}
+}
+
+func TestExploitTypes(t *testing.T) {
+	for _, p := range []PayloadClass{PayloadPDF, PayloadEXE, PayloadJAR, PayloadSWF, PayloadXAP, PayloadDMG, PayloadCrypt} {
+		if !p.IsExploitType() {
+			t.Errorf("%v must be an exploit type", p)
+		}
+	}
+	for _, p := range []PayloadClass{PayloadHTML, PayloadJS, PayloadImage, PayloadNone, PayloadJSON} {
+		if p.IsExploitType() {
+			t.Errorf("%v must not be an exploit type", p)
+		}
+	}
+}
+
+func TestCryptExtensionCount(t *testing.T) {
+	if len(cryptExtensions) != CryptExtensionCount {
+		t.Fatalf("crypt extensions = %d, want %d", len(cryptExtensions), CryptExtensionCount)
+	}
+}
+
+func TestHostOfURL(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"http://evil.com/landing?id=1", "evil.com"},
+		{"https://a.b.co.uk/x", "a.b.co.uk"},
+		{"//cdn.example.com/lib.js", "cdn.example.com"},
+		{"/relative/path", ""},
+		{"http://host.com", "host.com"},
+		{"http://host.com:8080/x", "host.com"},
+		{"bare-host.net/p", "bare-host.net"},
+	}
+	for _, tc := range cases {
+		if got := hostOfURL(tc.in); got != tc.want {
+			t.Errorf("hostOfURL(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRegisteredDomainAndTLD(t *testing.T) {
+	if registeredDomain("a.b.evil.com") != "evil.com" {
+		t.Fatal("registeredDomain wrong")
+	}
+	if registeredDomain("10.1.2.3") != "10.1.2.3" {
+		t.Fatal("IP registeredDomain wrong")
+	}
+	if topLevelDomain("x.evil.ru") != "ru" {
+		t.Fatal("tld wrong")
+	}
+	if topLevelDomain("10.0.0.1") != "ip" {
+		t.Fatal("IP tld wrong")
+	}
+}
+
+func TestDeobfuscate(t *testing.T) {
+	in := `var u=String.fromCharCode(104,116,116,112);`
+	if got := Deobfuscate(in); !strings.Contains(got, "http") {
+		t.Fatalf("fromCharCode not decoded: %q", got)
+	}
+	if got := Deobfuscate(`\x68\x74\x74\x70`); got != "http" {
+		t.Fatalf("hex not decoded: %q", got)
+	}
+	if got := Deobfuscate("%68%74%74%70"); got != "http" {
+		t.Fatalf("pct not decoded: %q", got)
+	}
+	// Stacked: percent-encoding of hex escapes.
+	stacked := `%5Cx68%5Cx69`
+	if got := Deobfuscate(stacked); got != "hi" {
+		t.Fatalf("stacked not decoded: %q", got)
+	}
+	// Invalid charcodes stay intact.
+	bad := `String.fromCharCode(9999999999)`
+	if got := Deobfuscate(bad); got != bad {
+		t.Fatalf("invalid charcode mangled: %q", got)
+	}
+}
+
+func TestSniffBodyRedirects(t *testing.T) {
+	body := `<html><head>
+<meta http-equiv="refresh" content="0; url=http://landing.evil.com/gate">
+</head><body>
+<iframe src="http://exploit.bad.ru/ek" width=1 height=1></iframe>
+<script>window.location="http://next.hop.net/x";</script>
+</body></html>`
+	got := SniffBodyRedirects([]byte(body))
+	want := map[string]bool{
+		"http://landing.evil.com/gate": true,
+		"http://exploit.bad.ru/ek":     true,
+		"http://next.hop.net/x":        true,
+	}
+	if len(got) != 3 {
+		t.Fatalf("sniffed %d redirects: %v", len(got), got)
+	}
+	for _, u := range got {
+		if !want[u] {
+			t.Errorf("unexpected redirect %q", u)
+		}
+	}
+	// Obfuscated JS location.
+	obf := `<script>window.location="%68%74%74%70://hidden.evil.io/p";</script>`
+	got = SniffBodyRedirects([]byte(obf))
+	if len(got) != 1 || got[0] != "http://hidden.evil.io/p" {
+		t.Fatalf("obfuscated sniff = %v", got)
+	}
+	if SniffBodyRedirects(nil) != nil {
+		t.Fatal("nil body must yield nil")
+	}
+}
+
+// anglerEpisode models the paper's Figure 6: bing.com origin, compromised
+// site A, landing page B, exploit server C serving Flash, then CryptoWall
+// callbacks to D, E, F.
+func anglerEpisode() []httpstream.Transaction {
+	return []httpstream.Transaction{
+		newTx("compromisedA.com", "/blog/post", 0).
+			referer("http://bing.com/search?q=soccer").hdr("DNT", "1").build(),
+		newTx("compromisedA.com", "/blog/style.css", 300*time.Millisecond).
+			ctype("text/css").size(400).build(),
+		newTx("landingB.net", "/gate.php?id=77", 900*time.Millisecond).
+			referer("http://compromisedA.com/blog/post").
+			body(`<iframe src="http://exploitC.ru/flash"></iframe>`).build(),
+		newTx("exploitC.ru", "/flash", 1500*time.Millisecond).
+			referer("http://landingB.net/gate.php?id=77").
+			hdr("X-Flash-Version", "18,0,0,232").
+			status(302).location("http://exploitC.ru/payload.swf").size(0).build(),
+		newTx("exploitC.ru", "/payload.swf", 1800*time.Millisecond).
+			ctype("application/x-shockwave-flash").size(91000).build(),
+		newTx("cncD.com", "/g.php", 4*time.Second).method("POST").size(20).ctype("text/plain").build(),
+		newTx("cncE.com", "/g.php", 5*time.Second).method("POST").size(20).ctype("text/plain").build(),
+		newTx("cncF.com", "/g.php", 6*time.Second).method("POST").status(404).size(0).build(),
+	}
+}
+
+func TestFromTransactionsAngler(t *testing.T) {
+	w := FromTransactions(anglerEpisode())
+
+	// Nodes: victim + bing origin + A + B + C + D + E + F = 8 (Figure 6).
+	if w.Order() != 8 {
+		for _, n := range w.Nodes {
+			t.Logf("node %d: %s (%s)", n.ID, n.Host, n.Type)
+		}
+		t.Fatalf("order = %d, want 8", w.Order())
+	}
+	if !w.OriginKnown || w.OriginHost != "bing.com" {
+		t.Fatalf("origin = %q known=%v", w.OriginHost, w.OriginKnown)
+	}
+	if !w.DNT {
+		t.Fatal("DNT must be set")
+	}
+	if w.XFlashVersion != "18,0,0,232" {
+		t.Fatalf("x-flash = %q", w.XFlashVersion)
+	}
+
+	// Exploit server must be classified malicious.
+	if n := w.NodeByHost("exploitC.ru"); n == nil || n.Type != NodeMalicious {
+		t.Fatalf("exploitC.ru type = %v", n)
+	}
+	if n := w.NodeByHost(victimIP.String()); n == nil || n.Type != NodeVictim {
+		t.Fatal("victim node wrong")
+	}
+	if n := w.NodeByHost("bing.com"); n == nil || n.Type != NodeOrigin {
+		t.Fatal("origin node wrong")
+	}
+
+	// Stage assignment: callbacks after the SWF download are post-download.
+	var postPosts int
+	for _, e := range w.Edges {
+		if e.Kind == EdgeRequest && e.Stage == StagePostDownload && e.Method == "POST" {
+			postPosts++
+		}
+	}
+	if postPosts != 3 {
+		t.Fatalf("post-download POSTs = %d, want 3", postPosts)
+	}
+
+	s := w.Summarize()
+	if !s.HasCallback {
+		t.Fatal("callback must be detected")
+	}
+	if s.DownloadedExploits != 1 {
+		t.Fatalf("exploit downloads = %d, want 1", s.DownloadedExploits)
+	}
+	if s.PayloadCounts[PayloadSWF] != 1 {
+		t.Fatalf("swf count = %d", s.PayloadCounts[PayloadSWF])
+	}
+	if s.GETs != 5 || s.POSTs != 3 {
+		t.Fatalf("methods: GET=%d POST=%d", s.GETs, s.POSTs)
+	}
+	if s.HTTP30X != 1 || s.HTTP40X != 1 {
+		t.Fatalf("codes: 30x=%d 40x=%d", s.HTTP30X, s.HTTP40X)
+	}
+	if s.Redirects.TotalRedirects < 3 {
+		t.Fatalf("redirects = %d, want >= 3", s.Redirects.TotalRedirects)
+	}
+	if !s.XFlashVersionSet || !s.DNT {
+		t.Fatal("summary header flags wrong")
+	}
+	if s.Duration <= 0 {
+		t.Fatal("duration must be positive")
+	}
+	if s.AvgInterTransact <= 0 {
+		t.Fatal("inter-transaction time must be positive")
+	}
+}
+
+func TestStagesBeforeDownloadArePre(t *testing.T) {
+	w := FromTransactions(anglerEpisode())
+	for _, e := range w.Edges {
+		if e.Time.Before(t0.Add(1800*time.Millisecond)) && e.Stage != StagePreDownload {
+			t.Fatalf("edge at %v staged %v, want pre-download", e.Time.Sub(t0), e.Stage)
+		}
+	}
+}
+
+func TestNoDownloadAllPre(t *testing.T) {
+	txs := []httpstream.Transaction{
+		newTx("news.com", "/", 0).build(),
+		newTx("news.com", "/story", time.Second).method("POST").build(),
+	}
+	w := FromTransactions(txs)
+	for _, e := range w.Edges {
+		if e.Stage != StagePreDownload {
+			t.Fatalf("stage = %v, want pre-download everywhere", e.Stage)
+		}
+	}
+	s := w.Summarize()
+	if s.HasCallback || s.PostDownloadEdges != 0 {
+		t.Fatal("no-download conversation must have no post-download dynamics")
+	}
+}
+
+func TestEmptyTransactions(t *testing.T) {
+	w := FromTransactions(nil)
+	if w.Order() != 0 || w.Size() != 0 {
+		t.Fatal("empty input must give empty WCG")
+	}
+	s := w.Summarize()
+	if s.Order != 0 || s.UniqueHosts != 0 {
+		t.Fatalf("summary of empty WCG: %+v", s)
+	}
+}
+
+func TestUnknownOriginAddsNoNode(t *testing.T) {
+	txs := []httpstream.Transaction{newTx("direct.com", "/x", 0).build()}
+	w := FromTransactions(txs)
+	if w.OriginKnown || w.OriginHost != "" {
+		t.Fatal("origin must be unknown")
+	}
+	for _, n := range w.Nodes {
+		if n.Type == NodeOrigin {
+			t.Fatal("unknown origin must not add a marker node")
+		}
+	}
+	if w.Order() != 2 { // victim + direct.com only
+		t.Fatalf("order = %d, want 2", w.Order())
+	}
+}
+
+func TestRedirectChains(t *testing.T) {
+	// A -> B -> C plus D -> E: two chains, longest 2 hops.
+	txs := []httpstream.Transaction{
+		newTx("a.com", "/1", 0).status(302).location("http://b.com/2").size(0).build(),
+		newTx("b.com", "/2", 200*time.Millisecond).status(302).location("http://c.com/3").size(0).build(),
+		newTx("c.com", "/3", 400*time.Millisecond).build(),
+		newTx("d.com", "/x", 2*time.Second).status(301).location("http://e.com/y").size(0).build(),
+		newTx("e.com", "/y", 2200*time.Millisecond).build(),
+	}
+	w := FromTransactions(txs)
+	chains := w.RedirectChains()
+	maxHops := 0
+	for _, c := range chains {
+		if c.Hops() > maxHops {
+			maxHops = c.Hops()
+		}
+	}
+	if maxHops != 2 {
+		t.Fatalf("max hops = %d, want 2 (chains=%v)", maxHops, chains)
+	}
+	st := w.RedirectStats()
+	if st.MaxChainLen != 2 {
+		t.Fatalf("MaxChainLen = %d, want 2", st.MaxChainLen)
+	}
+	if st.TotalRedirects < 3 {
+		t.Fatalf("TotalRedirects = %d, want >= 3", st.TotalRedirects)
+	}
+	if st.CrossDomainCount < 3 {
+		t.Fatalf("CrossDomainCount = %d", st.CrossDomainCount)
+	}
+	if st.TLDDiversity < 1 {
+		t.Fatal("TLD diversity must be positive")
+	}
+	if st.AvgRedirectDelay <= 0 {
+		t.Fatal("avg redirect delay must be positive for chained redirects")
+	}
+}
+
+func TestGraphProjection(t *testing.T) {
+	w := FromTransactions(anglerEpisode())
+	g := w.Graph()
+	if g.N() != w.Order() {
+		t.Fatalf("graph N = %d, want %d", g.N(), w.Order())
+	}
+	if g.M() != w.Size() {
+		t.Fatalf("graph M = %d, want %d", g.M(), w.Size())
+	}
+	// Cached: same pointer on second call.
+	if w.Graph() != g {
+		t.Fatal("graph must be cached")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	w := FromTransactions(anglerEpisode())
+	dot := w.DOT("angler")
+	for _, want := range []string{"digraph wcg", "bing.com", "exploitC.ru", "redir", "salmon", "lightgreen"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestStageAndKindStrings(t *testing.T) {
+	if StagePreDownload.String() != "pre-download" || StagePostDownload.String() != "post-download" {
+		t.Fatal("stage strings wrong")
+	}
+	if EdgeRequest.String() != "req" || EdgeRedirect.String() != "redir" {
+		t.Fatal("edge kind strings wrong")
+	}
+	if NodeMalicious.String() != "malicious" || NodeType(99).String() != "unknown" {
+		t.Fatal("node type strings wrong")
+	}
+	if Stage(9).String() != "unknown" || EdgeKind(9).String() != "unknown" {
+		t.Fatal("fallback strings wrong")
+	}
+	if PayloadClass(99).String() != "unknown" || PayloadEXE.String() != "exe" {
+		t.Fatal("payload strings wrong")
+	}
+}
+
+func TestSubresourceRefererNotARedirect(t *testing.T) {
+	// An image loaded from a CDN with a cross-host referrer must not create
+	// a redirect edge; a navigated HTML document must.
+	txs := []httpstream.Transaction{
+		newTx("site.com", "/", 0).build(),
+		newTx("cdn.net", "/logo.png", 100*time.Millisecond).
+			ctype("image/png").referer("http://site.com/").build(),
+		newTx("partner.org", "/landing", 200*time.Millisecond).
+			referer("http://site.com/").build(),
+	}
+	w := FromTransactions(txs)
+	redirTargets := make(map[string]bool)
+	for _, e := range w.Edges {
+		if e.Kind == EdgeRedirect {
+			redirTargets[w.Nodes[e.To].Host] = true
+		}
+	}
+	if redirTargets["cdn.net"] {
+		t.Fatal("image subresource created a redirect edge")
+	}
+	if !redirTargets["partner.org"] {
+		t.Fatal("document navigation missing redirect edge")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	w := FromTransactions(anglerEpisode())
+	var buf strings.Builder
+	if err := w.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	nodes, ok := decoded["nodes"].([]any)
+	if !ok || len(nodes) != w.Order() {
+		t.Fatalf("nodes = %v", decoded["nodes"])
+	}
+	edges, ok := decoded["edges"].([]any)
+	if !ok || len(edges) != w.Size() {
+		t.Fatalf("edges wrong")
+	}
+	if decoded["originKnown"] != true || decoded["originHost"] != "bing.com" {
+		t.Fatal("origin metadata missing from JSON")
+	}
+	first := nodes[0].(map[string]any)
+	if first["type"] != "victim" {
+		t.Fatalf("first node = %v", first)
+	}
+}
+
+func TestRedirectLoopHandled(t *testing.T) {
+	// A <-> B redirect loop must not hang chain reconstruction and must
+	// produce finite chains.
+	txs := []httpstream.Transaction{
+		newTx("a.com", "/1", 0).status(302).location("http://b.com/2").size(0).build(),
+		newTx("b.com", "/2", 100*time.Millisecond).status(302).location("http://a.com/1").size(0).build(),
+		newTx("a.com", "/1", 200*time.Millisecond).status(302).location("http://b.com/2").size(0).build(),
+		newTx("b.com", "/2", 300*time.Millisecond).status(302).location("http://a.com/1").size(0).build(),
+	}
+	w := FromTransactions(txs)
+	chains := w.RedirectChains()
+	totalHops := 0
+	for _, c := range chains {
+		totalHops += c.Hops()
+	}
+	st := w.RedirectStats()
+	if totalHops != st.TotalRedirects {
+		t.Fatalf("chain hops %d != redirect edges %d", totalHops, st.TotalRedirects)
+	}
+	if st.MaxChainLen < 2 {
+		t.Fatalf("loop chain length = %d", st.MaxChainLen)
+	}
+}
+
+func TestSelfRedirectIgnored(t *testing.T) {
+	// A host redirecting to itself must not create a self-loop edge.
+	txs := []httpstream.Transaction{
+		newTx("self.com", "/a", 0).status(302).location("http://self.com/b").size(0).build(),
+		newTx("self.com", "/b", 100*time.Millisecond).build(),
+	}
+	w := FromTransactions(txs)
+	for _, e := range w.Edges {
+		if e.Kind == EdgeRedirect && e.From == e.To {
+			t.Fatal("self redirect edge created")
+		}
+	}
+	if w.RedirectStats().TotalRedirects != 0 {
+		t.Fatalf("redirects = %d, want 0 for same-host redirect", w.RedirectStats().TotalRedirects)
+	}
+}
+
+func TestDuplicateRedirectDeduped(t *testing.T) {
+	// The same Location hop twice within a second counts once.
+	txs := []httpstream.Transaction{
+		newTx("x.com", "/r", 0).status(302).location("http://y.com/t").size(0).build(),
+		newTx("x.com", "/r", 200*time.Millisecond).status(302).location("http://y.com/t").size(0).build(),
+	}
+	w := FromTransactions(txs)
+	if got := w.RedirectStats().TotalRedirects; got != 1 {
+		t.Fatalf("redirects = %d, want 1 after dedup", got)
+	}
+}
+
+func TestWriteGraphML(t *testing.T) {
+	w := FromTransactions(anglerEpisode())
+	var buf strings.Builder
+	if err := w.WriteGraphML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<graphml", `edgedefault="directed"`, "bing.com", "malicious", "post-download"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("graphml missing %q", want)
+		}
+	}
+	// Well-formed XML.
+	var probe struct {
+		XMLName xml.Name `xml:"graphml"`
+	}
+	if err := xml.Unmarshal([]byte(out), &probe); err != nil {
+		t.Fatalf("invalid XML: %v", err)
+	}
+}
+
+func TestUploadAndExfilBytes(t *testing.T) {
+	txs := anglerEpisode()
+	// Give the post-download POST beacons upload payloads.
+	for i := range txs {
+		if txs[i].Method == "POST" {
+			txs[i].ReqBodySize = 512
+		}
+	}
+	// And a pre-download POST-free upload to check staging separation.
+	txs[0].ReqBodySize = 64
+	w := FromTransactions(txs)
+	s := w.Summarize()
+	if s.UploadBytes != 64+3*512 {
+		t.Fatalf("upload bytes = %d, want %d", s.UploadBytes, 64+3*512)
+	}
+	if s.ExfilBytes != 3*512 {
+		t.Fatalf("exfil bytes = %d, want %d (post-download uploads only)", s.ExfilBytes, 3*512)
+	}
+}

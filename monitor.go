@@ -1,0 +1,63 @@
+package dynaminer
+
+import (
+	"io"
+
+	"dynaminer/internal/detector"
+	"dynaminer/internal/proxy"
+)
+
+// Monitor is the on-the-wire detection engine (the paper's Stage 2): it
+// consumes live HTTP transactions, infers infection clues, builds
+// potential-infection WCGs, and re-classifies them as they grow.
+type Monitor struct {
+	engine *detector.Engine
+}
+
+// NewMonitor wraps a trained classifier in a streaming engine.
+func NewMonitor(cfg MonitorConfig, c *Classifier) *Monitor {
+	if cfg.TrustedVendors == nil {
+		cfg.TrustedVendors = detector.DefaultTrustedVendors
+	}
+	return &Monitor{engine: detector.New(cfg, c.forest)}
+}
+
+// Process ingests one transaction and returns any alerts it triggers.
+func (m *Monitor) Process(tx Transaction) []Alert { return m.engine.Process(tx) }
+
+// ProcessAll feeds a transaction slice through the engine in order.
+func (m *Monitor) ProcessAll(txs []Transaction) []Alert { return m.engine.ProcessAll(txs) }
+
+// ProcessPCAP replays a capture through the engine, as in the forensic
+// case study, returning all alerts.
+func (m *Monitor) ProcessPCAP(r io.Reader) ([]Alert, error) {
+	txs, err := ReadPCAP(r)
+	if err != nil {
+		return nil, err
+	}
+	return m.ProcessAll(txs), nil
+}
+
+// Stats returns a snapshot of engine counters.
+func (m *Monitor) Stats() MonitorStats { return m.engine.Stats() }
+
+// ProxyConfig tunes the forward-proxy deployment (see NewProxy).
+type ProxyConfig = proxy.Config
+
+// ProxyStats counts proxy activity.
+type ProxyStats = proxy.Stats
+
+// Proxy is a detecting forward HTTP proxy: the paper's live deployment
+// mode, where DynaMiner "sits at the edge of a network or as a web proxy".
+type Proxy = proxy.Proxy
+
+// NewProxy wraps a trained classifier in a forward HTTP proxy that relays
+// traffic, detects infections on the wire, and (optionally) terminates the
+// web sessions of alerted clients. Serve it with http.ListenAndServe and
+// point browsers at it as their HTTP proxy.
+func NewProxy(cfg ProxyConfig, c *Classifier) *Proxy {
+	if cfg.Detector.TrustedVendors == nil {
+		cfg.Detector.TrustedVendors = detector.DefaultTrustedVendors
+	}
+	return proxy.New(cfg, c.forest)
+}
