@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all build tier1 tier2 bench
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+# Tier 1: the correctness gate every change must keep green.
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Tier 2: static analysis plus the race-detector stress suites for the
+# concurrent packages. Slower; run before touching engine or proxy locking.
+tier2:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/detector ./internal/proxy
+
+bench:
+	$(GO) test -bench=. -benchmem

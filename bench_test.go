@@ -7,8 +7,12 @@ package dynaminer
 // DESIGN.md §4 maps each benchmark to the paper artifact it regenerates.
 
 import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"dynaminer/internal/detector"
 	"dynaminer/internal/experiments"
 	"dynaminer/internal/synth"
 )
@@ -308,4 +312,89 @@ func BenchmarkMonitorThroughput(b *testing.B) {
 		processed += len(inf.Txs)
 	}
 	b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "tx/s")
+}
+
+// Engine concurrency benchmarks: BenchmarkShardedProcess versus the
+// pre-sharding baseline of one Engine behind one mutex, under the same
+// multi-client parallel load.
+
+var benchClassifier *Classifier
+
+func classifierForBench(b *testing.B) *Classifier {
+	b.Helper()
+	if benchClassifier == nil {
+		clf, err := TrainForMonitoring(corpusForBench(b)[:300], TrainConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchClassifier = clf
+	}
+	return benchClassifier
+}
+
+// benchStreams caches episode transaction streams the engine benchmarks
+// replay as synthetic client sessions.
+var benchStreams [][]Transaction
+
+func streamsForBench(b *testing.B) [][]Transaction {
+	b.Helper()
+	if benchStreams == nil {
+		for _, ep := range corpusForBench(b) {
+			if len(ep.Txs) == 0 {
+				continue
+			}
+			benchStreams = append(benchStreams, ep.Txs)
+			if len(benchStreams) == 64 {
+				break
+			}
+		}
+	}
+	return benchStreams
+}
+
+// runEngineBench drives process from parallel goroutines, each replaying
+// episode streams as an endless sequence of distinct clients: every full
+// pass through a stream switches to a fresh client IP, so clusters keep
+// being created rather than saturating one client's transaction cap.
+func runEngineBench(b *testing.B, process func(Transaction) []Alert) {
+	streams := streamsForBench(b)
+	var nextClient atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var (
+			stream []Transaction
+			pos    int
+			ip     netip.Addr
+		)
+		for pb.Next() {
+			if pos == len(stream) {
+				id := nextClient.Add(1)
+				stream = streams[id%uint64(len(streams))]
+				ip = netip.AddrFrom4([4]byte{10, byte(id >> 16), byte(id >> 8), byte(id)})
+				pos = 0
+			}
+			tx := stream[pos]
+			tx.ClientIP = ip
+			process(tx)
+			pos++
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tx/s")
+}
+
+func BenchmarkShardedProcess(b *testing.B) {
+	clf := classifierForBench(b)
+	eng := detector.NewSharded(detector.Config{RedirectThreshold: 3}, clf.forest)
+	runEngineBench(b, eng.Process)
+}
+
+func BenchmarkSingleEngineProcess(b *testing.B) {
+	clf := classifierForBench(b)
+	eng := detector.New(detector.Config{RedirectThreshold: 3}, clf.forest)
+	var mu sync.Mutex
+	runEngineBench(b, func(tx Transaction) []Alert {
+		mu.Lock()
+		defer mu.Unlock()
+		return eng.Process(tx)
+	})
 }

@@ -71,6 +71,7 @@ func runProxy(args []string) error {
 		listen    = fs.String("listen", "127.0.0.1:8080", "proxy listen address")
 		threshold = fs.Int("threshold", 3, "clue redirect threshold L")
 		block     = fs.Bool("block", true, "terminate sessions of alerted clients")
+		shards    = fs.Int("shards", 0, "detection engine shards (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,7 +81,7 @@ func runProxy(args []string) error {
 		return err
 	}
 	p := dynaminer.NewProxy(dynaminer.ProxyConfig{
-		Detector:        dynaminer.MonitorConfig{RedirectThreshold: *threshold},
+		Detector:        dynaminer.MonitorConfig{RedirectThreshold: *threshold, Shards: *shards},
 		BlockAfterAlert: *block,
 		OnAlert: func(a dynaminer.Alert) {
 			fmt.Printf("ALERT %s client=%s payload=%s host=%s score=%.2f\n",

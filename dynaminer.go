@@ -49,6 +49,8 @@ type (
 	MonitorConfig = detector.Config
 	// MonitorStats counts engine activity.
 	MonitorStats = detector.Stats
+	// WatchedWCG describes one actively watched potential-infection WCG.
+	WatchedWCG = detector.WatchedWCG
 	// Packet is one captured frame.
 	Packet = pcap.Packet
 )

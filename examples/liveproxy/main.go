@@ -37,7 +37,10 @@ func main() {
 		}
 	}
 
-	monitor := dynaminer.NewMonitor(dynaminer.MonitorConfig{RedirectThreshold: 2}, clf)
+	// Shards spreads the three hosts' sessions over independently locked
+	// engine shards; each client's verdicts are identical at any shard
+	// count, so the replay below stays deterministic.
+	monitor := dynaminer.NewMonitor(dynaminer.MonitorConfig{RedirectThreshold: 2, Shards: 4}, clf)
 	perHost := make(map[string]int)
 	for _, tx := range capture.Txs {
 		for _, a := range monitor.Process(tx) {

@@ -52,6 +52,10 @@ type Config struct {
 	// ClusterTTL evicts session clusters idle longer than this, bounding
 	// memory on long-running deployments. Zero selects 1 hour.
 	ClusterTTL time.Duration
+	// Shards is the number of independent engine shards a ShardedEngine
+	// routes clients across. Zero selects runtime.GOMAXPROCS(0). A plain
+	// Engine ignores it.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +76,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ClusterTTL == 0 {
 		c.ClusterTTL = time.Hour
+	}
+	if len(c.TrustedVendors) > 0 {
+		// DNS names are case-insensitive; hosts are normalized to lowercase
+		// at extraction, so the weed-out list must be too.
+		lowered := make([]string, len(c.TrustedVendors))
+		for i, v := range c.TrustedVendors {
+			lowered[i] = strings.ToLower(v)
+		}
+		c.TrustedVendors = lowered
 	}
 	return c
 }
@@ -143,6 +156,21 @@ type Stats struct {
 	CluesFired      int
 	Classifications int
 	Alerts          int
+	// Dropped counts transactions discarded because their cluster hit
+	// MaxClusterTxs.
+	Dropped int
+}
+
+// add accumulates o into s (used to aggregate shard counters).
+func (s *Stats) add(o Stats) {
+	s.Transactions += o.Transactions
+	s.Weeded += o.Weeded
+	s.Clusters += o.Clusters
+	s.Evicted += o.Evicted
+	s.CluesFired += o.CluesFired
+	s.Classifications += o.Classifications
+	s.Alerts += o.Alerts
+	s.Dropped += o.Dropped
 }
 
 // clickGap separates automatic redirections from human link-clicks, as in
@@ -187,13 +215,17 @@ type cluster struct {
 }
 
 // Engine is the streaming detector. It is not safe for concurrent use; run
-// one Engine per capture point or serialize access.
+// one Engine per capture point, serialize access, or use a ShardedEngine,
+// which partitions clients across independently locked Engines.
 type Engine struct {
 	cfg      Config
 	model    Scorer
 	clusters []*cluster
 	byClient map[netip.Addr][]*cluster
 	stats    Stats
+	// idBase/idStep parameterize cluster ID allocation so the shards of a
+	// ShardedEngine never collide: shard i of n allocates i, i+n, i+2n, ...
+	idBase, idStep int
 }
 
 // New returns an Engine using the given trained model.
@@ -202,6 +234,7 @@ func New(cfg Config, model Scorer) *Engine {
 		cfg:      cfg.withDefaults(),
 		model:    model,
 		byClient: make(map[netip.Addr][]*cluster),
+		idStep:   1,
 	}
 }
 
@@ -224,7 +257,7 @@ func (e *Engine) Process(tx httpstream.Transaction) []Alert {
 	if e.stats.Transactions%evictEvery == 0 {
 		e.EvictIdle(tx.ReqTime.Add(-e.cfg.ClusterTTL))
 	}
-	host := tx.Host
+	host := strings.ToLower(tx.Host)
 	if host == "" {
 		host = tx.ServerIP.String()
 	}
@@ -234,6 +267,12 @@ func (e *Engine) Process(tx httpstream.Transaction) []Alert {
 	}
 	c := e.clusterFor(&tx, host)
 	if len(c.txs) >= e.cfg.MaxClusterTxs {
+		// The session is still active even though its history is capped:
+		// keep lastActive fresh so TTL eviction does not destroy the
+		// cluster (and any watched WCG) mid-session, and make the drop
+		// visible in the counters.
+		c.lastActive = tx.ReqTime
+		e.stats.Dropped++
 		return nil
 	}
 	meta := c.buildMeta(&tx, host)
@@ -317,8 +356,15 @@ func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 			}
 		}
 	}
+	// Transactions that never got a response (e.g. upstream timeouts in
+	// extraction-only replays) carry a zero RespTime; fall back to the
+	// request time so alerts are always stamped.
+	when := c.txs[idx].RespTime
+	if when.IsZero() {
+		when = c.txs[idx].ReqTime
+	}
 	return []Alert{{
-		Time:           c.txs[idx].RespTime,
+		Time:           when,
 		Client:         c.client,
 		ClusterID:      c.id,
 		Score:          score,
@@ -590,7 +636,8 @@ func refererHost(tx *httpstream.Transaction) string {
 	return hostOf(tx.Referer())
 }
 
-// hostOf extracts the host of an absolute or schemeless URL.
+// hostOf extracts the host of an absolute or schemeless URL, lowercased
+// (DNS names are case-insensitive, so all host comparisons fold case).
 func hostOf(raw string) string {
 	s := raw
 	if i := strings.Index(s, "://"); i >= 0 {
@@ -603,10 +650,10 @@ func hostOf(raw string) string {
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
 		case '/', '?', '#', ':':
-			return s[:i]
+			return strings.ToLower(s[:i])
 		}
 	}
-	return s
+	return strings.ToLower(s)
 }
 
 // clusterFor assigns the transaction to a session cluster of its client:
@@ -642,7 +689,7 @@ func (e *Engine) clusterFor(tx *httpstream.Transaction, host string) *cluster {
 		}
 	}
 	c := &cluster{
-		id:       len(e.clusters),
+		id:       e.idBase + e.idStep*len(e.clusters),
 		client:   tx.ClientIP,
 		hosts:    make(map[string]struct{}),
 		sessions: make(map[string]struct{}),

@@ -75,6 +75,9 @@ func TestClueFiresAndAlerts(t *testing.T) {
 	if a.WCG == nil || a.WCG.Order() < 4 {
 		t.Fatal("alert must carry the potential-infection WCG")
 	}
+	if a.Time.IsZero() {
+		t.Fatal("alert time unset")
+	}
 	st := e.Stats()
 	if st.CluesFired != 1 || st.Alerts != 1 || st.Classifications != 1 {
 		t.Fatalf("stats %+v", st)
@@ -245,6 +248,92 @@ func TestEndToEndWithTrainedModel(t *testing.T) {
 	}
 	if falseAlerts > nBen/5 {
 		t.Fatalf("false alerts on %d/%d benign search sessions", falseAlerts, nBen)
+	}
+}
+
+func TestCappedClusterSurvivesEviction(t *testing.T) {
+	// When a cluster hits MaxClusterTxs the excess transactions are
+	// dropped, but the session is still active: lastActive must track the
+	// dropped traffic (or TTL eviction destroys a live session mid-watch)
+	// and the drops must be visible in Stats.
+	e := New(Config{MaxClusterTxs: 8, SessionGap: 30 * time.Minute}, constScorer(0))
+	for i := 0; i < 11; i++ {
+		e.Process(mkTx("busy.com", fmt.Sprintf("/p%d", i), "GET", 200, "text/html", 10, "", time.Duration(i)*time.Minute))
+	}
+	st := e.Stats()
+	if st.Transactions != 11 {
+		t.Fatalf("transactions = %d, want 11", st.Transactions)
+	}
+	if st.Dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", st.Dropped)
+	}
+	// Cutoff after the cap was reached (8th tx at t0+7m) but before the
+	// last dropped transaction (t0+10m): the cluster is still active.
+	if n := e.EvictIdle(t0.Add(9 * time.Minute)); n != 0 {
+		t.Fatalf("capped-but-active cluster evicted (%d)", n)
+	}
+	// A cutoff beyond the last activity still evicts.
+	if n := e.EvictIdle(t0.Add(11 * time.Minute)); n != 1 {
+		t.Fatalf("idle capped cluster not evicted (%d)", n)
+	}
+}
+
+func TestTrustedVendorCaseInsensitive(t *testing.T) {
+	e := New(Config{TrustedVendors: []string{"Apple.COM"}}, constScorer(0.9))
+	e.Process(mkTx("CDN.Apple.com", "/update.dmg", "GET", 200, "application/x-apple-diskimage", 1<<20, "", 0))
+	if st := e.Stats(); st.Weeded != 1 || st.Clusters != 0 {
+		t.Fatalf("stats %+v: mixed-case trusted host not weeded", st)
+	}
+}
+
+func TestHostCaseInsensitiveClustering(t *testing.T) {
+	e := New(Config{}, constScorer(0))
+	e.Process(mkTx("First.com", "/", "GET", 200, "text/html", 10, "", 0))
+	// Beyond the session gap, so only referrer linkage can join them.
+	e.Process(mkTx("second.com", "/p", "GET", 200, "text/html", 10, "http://FIRST.com/", 10*time.Minute))
+	if e.Stats().Clusters != 1 {
+		t.Fatalf("clusters = %d, want 1 (case-folded referer must link)", e.Stats().Clusters)
+	}
+}
+
+func TestMixedCaseInfectionChainAlerts(t *testing.T) {
+	// DNS names are case-insensitive: a chain whose Host, Referer, and
+	// Location headers disagree on case must still link up and alert.
+	e := New(Config{RedirectThreshold: 3}, constScorer(0.9))
+	txs := []httpstream.Transaction{
+		redirectTx("A.Evil", "B.EVIL", 0),
+		mkTx("b.evil", "/x", "GET", 302, "", 0, "http://A.evil/r", 100*time.Millisecond),
+		redirectTx("B.evil", "C.evil", 150*time.Millisecond),
+		redirectTx("c.EVIL", "d.evil", 300*time.Millisecond),
+		mkTx("D.Evil", "/drop.exe", "GET", 200, "application/x-msdownload", 90000, "http://C.evil/r", 500*time.Millisecond),
+	}
+	alerts := e.ProcessAll(txs)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1 (stats %+v)", len(alerts), e.Stats())
+	}
+	if alerts[0].TriggerHost != "d.evil" {
+		t.Fatalf("trigger host = %q, want lowercase d.evil", alerts[0].TriggerHost)
+	}
+	if e.Stats().Clusters != 1 {
+		t.Fatalf("clusters = %d, want 1", e.Stats().Clusters)
+	}
+}
+
+func TestAlertTimeFallbackToReqTime(t *testing.T) {
+	// A triggering transaction that never got a response (zero RespTime,
+	// e.g. an upstream timeout in a replay) must still stamp the alert.
+	e := New(Config{RedirectThreshold: 3}, constScorer(0.9))
+	txs := infectionStream()
+	txs[len(txs)-1].RespTime = time.Time{}
+	alerts := e.ProcessAll(txs)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(alerts))
+	}
+	if alerts[0].Time.IsZero() {
+		t.Fatal("alert stamped with the zero time")
+	}
+	if want := t0.Add(500 * time.Millisecond); !alerts[0].Time.Equal(want) {
+		t.Fatalf("alert time = %v, want request time %v", alerts[0].Time, want)
 	}
 }
 

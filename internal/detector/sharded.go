@@ -1,0 +1,122 @@
+package detector
+
+import (
+	"net/netip"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"dynaminer/internal/httpstream"
+)
+
+// ShardedEngine partitions the streaming detector across N independent
+// Engine shards so concurrent capture points (e.g. the proxy's request
+// handlers) classify in parallel. Every transaction is routed by a hash of
+// its client IP, so all of a client's session clusters live in exactly one
+// shard and each client's alert stream is identical to what a single
+// Engine would produce — sharding changes throughput, not verdicts. Each
+// shard is guarded by its own mutex; there is no cross-shard state, so no
+// lock is ever held while another is taken.
+//
+// ShardedEngine is safe for concurrent use.
+type ShardedEngine struct {
+	shards []*engineShard
+}
+
+type engineShard struct {
+	mu  sync.Mutex
+	eng *Engine
+}
+
+// NewSharded returns a ShardedEngine with cfg.Shards shards (zero selects
+// runtime.GOMAXPROCS(0)) sharing one trained model. With one shard it
+// reproduces a plain Engine exactly, cluster IDs included.
+func NewSharded(cfg Config, model Scorer) *ShardedEngine {
+	n := cfg.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s := &ShardedEngine{shards: make([]*engineShard, n)}
+	for i := range s.shards {
+		eng := New(cfg, model)
+		// Stride cluster IDs so IDs stay unique across shards: shard i of
+		// n allocates i, i+n, i+2n, ...
+		eng.idBase, eng.idStep = i, n
+		s.shards[i] = &engineShard{eng: eng}
+	}
+	return s
+}
+
+// NumShards returns the number of engine shards.
+func (s *ShardedEngine) NumShards() int { return len(s.shards) }
+
+// shardFor routes a client address to its owning shard: FNV-1a over the
+// 16-byte address, so IPv4 and its v6-mapped form land together and the
+// assignment is stable for the engine's lifetime.
+func (s *ShardedEngine) shardFor(client netip.Addr) *engineShard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	b := client.As16()
+	h := uint32(2166136261)
+	for _, x := range b {
+		h ^= uint32(x)
+		h *= 16777619
+	}
+	return s.shards[h%uint32(len(s.shards))]
+}
+
+// Process ingests one transaction under its client's shard lock and
+// returns any alerts it triggers.
+func (s *ShardedEngine) Process(tx httpstream.Transaction) []Alert {
+	sh := s.shardFor(tx.ClientIP)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.eng.Process(tx)
+}
+
+// ProcessAll feeds a transaction slice through the engine in order.
+func (s *ShardedEngine) ProcessAll(txs []httpstream.Transaction) []Alert {
+	var alerts []Alert
+	for _, tx := range txs {
+		alerts = append(alerts, s.Process(tx)...)
+	}
+	return alerts
+}
+
+// Stats returns the engine counters aggregated across all shards.
+func (s *ShardedEngine) Stats() Stats {
+	var total Stats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total.add(sh.eng.Stats())
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Watched returns snapshots of every potential-infection WCG currently
+// being grown, merged across shards and ordered by cluster ID.
+func (s *ShardedEngine) Watched() []WatchedWCG {
+	var out []WatchedWCG
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		out = append(out, sh.eng.Watched()...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ClusterID < out[j].ClusterID })
+	return out
+}
+
+// EvictIdle fans the sweep out to every shard and returns the total number
+// of session clusters removed.
+func (s *ShardedEngine) EvictIdle(cutoff time.Time) int {
+	evicted := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		evicted += sh.eng.EvictIdle(cutoff)
+		sh.mu.Unlock()
+	}
+	return evicted
+}

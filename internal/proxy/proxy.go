@@ -60,14 +60,16 @@ type Stats struct {
 }
 
 // Proxy is an http.Handler implementing a detecting forward proxy. Safe
-// for concurrent use.
+// for concurrent use: detection runs on a sharded engine whose per-client
+// shard locks let distinct clients classify in parallel, while p.mu guards
+// only the blocklist and the proxy counters.
 type Proxy struct {
 	cfg       Config
 	transport http.RoundTripper
 	now       func() time.Time
+	engine    *detector.ShardedEngine
 
 	mu      sync.Mutex
-	engine  *detector.Engine
 	blocked map[netip.Addr]time.Time // client -> block expiry
 	stats   Stats
 }
@@ -91,7 +93,7 @@ func New(cfg Config, model detector.Scorer) *Proxy {
 		cfg:       cfg,
 		transport: transport,
 		now:       now,
-		engine:    detector.New(cfg.Detector, model),
+		engine:    detector.NewSharded(cfg.Detector, model),
 		blocked:   make(map[netip.Addr]time.Time),
 	}
 }
@@ -103,11 +105,16 @@ func (p *Proxy) Stats() Stats {
 	return p.stats
 }
 
-// EngineStats returns a snapshot of the embedded detector's counters.
+// EngineStats returns a snapshot of the embedded detector's counters,
+// aggregated across its shards.
 func (p *Proxy) EngineStats() detector.Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	return p.engine.Stats()
+}
+
+// Watched returns snapshots of every potential-infection WCG the embedded
+// detector is currently growing, for operator dashboards.
+func (p *Proxy) Watched() []detector.WatchedWCG {
+	return p.engine.Watched()
 }
 
 // clientAddr extracts the client IP from a request, honoring
@@ -181,14 +188,19 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("upstream body: %v", err), http.StatusBadGateway)
 		return
 	}
-	copyHeader(w.Header(), resp.Header)
+	relayHdr := resp.Header.Clone()
+	removeHopByHop(relayHdr)
+	copyHeader(w.Header(), relayHdr)
 	w.WriteHeader(resp.StatusCode)
 	written, _ := w.Write(prefix)
 	tail, _ := io.Copy(w, rest)
 
+	// Classification runs under the owning shard's lock only, so two
+	// clients' exchanges classify concurrently; p.mu guards just the
+	// blocklist and counters.
 	tx := p.buildTransaction(r, resp, client, reqTime, respTime, prefix, int(tail)+written)
-	p.mu.Lock()
 	alerts := p.engine.Process(tx)
+	p.mu.Lock()
 	p.stats.Relayed++
 	p.stats.Alerts += len(alerts)
 	if len(alerts) > 0 && p.cfg.BlockAfterAlert {
@@ -223,7 +235,37 @@ func (p *Proxy) buildUpstreamRequest(r *http.Request) (*http.Request, error) {
 	}
 	out.Header = r.Header.Clone()
 	out.Header.Del("Proxy-Connection")
+	removeHopByHop(out.Header)
 	return out, nil
+}
+
+// hopByHopHeaders are the connection-scoped fields of RFC 7230 §6.1; a
+// proxy must consume them rather than forward them, or keep-alive and
+// transfer framing negotiated on one hop corrupt the other.
+var hopByHopHeaders = []string{
+	"Connection",
+	"Keep-Alive",
+	"Proxy-Authenticate",
+	"Proxy-Authorization",
+	"TE",
+	"Trailer",
+	"Transfer-Encoding",
+	"Upgrade",
+}
+
+// removeHopByHop strips the standard hop-by-hop headers plus any field the
+// Connection header names as connection-scoped.
+func removeHopByHop(h http.Header) {
+	for _, v := range h.Values("Connection") {
+		for _, name := range strings.Split(v, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				h.Del(name)
+			}
+		}
+	}
+	for _, name := range hopByHopHeaders {
+		h.Del(name)
+	}
 }
 
 // bufferPrefix reads up to limit bytes and returns them plus a reader for

@@ -278,6 +278,82 @@ func TestBufferPrefix(t *testing.T) {
 	}
 }
 
+// recordTransport captures the upstream request and answers with a fixed
+// header set, so hop-by-hop handling is observable on both directions.
+type recordTransport struct {
+	mu      sync.Mutex
+	last    *http.Request
+	respHdr http.Header
+}
+
+func (rt *recordTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	rt.mu.Lock()
+	rt.last = r
+	rt.mu.Unlock()
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Header:     rt.respHdr.Clone(),
+		Body:       io.NopCloser(strings.NewReader("<html>ok</html>")),
+		Request:    r,
+	}, nil
+}
+
+func TestHopByHopHeadersStripped(t *testing.T) {
+	respHdr := http.Header{}
+	respHdr.Set("Content-Type", "text/html")
+	respHdr.Set("Connection", "keep-alive, x-hop-token")
+	respHdr.Set("Keep-Alive", "timeout=5, max=100")
+	respHdr.Set("Upgrade", "h2c")
+	respHdr.Set("Trailer", "X-Checksum")
+	respHdr.Set("Transfer-Encoding", "chunked")
+	respHdr.Set("X-Hop-Token", "secret") // connection-scoped via Connection
+	respHdr.Set("X-End-To-End", "keep-me")
+	rt := &recordTransport{respHdr: respHdr}
+	p := New(Config{Transport: rt}, constScorer(0))
+
+	r := httptest.NewRequest(http.MethodGet, "http://origin.example/page", nil)
+	r.RemoteAddr = "192.0.2.10:4444"
+	r.Header.Set("Referer", "http://before.example/")
+	r.Header.Set("Connection", "keep-alive, x-private")
+	r.Header.Set("X-Private", "token") // connection-scoped via Connection
+	r.Header.Set("Keep-Alive", "timeout=5")
+	r.Header.Set("TE", "trailers")
+	r.Header.Set("Trailer", "X-Req-Trailer")
+	r.Header.Set("Upgrade", "websocket")
+	r.Header.Set("Proxy-Authorization", "Basic Zm9vOmJhcg==")
+	w := httptest.NewRecorder()
+	p.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+
+	// Upstream direction: RFC 7230 §6.1 headers and Connection-named
+	// fields must not be forwarded.
+	up := rt.last
+	for _, name := range []string{"Connection", "Keep-Alive", "TE", "Trailer", "Upgrade", "Proxy-Authorization", "X-Private"} {
+		if got := up.Header.Get(name); got != "" {
+			t.Errorf("hop-by-hop request header %s forwarded upstream (%q)", name, got)
+		}
+	}
+	if up.Header.Get("Referer") != "http://before.example/" {
+		t.Error("end-to-end request header lost")
+	}
+
+	// Client direction: the relayed response must be stripped too.
+	got := w.Result().Header
+	for _, name := range []string{"Connection", "Keep-Alive", "Upgrade", "Trailer", "Transfer-Encoding", "X-Hop-Token"} {
+		if v := got.Get(name); v != "" {
+			t.Errorf("hop-by-hop response header %s relayed to client (%q)", name, v)
+		}
+	}
+	if got.Get("X-End-To-End") != "keep-me" {
+		t.Error("end-to-end response header lost")
+	}
+	if got.Get("Content-Type") != "text/html" {
+		t.Error("content-type lost in relay")
+	}
+}
+
 func TestXForwardedForAttribution(t *testing.T) {
 	clock := &fakeClock{t: time.Date(2016, 7, 10, 12, 0, 0, 0, time.UTC)}
 	cfg := Config{

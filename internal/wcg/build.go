@@ -3,6 +3,7 @@ package wcg
 import (
 	"net/netip"
 	"sort"
+	"strings"
 	"time"
 
 	"dynaminer/internal/httpstream"
@@ -95,7 +96,7 @@ func (b *Builder) Add(tx httpstream.Transaction) {
 	}
 	victimHost := w.Nodes[b.victim].Host
 
-	serverHost := tx.Host
+	serverHost := strings.ToLower(tx.Host)
 	if serverHost == "" {
 		serverHost = tx.ServerIP.String()
 	}

@@ -141,9 +141,10 @@ type WCG struct {
 	g      *graph.Digraph // cached structural projection
 }
 
-// NodeByHost returns the node for host, or nil.
+// NodeByHost returns the node for host, or nil. Hosts are stored
+// lowercased (DNS names are case-insensitive), so the lookup folds case.
 func (w *WCG) NodeByHost(host string) *Node {
-	if id, ok := w.byHost[host]; ok {
+	if id, ok := w.byHost[strings.ToLower(host)]; ok {
 		return w.Nodes[id]
 	}
 	return nil
@@ -250,7 +251,9 @@ func topLevelDomain(host string) string {
 	return host
 }
 
-// hostOfURL extracts the host part of an absolute or schemeless URL.
+// hostOfURL extracts the host part of an absolute or schemeless URL,
+// lowercased: DNS names are case-insensitive, and node identity keys on
+// the host string.
 func hostOfURL(raw string) string {
 	s := raw
 	if i := strings.Index(s, "://"); i >= 0 {
@@ -263,8 +266,8 @@ func hostOfURL(raw string) string {
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
 		case '/', '?', '#', ':':
-			return s[:i]
+			return strings.ToLower(s[:i])
 		}
 	}
-	return s
+	return strings.ToLower(s)
 }

@@ -100,11 +100,51 @@ func TestHostOfURL(t *testing.T) {
 		{"http://host.com", "host.com"},
 		{"http://host.com:8080/x", "host.com"},
 		{"bare-host.net/p", "bare-host.net"},
+		{"http://EVIL.Example/x", "evil.example"}, // DNS names fold case
+		{"HTTPS://MiXeD.CoM", "mixed.com"},
 	}
 	for _, tc := range cases {
 		if got := hostOfURL(tc.in); got != tc.want {
 			t.Errorf("hostOfURL(%q) = %q, want %q", tc.in, got, tc.want)
 		}
+	}
+}
+
+func TestHostCaseFolding(t *testing.T) {
+	// Host, Referer, and Location headers that disagree on case must all
+	// resolve to one lowercase node per DNS name; otherwise referrer
+	// linkage and redirect edges split and the WCG fragments.
+	txs := []httpstream.Transaction{
+		newTx("Mixed.Example", "/", 0).build(),
+		newTx("mixed.EXAMPLE", "/next", 100*time.Millisecond).
+			referer("http://MIXED.example/").build(),
+		newTx("hop.example", "/r", 200*time.Millisecond).
+			status(302).location("http://TARGET.example/x").size(0).build(),
+		newTx("target.EXAMPLE", "/x", 300*time.Millisecond).
+			referer("http://hop.EXAMPLE/r").build(),
+	}
+	w := FromTransactions(txs)
+	// victim + mixed.example + hop.example + target.example.
+	if w.Order() != 4 {
+		for _, n := range w.Nodes {
+			t.Logf("node %d: %s", n.ID, n.Host)
+		}
+		t.Fatalf("order = %d, want 4 (case variants must merge)", w.Order())
+	}
+	for _, host := range []string{"mixed.example", "hop.example", "target.example"} {
+		if w.NodeByHost(host) == nil {
+			t.Fatalf("node %q missing", host)
+		}
+	}
+	// The mixed-case Location must still produce the hop->target redirect.
+	found := false
+	for _, e := range w.Edges {
+		if e.Kind == EdgeRedirect && w.Nodes[e.From].Host == "hop.example" && w.Nodes[e.To].Host == "target.example" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("redirect edge lost to host-case mismatch")
 	}
 }
 
@@ -383,7 +423,8 @@ func TestGraphProjection(t *testing.T) {
 func TestDOT(t *testing.T) {
 	w := FromTransactions(anglerEpisode())
 	dot := w.DOT("angler")
-	for _, want := range []string{"digraph wcg", "bing.com", "exploitC.ru", "redir", "salmon", "lightgreen"} {
+	// Node hosts are lowercased at construction (DNS case folding).
+	for _, want := range []string{"digraph wcg", "bing.com", "exploitc.ru", "redir", "salmon", "lightgreen"} {
 		if !strings.Contains(dot, want) {
 			t.Errorf("DOT missing %q", want)
 		}

@@ -9,9 +9,12 @@ import (
 
 // Monitor is the on-the-wire detection engine (the paper's Stage 2): it
 // consumes live HTTP transactions, infers infection clues, builds
-// potential-infection WCGs, and re-classifies them as they grow.
+// potential-infection WCGs, and re-classifies them as they grow. The
+// engine is sharded by client IP (MonitorConfig.Shards, default
+// GOMAXPROCS), so Monitor is safe for concurrent use and distinct clients
+// classify in parallel; per-client results are shard-count independent.
 type Monitor struct {
-	engine *detector.Engine
+	engine *detector.ShardedEngine
 }
 
 // NewMonitor wraps a trained classifier in a streaming engine.
@@ -19,7 +22,7 @@ func NewMonitor(cfg MonitorConfig, c *Classifier) *Monitor {
 	if cfg.TrustedVendors == nil {
 		cfg.TrustedVendors = detector.DefaultTrustedVendors
 	}
-	return &Monitor{engine: detector.New(cfg, c.forest)}
+	return &Monitor{engine: detector.NewSharded(cfg, c.forest)}
 }
 
 // Process ingests one transaction and returns any alerts it triggers.
@@ -38,8 +41,12 @@ func (m *Monitor) ProcessPCAP(r io.Reader) ([]Alert, error) {
 	return m.ProcessAll(txs), nil
 }
 
-// Stats returns a snapshot of engine counters.
+// Stats returns a snapshot of engine counters, aggregated across shards.
 func (m *Monitor) Stats() MonitorStats { return m.engine.Stats() }
+
+// Watched returns snapshots of every potential-infection WCG currently
+// being grown and re-classified, across all shards.
+func (m *Monitor) Watched() []WatchedWCG { return m.engine.Watched() }
 
 // ProxyConfig tunes the forward-proxy deployment (see NewProxy).
 type ProxyConfig = proxy.Config
