@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 tier2 bench
+.PHONY: all build tier1 tier2 lint bench
 
 all: tier1
 
@@ -12,11 +12,18 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-# Tier 2: static analysis plus the race-detector stress suites for the
-# concurrent packages. Slower; run before touching engine or proxy locking.
+# Project-invariant static analysis (see DESIGN.md "Enforced invariants").
+# Exits non-zero when any analyzer reports a finding.
+lint:
+	$(GO) run ./cmd/dynalint -root .
+
+# Tier 2: static analysis plus the race-detector stress suites for every
+# package that spawns goroutines. Slower; run before touching engine or
+# proxy locking.
 tier2:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/detector ./internal/proxy
+	$(GO) run ./cmd/dynalint -root .
+	$(GO) test -race . ./cmd/dynaminer ./internal/detector ./internal/proxy ./internal/httpstream
 
 bench:
 	$(GO) test -bench=. -benchmem

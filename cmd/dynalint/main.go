@@ -1,0 +1,166 @@
+// Command dynalint runs the project's invariant analyzers (see
+// internal/analysis) over the module tree and reports every violation in
+// "file:line: analyzer: message" form. It exits 0 when the tree is
+// clean, 1 when it has findings, and 2 on usage or parse errors, so it
+// slots into make lint and CI gates.
+//
+// Usage:
+//
+//	dynalint [-root dir] [-skip list] [-tests] [-list]
+//
+// -skip is a comma-separated list of path fragments; any file or
+// directory whose module-relative path contains one of them is excluded.
+// The default skips testdata and vendored trees. _test.go files are
+// excluded unless -tests is given: test fixtures intentionally exercise
+// mixed-case hosts and zero times, and the invariants bind production
+// code.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dynaminer/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams, for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("dynalint", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	root := fl.String("root", ".", "module directory to analyze")
+	skip := fl.String("skip", "testdata,vendor,.git", "comma-separated path fragments to exclude")
+	tests := fl.Bool("tests", false, "also analyze _test.go files")
+	list := fl.Bool("list", false, "list the analyzers and exit")
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+	findings, err := lintTree(*root, splitSkips(*skip), *tests)
+	if err != nil {
+		fmt.Fprintf(stderr, "dynalint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "dynalint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// splitSkips normalizes the -skip list.
+func splitSkips(s string) []string {
+	var out []string
+	for _, frag := range strings.Split(s, ",") {
+		if frag = strings.TrimSpace(frag); frag != "" {
+			out = append(out, frag)
+		}
+	}
+	return out
+}
+
+// skipped reports whether a module-relative slash path matches any skip
+// fragment.
+func skipped(rel string, skips []string) bool {
+	for _, frag := range skips {
+		if strings.Contains(rel, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// lintTree walks root, parses every kept package, and runs the full
+// analyzer suite, returning findings with root-relative filenames.
+func lintTree(root string, skips []string, tests bool) ([]analysis.Finding, error) {
+	byDir := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, relErr := filepath.Rel(root, path)
+		if relErr != nil {
+			return relErr
+		}
+		rel = filepath.ToSlash(rel)
+		if d.IsDir() {
+			if rel != "." && (strings.HasPrefix(d.Name(), ".") || skipped(rel+"/", skips)) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || skipped(rel, skips) {
+			return nil
+		}
+		if !tests && strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		byDir[filepath.Dir(rel)] = append(byDir[filepath.Dir(rel)], path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	dirs := make([]string, 0, len(byDir))
+	for dir := range byDir {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+
+	var all []analysis.Finding
+	for _, dir := range dirs {
+		sort.Strings(byDir[dir])
+		fset := token.NewFileSet()
+		// A directory can hold more than one package (e.g. an external
+		// test package); analyze each separately.
+		byPkg := map[string][]*ast.File{}
+		for _, path := range byDir[dir] {
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			byPkg[f.Name.Name] = append(byPkg[f.Name.Name], f)
+		}
+		pkgPath := dir
+		if pkgPath == "." {
+			pkgPath = ""
+		}
+		pkgNames := make([]string, 0, len(byPkg))
+		for name := range byPkg {
+			pkgNames = append(pkgNames, name)
+		}
+		sort.Strings(pkgNames)
+		for _, name := range pkgNames {
+			pass := analysis.NewPass(fset, pkgPath, byPkg[name])
+			findings := analysis.Run(pass, analysis.All())
+			for i := range findings {
+				if rel, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil {
+					findings[i].Pos.Filename = filepath.ToSlash(rel)
+				}
+			}
+			all = append(all, findings...)
+		}
+	}
+	return all, nil
+}

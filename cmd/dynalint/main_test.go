@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a map of relative path -> contents under a temp
+// root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const dirtyFile = `package p
+
+type req struct{ Host string }
+
+func cmp(r req, s string) bool { return r.Host == s }
+`
+
+const cleanFile = `package p
+
+import "strings"
+
+type req struct{ Host string }
+
+func cmp(r req, s string) bool { return strings.EqualFold(r.Host, s) }
+`
+
+func TestDriverReportsFindingsAndExitCode(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/a/a.go": dirtyFile,
+		"internal/b/b.go": cleanFile,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-root", root}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "internal/a/a.go:5: hostfold:") {
+		t.Fatalf("finding not in canonical file:line: analyzer: message form:\n%s", out)
+	}
+	if strings.Contains(out, "b.go") {
+		t.Fatalf("clean file reported:\n%s", out)
+	}
+}
+
+func TestDriverCleanTreeExitsZero(t *testing.T) {
+	root := writeTree(t, map[string]string{"lib/ok.go": cleanFile})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", root}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; out: %s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestDriverSkipFlag(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"third_party/dep/dep.go": dirtyFile,
+		"testdata/fix.go":        dirtyFile,
+		"gen/wire.go":            dirtyFile,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-root", root, "-skip", "testdata,third_party,gen"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (all paths skipped); out:\n%s", code, stdout.String())
+	}
+}
+
+func TestDriverDefaultSkipsTestdataAndTests(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"pkg/testdata/fixture.go": dirtyFile,
+		"pkg/pkg_test.go":         strings.Replace(dirtyFile, "package p", "package p_test", 1),
+		"pkg/ok.go":               cleanFile,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", root}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; out:\n%s", code, stdout.String())
+	}
+	// -tests pulls the _test.go file back in.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-root", root, "-tests"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-tests exit code = %d, want 1; out:\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "pkg_test.go") {
+		t.Fatalf("-tests did not lint the test file:\n%s", stdout.String())
+	}
+}
+
+func TestDriverParseErrorExitsTwo(t *testing.T) {
+	root := writeTree(t, map[string]string{"broken/broken.go": "package {"})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", root}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr: %s", code, stderr.String())
+	}
+}
+
+func TestDriverListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"hostfold", "zerotime", "lockscope", "floatsafe"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestRepoIsClean runs the driver over this repository itself — the
+// make-lint gate in test form: the tree must stay free of findings.
+func TestRepoIsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", "../.."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("dynalint over the repo exited %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+}

@@ -85,7 +85,7 @@ func runProxy(args []string) error {
 		BlockAfterAlert: *block,
 		OnAlert: func(a dynaminer.Alert) {
 			fmt.Printf("ALERT %s client=%s payload=%s host=%s score=%.2f\n",
-				a.Time.Format("15:04:05"), a.Client, a.TriggerPayload, a.TriggerHost, a.Score)
+				a.FormatTime("15:04:05"), a.Client, a.TriggerPayload, a.TriggerHost, a.Score)
 		},
 	}, clf)
 	ln, err := net.Listen("tcp", *listen)
@@ -256,7 +256,7 @@ func runStream(args []string) error {
 			return nil
 		}
 		fmt.Printf("ALERT %s  client=%s payload=%s host=%s score=%.2f wcg=%d nodes\n",
-			a.Time.Format("15:04:05.000"), a.Client, a.TriggerPayload, a.TriggerHost, a.Score, a.WCG.Order())
+			a.FormatTime("15:04:05.000"), a.Client, a.TriggerPayload, a.TriggerHost, a.Score, a.WCG.Order())
 		return nil
 	}
 	var prev time.Time

@@ -1,0 +1,73 @@
+package dynaminer
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+)
+
+// TestMonitorConcurrentClientsMatchSerial drives one Monitor from many
+// goroutines, one per client, and checks every client's alert count matches
+// a serial replay. Sharding routes each client to exactly one shard, so
+// interleaving across clients must never change verdicts; under -race this
+// also exercises the shard locks end to end through the public API.
+func TestMonitorConcurrentClientsMatchSerial(t *testing.T) {
+	eps := Corpus(CorpusConfig{Seed: 51, Infections: 100, Benign: 120})
+	c, err := TrainForMonitoring(eps, TrainConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := Corpus(CorpusConfig{Seed: 52, Infections: 8, Benign: 8})
+	// Give every episode its own client address so sessions never merge
+	// and per-client results are well-defined.
+	total := 0
+	for i := range fresh {
+		addr := netip.AddrFrom4([4]byte{10, 1, byte(i / 200), byte(1 + i%200)})
+		for j := range fresh[i].Txs {
+			fresh[i].Txs[j].ClientIP = addr
+		}
+		total += len(fresh[i].Txs)
+	}
+
+	serialAlerts := make([]int, len(fresh))
+	serial := NewMonitor(MonitorConfig{RedirectThreshold: 1, Shards: 4}, c)
+	for i := range fresh {
+		serialAlerts[i] = len(serial.ProcessAll(fresh[i].Txs))
+	}
+
+	concurrent := NewMonitor(MonitorConfig{RedirectThreshold: 1, Shards: 4}, c)
+	concAlerts := make([]int, len(fresh))
+	var wg sync.WaitGroup
+	for i := range fresh {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := 0
+			for _, tx := range fresh[i].Txs {
+				n += len(concurrent.Process(tx))
+			}
+			concAlerts[i] = n
+		}(i)
+	}
+	// Poll the aggregate snapshots while the writers run: Stats and
+	// Watched take every shard lock and must be safe mid-stream.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for k := 0; k < 100; k++ {
+			_ = concurrent.Stats()
+			_ = concurrent.Watched()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	for i := range fresh {
+		if concAlerts[i] != serialAlerts[i] {
+			t.Errorf("client %d: concurrent alerts = %d, serial = %d", i, concAlerts[i], serialAlerts[i])
+		}
+	}
+	if st := concurrent.Stats(); st.Transactions != total {
+		t.Fatalf("stats saw %d transactions, want %d", st.Transactions, total)
+	}
+}

@@ -37,7 +37,7 @@ func main() {
 		for _, a := range monitor.Process(tx) {
 			alerts = append(alerts, a)
 			fmt.Printf("ALERT %s payload=%-4s host=%-16s score=%.2f\n",
-				a.Time.Format("15:04:05"), a.TriggerPayload, a.TriggerHost, a.Score)
+				a.FormatTime("15:04:05"), a.TriggerPayload, a.TriggerHost, a.Score)
 		}
 	}
 	st := monitor.Stats()

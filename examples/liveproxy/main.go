@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"strings"
 	"time"
 
 	"dynaminer"
@@ -26,11 +27,12 @@ func main() {
 	fmt.Printf("proxy stream: %d transactions from 3 hosts over 48h, %d file downloads\n\n",
 		len(capture.Txs), len(capture.Downloads))
 
-	// Map client IPs back to host names for reporting.
+	// Map client IPs back to host names for reporting. Host names off the
+	// wire are case-insensitive, so the match folds case.
 	ipToHost := make(map[string]string)
 	for _, d := range capture.Downloads {
 		for _, tx := range capture.Txs {
-			if tx.Host == d.Server {
+			if strings.EqualFold(tx.Host, d.Server) {
 				ipToHost[tx.ClientIP.String()] = d.HostName
 				break
 			}
@@ -47,7 +49,7 @@ func main() {
 			host := ipToHost[a.Client.String()]
 			perHost[host]++
 			fmt.Printf("ALERT %s host=%-12s payload=%-4s from %-20s score=%.2f\n",
-				a.Time.Format("Jan 2 15:04"), host, a.TriggerPayload, a.TriggerHost, a.Score)
+				a.FormatTime("Jan 2 15:04"), host, a.TriggerPayload, a.TriggerHost, a.Score)
 		}
 	}
 

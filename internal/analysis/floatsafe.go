@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Floatsafe keeps the feature vector finite. The ERF consumes the
+// 37-dimensional vector of Table II; a division by a zero denominator
+// puts an Inf or NaN in a slot, and a NaN poisons every tree-split
+// comparison downstream (NaN compares false with everything), silently
+// degrading the classifier instead of failing loudly. The paper's
+// payload-agnostic representation only works if every feature is a real
+// number.
+//
+// The analyzer runs only over feature-extraction packages (import path
+// containing "internal/features"). It flags a division whose result
+// flows into a feature-vector slot — an assignment with an index
+// expression on the left, or an append(...) argument — unless the
+// denominator is a non-zero constant or an enclosing if/guard in the
+// same function mentions one of the denominator's identifiers (the
+// `if reqs > 0 { v[35] = x / float64(reqs) }` idiom, or an early-return
+// guard).
+type Floatsafe struct{}
+
+// Name implements Analyzer.
+func (Floatsafe) Name() string { return "floatsafe" }
+
+// Doc implements Analyzer.
+func (Floatsafe) Doc() string {
+	return "feature-vector divisions without a zero-denominator guard (vector must stay finite)"
+}
+
+// constNonZero reports whether e is a compile-time non-zero numeric
+// literal (possibly via a conversion or unary sign).
+func constNonZero(e ast.Expr) bool {
+	switch x := unparen(e).(type) {
+	case *ast.BasicLit:
+		return (x.Kind == token.INT || x.Kind == token.FLOAT) &&
+			strings.ContainsAny(x.Value, "123456789")
+	case *ast.UnaryExpr:
+		return constNonZero(x.X)
+	case *ast.CallExpr:
+		// Conversions like float64(8) keep constancy for one argument.
+		if len(x.Args) == 1 {
+			return constNonZero(x.Args[0])
+		}
+	}
+	return false
+}
+
+// flowsIntoVector reports whether the stack shows the division feeding a
+// vector slot: an ancestor assignment whose LHS indexes a slice/array,
+// or an ancestor append call.
+func flowsIntoVector(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch x := stack[i].(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if _, ok := unparen(lhs).(*ast.IndexExpr); ok {
+					return true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// leafNames collects the value-carrying names of an expression: bare
+// identifiers and the final field of selector chains, skipping function
+// names (so `float64(s.Count)` yields only "Count", and the shared
+// receiver `s` never causes a spurious guard match).
+func leafNames(e ast.Expr, into map[string]bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		into[x.Name] = true
+	case *ast.SelectorExpr:
+		into[x.Sel.Name] = true
+	case *ast.ParenExpr:
+		leafNames(x.X, into)
+	case *ast.UnaryExpr:
+		leafNames(x.X, into)
+	case *ast.BinaryExpr:
+		leafNames(x.X, into)
+		leafNames(x.Y, into)
+	case *ast.CallExpr:
+		for _, a := range x.Args {
+			leafNames(a, into)
+		}
+	case *ast.IndexExpr:
+		leafNames(x.X, into)
+		leafNames(x.Index, into)
+	}
+}
+
+// denomGuarded reports whether a leaf name of the denominator is
+// mentioned by an enclosing if condition on the stack, or by an
+// early-exit if anywhere in the enclosing function.
+func denomGuarded(stack []ast.Node, denom ast.Expr) bool {
+	names := map[string]bool{}
+	leafNames(denom, names)
+	if len(names) == 0 {
+		return false
+	}
+	mentions := func(cond ast.Expr) bool {
+		condNames := map[string]bool{}
+		leafNames(cond, condNames)
+		for n := range condNames {
+			if names[n] {
+				return true
+			}
+		}
+		return false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if ifst, ok := stack[i].(*ast.IfStmt); ok && mentions(ifst.Cond) {
+			return true
+		}
+	}
+	if fn := enclosingFunc(stack); fn != nil {
+		body := funcBody(fn)
+		guarded := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			ifst, ok := n.(*ast.IfStmt)
+			if !ok || !mentions(ifst.Cond) {
+				return true
+			}
+			ast.Inspect(ifst.Body, func(m ast.Node) bool {
+				switch m.(type) {
+				case *ast.ReturnStmt, *ast.BranchStmt:
+					guarded = true
+				}
+				return true
+			})
+			return true
+		})
+		return guarded
+	}
+	return false
+}
+
+// Run implements Analyzer.
+func (fs Floatsafe) Run(pass *Pass) []Finding {
+	if !strings.Contains(pass.PkgPath, "internal/features") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pass.Files {
+		walkStack(f, func(stack []ast.Node) {
+			div, ok := stack[len(stack)-1].(*ast.BinaryExpr)
+			if !ok || div.Op != token.QUO {
+				return
+			}
+			if constNonZero(div.Y) {
+				return
+			}
+			if !flowsIntoVector(stack) {
+				return
+			}
+			if denomGuarded(stack, div.Y) {
+				return
+			}
+			out = append(out, pass.finding(fs.Name(), div.Pos(),
+				"division flowing into a feature-vector slot without a zero-denominator guard; a zero denominator makes the vector non-finite and poisons the ERF"))
+		})
+	}
+	return out
+}

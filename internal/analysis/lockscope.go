@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Lockscope enforces the engine/proxy lock discipline: a struct field
+// annotated with a "guarded by <mu>" comment may only be read or written
+// by a function that locks <mu> on the same receiver chain. PR 1
+// re-architected the proxy so detection runs outside p.mu while the
+// blocklist and counters stay inside it; this analyzer keeps that split
+// from regressing as handlers grow.
+//
+// Matching is syntactic and flow-insensitive: an access `base.field` is
+// sanctioned when the enclosing function anywhere calls
+// `base.<mu>.Lock()` or `base.<mu>.RLock()` with the identical base
+// chain. Functions whose name ends in "Locked" are exempt (the caller
+// holds the lock by contract), as is anything under a
+// //dynalint:ignore lockscope directive.
+type Lockscope struct{}
+
+// Name implements Analyzer.
+func (Lockscope) Name() string { return "lockscope" }
+
+// Doc implements Analyzer.
+func (Lockscope) Doc() string {
+	return `fields annotated "guarded by <mu>" accessed without locking that mutex`
+}
+
+// guardedField is one annotated struct field.
+type guardedField struct {
+	structName string
+	mu         string
+}
+
+// collectGuarded scans the package's struct declarations for fields whose
+// doc or trailing comment says "guarded by <name>", returning
+// fieldName -> annotation. Field names are package-unique enough for a
+// project lint; a collision shows up as a false positive to triage.
+func collectGuarded(files []*ast.File) map[string]guardedField {
+	guarded := map[string]guardedField{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field.Doc)
+				if mu == "" {
+					mu = guardAnnotation(field.Comment)
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					guarded[name.Name] = guardedField{structName: ts.Name.Name, mu: mu}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// guardAnnotation extracts the mutex name from a "guarded by <mu>"
+// comment group, or "".
+func guardAnnotation(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	text := cg.Text()
+	i := strings.Index(text, "guarded by ")
+	if i < 0 {
+		return ""
+	}
+	rest := strings.Fields(text[i+len("guarded by "):])
+	if len(rest) == 0 {
+		return ""
+	}
+	return strings.Trim(rest[0], ".,;:")
+}
+
+// lockedChains collects "base|mu" keys for every <base>.<mu>.Lock/RLock
+// call in a function body.
+func lockedChains(body *ast.BlockStmt) map[string]bool {
+	locked := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if base := chainText(muSel.X); base != "" {
+			locked[base+"|"+muSel.Sel.Name] = true
+		}
+		return true
+	})
+	return locked
+}
+
+// Run implements Analyzer.
+func (l Lockscope) Run(pass *Pass) []Finding {
+	guarded := collectGuarded(pass.Files)
+	if len(guarded) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			locked := lockedChains(fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				g, isGuarded := guarded[sel.Sel.Name]
+				if !isGuarded {
+					return true
+				}
+				base := chainText(sel.X)
+				if base == "" || locked[base+"|"+g.mu] {
+					return true
+				}
+				out = append(out, pass.finding(l.Name(), sel.Pos(),
+					"%s.%s is guarded by %s.%s, but %s never locks it (lock it, or suffix the func name with Locked if the caller holds it)",
+					base, sel.Sel.Name, base, g.mu, fn.Name.Name))
+				return true
+			})
+		}
+	}
+	return out
+}

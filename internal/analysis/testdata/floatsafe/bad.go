@@ -1,0 +1,30 @@
+// Fixture: every line marked `want` must be flagged by floatsafe. The
+// test runner analyzes this directory under the package path
+// "internal/features", the scope floatsafe applies to.
+package fixtures
+
+type summary struct {
+	Total float64
+	Count int
+	Span  float64
+}
+
+// unguardedSlot recreates the bug class: a zero Count makes f(k) NaN or
+// Inf and poisons every ERF tree split downstream.
+func unguardedSlot(s summary) []float64 {
+	v := make([]float64, 3)
+	v[0] = s.Total / float64(s.Count) // want "zero-denominator"
+	return v
+}
+
+func unguardedAppend(s summary, out []float64) []float64 {
+	return append(out, s.Span/s.Total) // want "zero-denominator"
+}
+
+func guardsWrongVariable(s summary) []float64 {
+	v := make([]float64, 1)
+	if s.Count > 0 {
+		v[0] = s.Total / s.Span // want "zero-denominator"
+	}
+	return v
+}

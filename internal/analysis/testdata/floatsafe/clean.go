@@ -1,0 +1,52 @@
+// Fixture: compliant idioms that must produce zero floatsafe findings.
+package fixtures
+
+type stats struct {
+	Sum   float64
+	Reqs  int
+	Gap   float64
+	Hosts []string
+}
+
+// enclosingGuard is the features.Extract idiom: the division sits inside
+// an if that names the denominator.
+func enclosingGuard(s stats) []float64 {
+	v := make([]float64, 2)
+	if s.Reqs > 0 {
+		v[0] = s.Sum / float64(s.Reqs)
+	}
+	return v
+}
+
+// earlyReturnGuard: an early-exit if mentioning the denominator anywhere
+// in the function sanctions later divisions.
+func earlyReturnGuard(s stats) []float64 {
+	v := make([]float64, 1)
+	if s.Gap == 0 {
+		return v
+	}
+	v[0] = s.Sum / s.Gap
+	return v
+}
+
+// lenGuard: guarding on the collection the denominator derives from.
+func lenGuard(s stats) []float64 {
+	v := make([]float64, 1)
+	if n := len(s.Hosts); n > 0 {
+		v[0] = s.Sum / float64(n)
+	}
+	return v
+}
+
+// constDenominator: non-zero constants cannot divide by zero.
+func constDenominator(s stats) []float64 {
+	v := make([]float64, 2)
+	v[0] = s.Sum / 2
+	v[1] = s.Gap / float64(24)
+	return v
+}
+
+// scalarFlow: divisions that never reach a vector slot are out of scope.
+func scalarFlow(s stats) float64 {
+	return s.Sum / s.Gap
+}

@@ -1,0 +1,50 @@
+// Fixture: every line marked `want` must be flagged by hostfold.
+package fixtures
+
+import "strings"
+
+type tx struct {
+	Host string
+	Hdr  map[string]string
+}
+
+func (t *tx) Referer() string { return t.Hdr["Referer"] }
+
+type download struct{ Server string }
+
+// prePR1ClusterFor recreates the pre-PR-1 detector bug: the session
+// clusterer compared and indexed the raw Host header, so a mixed-case
+// "Landing.SHADY" opened a second cluster and the redirect chain escaped
+// linkage.
+func prePR1ClusterFor(t *tx, hosts map[string]bool) bool {
+	if hosts[t.Host] { // want "case-insensitive"
+		return true
+	}
+	if t.Host == "landing.shady" { // want "case-insensitive"
+		return true
+	}
+	return false
+}
+
+func compareBoth(a, b *tx) bool {
+	return a.Host == b.Host // want "case-insensitive"
+}
+
+func switchOnHost(t *tx) int {
+	switch t.Host { // want "switch tag"
+	case "ads.shady":
+		return 1
+	}
+	return 0
+}
+
+func refererIdentity(t *tx, d download) bool {
+	return t.Referer() != d.Server // want "case-insensitive"
+}
+
+func ignored(t *tx) bool {
+	//dynalint:ignore hostfold fixture demonstrates the escape hatch
+	return t.Host == "suppressed.example"
+}
+
+var _ = strings.ToLower

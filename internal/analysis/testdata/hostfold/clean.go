@@ -1,0 +1,42 @@
+// Fixture: compliant idioms that must produce zero hostfold findings.
+package fixtures
+
+import "strings"
+
+type ctx struct {
+	Host string
+	refs map[string]int
+}
+
+func (c *ctx) RefererURL() string { return "" }
+
+// folded comparisons are calls, not bare selectors.
+func foldedOK(c *ctx, other string) bool {
+	if strings.ToLower(c.Host) == other {
+		return true
+	}
+	return strings.EqualFold(c.Host, other)
+}
+
+// emptiness checks are presence tests, not identity tests.
+func emptinessOK(c *ctx) bool {
+	return c.Host == "" || "" != c.Host
+}
+
+// indexing with an already-folded key.
+func foldedIndexOK(c *ctx) int {
+	return c.refs[strings.ToLower(c.Host)]
+}
+
+// assignment and formatting of raw hosts is fine; only comparisons,
+// indexing and switching are identity-sensitive.
+func readOK(c *ctx) string {
+	h := c.Host
+	return h
+}
+
+// locals already canonicalized upstream may be compared freely.
+func localOK(c *ctx, folded string) bool {
+	host := strings.ToLower(c.Host)
+	return host == folded
+}

@@ -1,0 +1,41 @@
+// Fixture: every line marked `want` must be flagged by lockscope.
+package fixtures
+
+import "sync"
+
+type counterBox struct {
+	mu sync.Mutex
+	// guarded by mu
+	hits int
+	name string // not guarded
+}
+
+// unlockedWrite touches the guarded field with no lock at all.
+func unlockedWrite(b *counterBox) {
+	b.hits++ // want "never locks"
+}
+
+// wrongMutex locks some other lock, not the annotated one.
+type twoLocks struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	n     int // guarded by mu
+}
+
+func wrongMutex(t *twoLocks) int {
+	t.other.Lock()
+	defer t.other.Unlock()
+	return t.n // want "never locks"
+}
+
+// wrongReceiver locks the mutex of a different instance.
+func wrongReceiver(a, b *counterBox) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.hits = 0 // want "never locks"
+}
+
+// unguardedRead: reads need the lock too.
+func unguardedRead(b *counterBox) int {
+	return b.hits // want "never locks"
+}

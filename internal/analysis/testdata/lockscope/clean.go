@@ -1,0 +1,52 @@
+// Fixture: compliant idioms that must produce zero lockscope findings.
+package fixtures
+
+import "sync"
+
+type gauge struct {
+	mu sync.RWMutex
+	// guarded by mu
+	value int
+	label string // unguarded fields are free
+}
+
+type shard struct {
+	mu  sync.Mutex
+	box *gauge // guarded by mu
+}
+
+// lockedWrite is the canonical pattern.
+func lockedWrite(g *gauge, v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.value = v
+}
+
+// rlockedRead: RLock sanctions reads.
+func rlockedRead(g *gauge) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.value
+}
+
+// nestedChain: locking the same base chain sanctions deeper selectors,
+// mirroring the sharded engine's sh.mu / sh.eng pattern.
+func nestedChain(shards []*shard) int {
+	total := 0
+	for _, sh := range shards {
+		sh.mu.Lock()
+		total += sh.box.valueLocked()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// valueLocked: the Locked suffix marks caller-holds-lock helpers.
+func (g *gauge) valueLocked() int { return g.value }
+
+// unguardedField: untouched-by-annotation fields need no lock.
+func unguardedField(g *gauge) string { return g.label }
+
+// constructors build instances via composite literals, which are not
+// selector accesses and stay exempt.
+func newGauge() *gauge { return &gauge{label: "fresh"} }

@@ -1,0 +1,35 @@
+// Fixture: every line marked `want` must be flagged by zerotime.
+package fixtures
+
+import (
+	"fmt"
+	"time"
+)
+
+type alert struct {
+	Time    time.Time
+	ReqTime time.Time
+}
+
+// unguardedFormat recreates the pre-PR-1 symptom: a zero alert time
+// rendered as year 1 in the SIEM feed.
+func unguardedFormat(a alert) string {
+	return a.Time.Format(time.RFC3339) // want "IsZero guard"
+}
+
+func unguardedChained(a alert) string {
+	return a.Time.UTC().Format(time.RFC3339Nano) // want "IsZero guard"
+}
+
+func wrongGuard(a alert) string {
+	if a.ReqTime.IsZero() { // guards ReqTime, formats Time
+		return ""
+	}
+	return fmt.Sprint(a.Time.Format(time.Kitchen)) // want "IsZero guard"
+}
+
+// libraryNow is the determinism half: fixtures declare package
+// "fixtures", a library, so the bare clock read is flagged.
+func libraryNow() time.Time {
+	return time.Now() // want "replay determinism"
+}

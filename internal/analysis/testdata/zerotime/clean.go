@@ -1,0 +1,52 @@
+// Fixture: compliant idioms that must produce zero zerotime findings.
+package fixtures
+
+import "time"
+
+type record struct {
+	Time     time.Time
+	RespTime time.Time
+	now      func() time.Time
+}
+
+// guardedFormat: an IsZero check anywhere in the function sanctions the
+// format (flow-insensitive, like the analyzer).
+func guardedFormat(r record) string {
+	if r.Time.IsZero() {
+		return "unset"
+	}
+	return r.Time.Format(time.RFC3339)
+}
+
+// guardedChained covers the UTC()/Truncate() conversion chain.
+func guardedChained(r record) string {
+	if r.RespTime.IsZero() {
+		return ""
+	}
+	return r.RespTime.UTC().Truncate(time.Second).Format(time.RFC3339Nano)
+}
+
+// hookOK: the injectable-clock idiom — taking time.Now as a *value* for
+// a hook default is fine; only bare call sites are flagged.
+func hookOK(r *record) time.Time {
+	if r.now == nil {
+		r.now = time.Now
+	}
+	return r.now()
+}
+
+// paramOK: formatting a plain parameter is not a field read; helpers
+// that guard internally take the time as a parameter.
+func paramOK(t time.Time, layout string) string {
+	if t.IsZero() {
+		return "unset"
+	}
+	return t.Format(layout)
+}
+
+// layoutOK: Format on non-time-like receivers is ignored.
+type encoder struct{}
+
+func (encoder) Format(s string) string { return s }
+
+func otherFormat(e encoder) string { return e.Format("x") }

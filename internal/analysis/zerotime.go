@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Zerotime enforces the two timestamp invariants PR 1 restored:
+//
+//  1. time.Time fields are formatted only behind an IsZero guard. Alerts
+//     once shipped with the zero time.Time when a transaction never got a
+//     response; the fix falls back to ReqTime, and every *rendering* site
+//     must still guard, because a zero value formats as the year 1 and
+//     silently corrupts SIEM timelines.
+//  2. Library packages never call time.Now() bare. The engine, proxy and
+//     simulators are replay-deterministic: time is injected through a
+//     `Now func() time.Time` hook (see proxy.Config.Now). Only package
+//     main may read the wall clock directly.
+//
+// Rule 1 fires on a call X.Format(...) whose receiver chain is rooted at
+// a time-like selector (field named Time, *Time, FirstSeen, LastGrowth,
+// LastActive) with no `<root>.IsZero()` call in the enclosing function.
+// Chained conversions (a.Time.UTC().Format(...)) are unwrapped.
+type Zerotime struct{}
+
+// Name implements Analyzer.
+func (Zerotime) Name() string { return "zerotime" }
+
+// Doc implements Analyzer.
+func (Zerotime) Doc() string {
+	return "time.Time fields formatted without an IsZero guard; bare time.Now() in library packages"
+}
+
+// timeLikeSel reports whether a selector reads a time-carrying field.
+func timeLikeSel(sel *ast.SelectorExpr) bool {
+	name := sel.Sel.Name
+	switch name {
+	case "Time", "FirstSeen", "LastGrowth", "LastActive":
+		return true
+	}
+	return strings.HasSuffix(name, "Time")
+}
+
+// formatRoot unwraps the receiver of a Format call through value-preserving
+// conversions (UTC, Local, In, Truncate, Round, Add) down to a time-like
+// selector, returning its text, or "" when the receiver is not one.
+func formatRoot(recv ast.Expr) string {
+	for {
+		recv = unparen(recv)
+		call, ok := recv.(*ast.CallExpr)
+		if !ok {
+			break
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		switch sel.Sel.Name {
+		case "UTC", "Local", "In", "Truncate", "Round", "Add":
+			recv = sel.X
+		default:
+			return ""
+		}
+	}
+	if sel, ok := recv.(*ast.SelectorExpr); ok && timeLikeSel(sel) {
+		return chainText(sel)
+	}
+	return ""
+}
+
+// guardedByIsZero reports whether fn's body contains an IsZero() call on
+// the given receiver chain (flow-insensitive: any guard in the function
+// sanctions the format).
+func guardedByIsZero(fn ast.Node, root string) bool {
+	body := funcBody(fn)
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "IsZero" {
+			return true
+		}
+		if chainText(sel.X) == root {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isBareTimeNow reports whether call is exactly time.Now().
+func isBareTimeNow(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Now" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "time"
+}
+
+// Run implements Analyzer.
+func (z Zerotime) Run(pass *Pass) []Finding {
+	var out []Finding
+	library := pass.PkgName != "main"
+	for _, f := range pass.Files {
+		walkStack(f, func(stack []ast.Node) {
+			call, ok := stack[len(stack)-1].(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if library && isBareTimeNow(call) {
+				out = append(out, pass.finding(z.Name(), call.Pos(),
+					"bare time.Now() in library package %q breaks replay determinism; inject a Now func() time.Time hook", pass.PkgName))
+				return
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Format" {
+				return
+			}
+			root := formatRoot(sel.X)
+			if root == "" {
+				return
+			}
+			if fn := enclosingFunc(stack); fn != nil && guardedByIsZero(fn, root) {
+				return
+			}
+			out = append(out, pass.finding(z.Name(), call.Pos(),
+				"%s formatted without an IsZero guard; the zero time renders as year 1 — guard or fall back to a real timestamp", root))
+		})
+	}
+	return out
+}

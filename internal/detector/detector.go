@@ -118,12 +118,28 @@ type Alert struct {
 	WCG *wcg.WCG
 }
 
+// FormatTime renders the alert timestamp in the given layout, or "unset"
+// when the alert carries no timestamp: the zero time.Time would render as
+// the year 1 and silently corrupt SIEM timelines.
+func (a Alert) FormatTime(layout string) string {
+	if a.Time.IsZero() {
+		return "unset"
+	}
+	return a.Time.Format(layout)
+}
+
 // MarshalJSON renders the alert as a SIEM-friendly JSON object (the WCG is
 // summarized, not embedded).
 func (a Alert) MarshalJSON() ([]byte, error) {
 	order, size := 0, 0
 	if a.WCG != nil {
 		order, size = a.WCG.Order(), a.WCG.Size()
+	}
+	// An unset timestamp serializes as "", never as the zero time's
+	// "0001-01-01T00:00:00Z".
+	ts := ""
+	if !a.Time.IsZero() {
+		ts = a.Time.UTC().Format(time.RFC3339Nano)
 	}
 	return json.Marshal(struct {
 		Time      string  `json:"time"`
@@ -135,7 +151,7 @@ func (a Alert) MarshalJSON() ([]byte, error) {
 		WCGOrder  int     `json:"wcgOrder"`
 		WCGSize   int     `json:"wcgSize"`
 	}{
-		Time:      a.Time.UTC().Format(time.RFC3339Nano),
+		Time:      ts,
 		Client:    a.Client.String(),
 		ClusterID: a.ClusterID,
 		Score:     a.Score,

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/netip"
+	"strings"
 	"testing"
 	"time"
 
@@ -446,6 +447,45 @@ func TestAlertMarshalJSON(t *testing.T) {
 	}
 	if decoded["wcgOrder"].(float64) < 4 {
 		t.Fatalf("wcgOrder = %v", decoded["wcgOrder"])
+	}
+}
+
+func TestAlertZeroTimeRendering(t *testing.T) {
+	// An alert that somehow carries no timestamp must not render as the
+	// zero time ("0001-01-01...", year 1): JSON serializes it as "" and
+	// FormatTime says "unset", so a SIEM timeline is never silently
+	// corrupted (regression guard for the PR-1 zero-timestamp bug, now
+	// also enforced by dynalint's zerotime analyzer).
+	var a Alert
+	if got := a.FormatTime(time.RFC3339); got != "unset" {
+		t.Fatalf("FormatTime on zero alert = %q, want \"unset\"", got)
+	}
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "0001-01-01") {
+		t.Fatalf("zero time leaked into JSON: %s", data)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["time"] != "" {
+		t.Fatalf("time = %q, want empty string for unset", decoded["time"])
+	}
+
+	// A stamped alert still round-trips its timestamp.
+	a.Time = time.Date(2016, 7, 10, 19, 30, 0, 0, time.UTC)
+	if got := a.FormatTime("15:04:05"); got != "19:30:00" {
+		t.Fatalf("FormatTime = %q", got)
+	}
+	data, err = json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "2016-07-10T19:30:00Z") {
+		t.Fatalf("stamped time missing from JSON: %s", data)
 	}
 }
 

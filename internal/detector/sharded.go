@@ -26,7 +26,7 @@ type ShardedEngine struct {
 
 type engineShard struct {
 	mu  sync.Mutex
-	eng *Engine
+	eng *Engine // guarded by mu
 }
 
 // NewSharded returns a ShardedEngine with cfg.Shards shards (zero selects

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dynaminer/internal/detector"
+	"dynaminer/internal/httpstream"
 	"dynaminer/internal/synth"
 	"dynaminer/internal/vtsim"
 )
@@ -140,15 +141,7 @@ func TableVI(o Options) (TableVIResult, error) {
 	alerts := eng.ProcessAll(ec.Txs)
 
 	// Attribute alerts to hosts via client IPs observed per host name.
-	clientHost := make(map[string]string)
-	for _, d := range ec.Downloads {
-		for _, tx := range ec.Txs {
-			if tx.Host == d.Server {
-				clientHost[tx.ClientIP.String()] = d.HostName
-				break
-			}
-		}
-	}
+	clientHost := ipToHostByServer(ec.Downloads, ec.Txs)
 
 	res := TableVIResult{Hours: 48, TotalDownloads: len(ec.Downloads)}
 	rows := make(map[string]*TableVIRow)
@@ -202,17 +195,28 @@ func TableVI(o Options) (TableVIResult, error) {
 	return res, nil
 }
 
-// chainStats fills average and maximum redirect-chain length per host.
-func chainStats(ec synth.EnterpriseCapture, rows map[string]*TableVIRow) {
+// ipToHostByServer maps observed client IPs to monitored host names: each
+// download names the server that delivered it, so the client that talked
+// to that server is the download's host. Host names off the wire are
+// case-insensitive DNS names, so the match folds case — a capture whose
+// Host headers disagree on case with the download records must still
+// attribute every alert.
+func ipToHostByServer(downloads []synth.Download, txs []httpstream.Transaction) map[string]string {
 	ipToHost := make(map[string]string)
-	for _, d := range ec.Downloads {
-		for _, tx := range ec.Txs {
-			if tx.Host == d.Server {
+	for _, d := range downloads {
+		for _, tx := range txs {
+			if strings.EqualFold(tx.Host, d.Server) {
 				ipToHost[tx.ClientIP.String()] = d.HostName
 				break
 			}
 		}
 	}
+	return ipToHost
+}
+
+// chainStats fills average and maximum redirect-chain length per host.
+func chainStats(ec synth.EnterpriseCapture, rows map[string]*TableVIRow) {
+	ipToHost := ipToHostByServer(ec.Downloads, ec.Txs)
 	for name, row := range rows {
 		chains := chainLengths(ec, name, ipToHost)
 		if len(chains) == 0 {

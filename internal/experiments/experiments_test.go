@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"net/netip"
 	"strings"
 	"testing"
 
 	"dynaminer/internal/features"
+	"dynaminer/internal/httpstream"
+	"dynaminer/internal/synth"
 )
 
 // smallOpts keeps unit tests quick; the benches run paper scale.
@@ -509,5 +512,33 @@ func TestWriteMarkdownReport(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("report missing %q", want)
 		}
+	}
+}
+
+func TestIPToHostByServerFoldsCase(t *testing.T) {
+	// Host headers off the wire are case-insensitive DNS names. Before
+	// dynalint's hostfold rule, the alert-attribution join compared
+	// tx.Host to the download's Server record case-sensitively, so a
+	// capture carrying "CDN.Example" silently lost the client->host
+	// mapping and the per-host alert rows under-counted. The join must
+	// fold case (regression test for the triaged hostfold finding).
+	mixed := httpstream.Transaction{
+		ClientIP: netip.MustParseAddr("10.1.2.3"),
+		Host:     "CDN.Example",
+	}
+	lower := httpstream.Transaction{
+		ClientIP: netip.MustParseAddr("10.4.5.6"),
+		Host:     "files.example",
+	}
+	downloads := []synth.Download{
+		{Server: "cdn.example", HostName: "alpha"},
+		{Server: "FILES.EXAMPLE", HostName: "bravo"},
+	}
+	got := ipToHostByServer(downloads, []httpstream.Transaction{mixed, lower})
+	if got["10.1.2.3"] != "alpha" {
+		t.Fatalf("mixed-case Host not attributed: %v", got)
+	}
+	if got["10.4.5.6"] != "bravo" {
+		t.Fatalf("mixed-case Server record not attributed: %v", got)
 	}
 }

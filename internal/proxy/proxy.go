@@ -70,8 +70,8 @@ type Proxy struct {
 	engine    *detector.ShardedEngine
 
 	mu      sync.Mutex
-	blocked map[netip.Addr]time.Time // client -> block expiry
-	stats   Stats
+	blocked map[netip.Addr]time.Time // guarded by mu; client -> block expiry
+	stats   Stats                    // guarded by mu
 }
 
 var _ http.Handler = (*Proxy)(nil)
