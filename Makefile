@@ -25,5 +25,12 @@ tier2:
 	$(GO) run ./cmd/dynalint -root .
 	$(GO) test -race . ./cmd/dynaminer ./internal/detector ./internal/proxy ./internal/httpstream
 
+# Bench: run the benchmark suite and record the parsed results as JSON.
+# BENCH_PATTERN narrows the run (CI smokes just the classify pair);
+# BENCH_OUT names the committed record for this PR.
+BENCH_PATTERN ?= .
+BENCHTIME ?= 1x
+BENCH_OUT ?= BENCH_3.json
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCHTIME) -count 1 -benchmem . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)

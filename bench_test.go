@@ -7,13 +7,16 @@ package dynaminer
 // DESIGN.md §4 maps each benchmark to the paper artifact it regenerates.
 
 import (
+	"net/http"
 	"net/netip"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"dynaminer/internal/detector"
 	"dynaminer/internal/experiments"
+	"dynaminer/internal/ml"
 	"dynaminer/internal/synth"
 )
 
@@ -28,6 +31,19 @@ func corpusForBench(b *testing.B) []synth.Episode {
 		benchCorpus = experiments.GroundTruth(benchOpts)
 	}
 	return benchCorpus
+}
+
+// benchDataset caches the extracted design matrix: five benchmarks need
+// it, and re-deriving 37 features per episode per benchmark dominated
+// their setup time.
+var benchDataset *ml.Dataset
+
+func datasetForBench(b *testing.B) *ml.Dataset {
+	b.Helper()
+	if benchDataset == nil {
+		benchDataset = experiments.BuildDataset(corpusForBench(b))
+	}
+	return benchDataset
 }
 
 func BenchmarkTableI(b *testing.B) {
@@ -104,7 +120,7 @@ func BenchmarkFigures7to9(b *testing.B) {
 }
 
 func BenchmarkTableIII(b *testing.B) {
-	ds := experiments.BuildDataset(corpusForBench(b))
+	ds := datasetForBench(b)
 	b.ResetTimer()
 	var tpr, fpr float64
 	for i := 0; i < b.N; i++ {
@@ -119,7 +135,7 @@ func BenchmarkTableIII(b *testing.B) {
 }
 
 func BenchmarkTableIV(b *testing.B) {
-	ds := experiments.BuildDataset(corpusForBench(b))
+	ds := datasetForBench(b)
 	b.ResetTimer()
 	var graphCount int
 	for i := 0; i < b.N; i++ {
@@ -130,7 +146,7 @@ func BenchmarkTableIV(b *testing.B) {
 }
 
 func BenchmarkFigure10(b *testing.B) {
-	ds := experiments.BuildDataset(corpusForBench(b))
+	ds := datasetForBench(b)
 	b.ResetTimer()
 	var auc float64
 	for i := 0; i < b.N; i++ {
@@ -199,7 +215,7 @@ func BenchmarkAblationClueThreshold(b *testing.B) {
 }
 
 func BenchmarkAblationTrees(b *testing.B) {
-	ds := experiments.BuildDataset(corpusForBench(b))
+	ds := datasetForBench(b)
 	b.ResetTimer()
 	var auc20 float64
 	for i := 0; i < b.N; i++ {
@@ -213,7 +229,7 @@ func BenchmarkAblationTrees(b *testing.B) {
 }
 
 func BenchmarkAblationVoting(b *testing.B) {
-	ds := experiments.BuildDataset(corpusForBench(b))
+	ds := datasetForBench(b)
 	b.ResetTimer()
 	var avgAUC, voteAUC float64
 	for i := 0; i < b.N; i++ {
@@ -398,3 +414,72 @@ func BenchmarkSingleEngineProcess(b *testing.B) {
 		return eng.Process(tx)
 	})
 }
+
+// Incremental-classification benchmarks: the same 200-transaction watched
+// chain replayed through the incremental classify path and through the
+// from-scratch fallback (DisableIncremental). The chain fires a clue after
+// a 3-hop redirect chain plus an EXE download, then grows the watched WCG
+// with POST call-backs cycling a small set of C&C hosts, so every
+// transaction triggers a re-classification of the full conversation.
+
+// benchChainTxs caches the 200-transaction chain.
+var benchChainTxs []Transaction
+
+func chainTxsForBench(b *testing.B) []Transaction {
+	b.Helper()
+	if benchChainTxs != nil {
+		return benchChainTxs
+	}
+	base := time.Date(2016, 8, 2, 9, 0, 0, 0, time.UTC)
+	client := netip.MustParseAddr("10.6.6.6")
+	at := func(i int) time.Time { return base.Add(time.Duration(i) * 400 * time.Millisecond) }
+	mk := func(i int, host, uri, method string, code int, ct string, size int) Transaction {
+		return Transaction{
+			ClientIP: client, ServerIP: netip.MustParseAddr("203.0.113.9"),
+			ClientPort: 49152, ServerPort: 80,
+			Method: method, URI: uri, Host: host,
+			ReqHdr: http.Header{}, RespHdr: http.Header{},
+			ReqTime: at(i), RespTime: at(i).Add(25 * time.Millisecond),
+			StatusCode: code, ContentType: ct, BodySize: size,
+		}
+	}
+	hops := []string{"lure.bench", "hop1.bench", "hop2.bench", "dropper.bench"}
+	var txs []Transaction
+	for i := 0; i+1 < len(hops); i++ {
+		tx := mk(len(txs), hops[i], "/r", "GET", 302, "", 0)
+		tx.RespHdr.Set("Location", "http://"+hops[i+1]+"/r")
+		txs = append(txs, tx)
+	}
+	txs = append(txs, mk(len(txs), "dropper.bench", "/payload.exe", "GET", 200, "application/x-msdownload", 120000))
+	for len(txs) < 200 {
+		host := "cc" + string(rune('a'+len(txs)%8)) + ".bench"
+		txs = append(txs, mk(len(txs), host, "/beacon", "POST", 200, "text/plain", 64))
+	}
+	benchChainTxs = txs
+	return txs
+}
+
+func benchClassifyChain(b *testing.B, disable bool) {
+	clf := classifierForBench(b)
+	txs := chainTxsForBench(b)
+	cfg := detector.Config{RedirectThreshold: 3, DisableIncremental: disable}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var st detector.Stats
+	for i := 0; i < b.N; i++ {
+		eng := detector.New(cfg, clf.forest)
+		for _, tx := range txs {
+			eng.Process(tx)
+		}
+		st = eng.Stats()
+		if st.Classifications < len(txs)-4 {
+			b.Fatalf("only %d classifications over %d transactions", st.Classifications, len(txs))
+		}
+	}
+	b.ReportMetric(float64(st.Classifications), "classifications")
+	b.ReportMetric(float64(st.Rebuilds), "rebuilds")
+}
+
+func BenchmarkClassifyIncremental(b *testing.B) { benchClassifyChain(b, false) }
+
+func BenchmarkClassifyScratch(b *testing.B) { benchClassifyChain(b, true) }

@@ -1,0 +1,130 @@
+// Command benchjson parses `go test -bench` text output into a JSON
+// record, so benchmark runs can be committed and diffed between PRs
+// (BENCH_*.json at the repo root). It reads the benchmark output on
+// stdin and writes the record to -o (default stdout).
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -o BENCH_3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line. Metrics maps unit -> value and
+// carries both the standard columns (ns/op, B/op, allocs/op) and any
+// custom b.ReportMetric units.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Record is the whole run: the environment header lines go test prints
+// before the first benchmark, then every benchmark in output order.
+type Record struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one "BenchmarkName  N  value unit  value unit ..."
+// line; ok is false for non-benchmark lines (headers, PASS, ok).
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       strings.TrimPrefix(fields[0], "Benchmark"),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	// The rest of the line is value/unit pairs.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, false
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, true
+}
+
+// parse consumes the whole benchmark output stream.
+func parse(r io.Reader) (Record, error) {
+	var rec Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if b, ok := parseLine(line); ok {
+			rec.Benchmarks = append(rec.Benchmarks, b)
+			continue
+		}
+		if k, v, ok := strings.Cut(line, ": "); ok {
+			switch k {
+			case "goos":
+				rec.Goos = v
+			case "goarch":
+				rec.Goarch = v
+			case "pkg":
+				rec.Pkg = v
+			case "cpu":
+				rec.CPU = v
+			}
+		}
+	}
+	return rec, sc.Err()
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rec, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rec.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.Write(data); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

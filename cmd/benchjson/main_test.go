@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dynaminer
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkClassifyIncremental 	       2	   1023902 ns/op	       197.0 classifications	         0 rebuilds	  593072 B/op	    4928 allocs/op
+BenchmarkClassifyScratch     	       2	  67473608 ns/op	       197.0 classifications	       197.0 rebuilds	35046768 B/op	  268831 allocs/op
+BenchmarkFigure1 	      12	  98765432 ns/op	        42.50 google-pct
+PASS
+ok  	dynaminer	0.568s
+`
+
+func TestParse(t *testing.T) {
+	rec, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Goos != "linux" || rec.Goarch != "amd64" || rec.Pkg != "dynaminer" {
+		t.Fatalf("bad header: %+v", rec)
+	}
+	if !strings.Contains(rec.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", rec.CPU)
+	}
+	if len(rec.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(rec.Benchmarks))
+	}
+	inc := rec.Benchmarks[0]
+	if inc.Name != "ClassifyIncremental" || inc.Iterations != 2 {
+		t.Fatalf("first benchmark: %+v", inc)
+	}
+	if inc.Metrics["ns/op"] != 1023902 || inc.Metrics["allocs/op"] != 4928 {
+		t.Fatalf("metrics: %v", inc.Metrics)
+	}
+	if inc.Metrics["classifications"] != 197 || inc.Metrics["rebuilds"] != 0 {
+		t.Fatalf("custom metrics: %v", inc.Metrics)
+	}
+	if rec.Benchmarks[2].Metrics["google-pct"] != 42.5 {
+		t.Fatalf("figure1 metrics: %v", rec.Benchmarks[2].Metrics)
+	}
+}
+
+func TestParseRejectsNonBenchLines(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  \tdynaminer\t0.568s",
+		"--- BENCH: BenchmarkX",
+		"Benchmark only-a-name",
+		"BenchmarkOdd 3 12 ns/op trailing",
+	} {
+		if b, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) = %+v, want rejection", line, b)
+		}
+	}
+}

@@ -115,7 +115,7 @@ func TestDriverListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"hostfold", "zerotime", "lockscope", "floatsafe"} {
+	for _, name := range []string{"hostfold", "zerotime", "lockscope", "floatsafe", "scratchsafe"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
 		}

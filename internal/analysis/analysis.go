@@ -4,7 +4,7 @@
 // dependency-free — stdlib go/parser, go/ast and go/token only — because
 // the build environment cannot fetch golang.org/x/tools.
 //
-// The four analyzers and the invariant each one enforces:
+// The analyzers and the invariant each one enforces:
 //
 //   - hostfold:  DNS names are case-insensitive, so raw Host fields must
 //     never be compared, map-indexed, or switched on without case folding
@@ -19,6 +19,10 @@
 //   - floatsafe: divisions flowing into feature-vector slots carry a
 //     zero-denominator guard, keeping the 37-feature vector finite as the
 //     ERF requires.
+//   - scratchsafe: functions taking a *graph.Scratch never retain the
+//     workspace's slices via returns, struct fields, or composite
+//     literals — the next measurement overwrites that storage in place
+//     (the zero-alloc incremental-classification invariant).
 //
 // A finding on a specific line can be suppressed with a
 // "//dynalint:ignore <analyzer> <reason>" comment on the same line or the
@@ -74,7 +78,7 @@ type Analyzer interface {
 
 // All returns the full suite in reporting order.
 func All() []Analyzer {
-	return []Analyzer{Hostfold{}, Zerotime{}, Lockscope{}, Floatsafe{}}
+	return []Analyzer{Hostfold{}, Zerotime{}, Lockscope{}, Floatsafe{}, Scratchsafe{}}
 }
 
 // NewPass assembles a Pass and indexes its ignore directives. Files must

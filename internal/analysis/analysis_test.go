@@ -120,6 +120,9 @@ func runFixture(t *testing.T, a Analyzer, pkgPath string) {
 func TestHostfoldFixtures(t *testing.T)  { runFixture(t, Hostfold{}, "internal/analysis/testdata") }
 func TestZerotimeFixtures(t *testing.T)  { runFixture(t, Zerotime{}, "internal/analysis/testdata") }
 func TestLockscopeFixtures(t *testing.T) { runFixture(t, Lockscope{}, "internal/analysis/testdata") }
+func TestScratchsafeFixtures(t *testing.T) {
+	runFixture(t, Scratchsafe{}, "internal/analysis/testdata")
+}
 
 // Floatsafe only runs over feature-extraction packages, so its fixture
 // is analyzed under that package path; a second test asserts the scoping
@@ -232,7 +235,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 		names[a.Name()] = true
 	}
-	for _, want := range []string{"hostfold", "zerotime", "lockscope", "floatsafe"} {
+	for _, want := range []string{"hostfold", "zerotime", "lockscope", "floatsafe", "scratchsafe"} {
 		if !names[want] {
 			t.Errorf("analyzer %s missing from All()", want)
 		}

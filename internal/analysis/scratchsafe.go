@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Scratchsafe keeps graph.Scratch workspaces reusable. A Scratch owns
+// arena-backed slices that every call overwrites; the zero-alloc steady
+// state of the incremental classification pipeline only holds because no
+// caller retains that storage past the call that borrowed it. A function
+// that takes a *graph.Scratch parameter and returns a scratch-rooted
+// slice, stores one in a struct field, or appends one into a retained
+// slice hands out memory the next measurement will silently overwrite —
+// features computed from it change value after the fact.
+//
+// The analyzer is syntactic (no type information): it scopes on
+// parameters whose type renders literally as *graph.Scratch, which is how
+// every consumer outside package graph names the type. Within package
+// graph the type is the unqualified *Scratch, so the workspace's own
+// plumbing — which legitimately hands its slices around — stays out of
+// scope. Flagged inside a scoped function (closures included):
+//
+//   - returning an expression rooted at the scratch parameter
+//     (return s.dist, return s.rows[u]);
+//   - assigning such an expression to a struct field (c.buf = s.dist);
+//   - appending one into a field (c.rows = append(c.rows, s.dist));
+//   - carrying one in a composite-literal field (T{buf: s.dist}).
+//
+// Passing the scratch or its slices as call arguments is the intended
+// use and never flagged, as is storing the *Scratch pointer itself
+// (ownership transfer, the feature-cache pattern).
+type Scratchsafe struct{}
+
+// Name implements Analyzer.
+func (Scratchsafe) Name() string { return "scratchsafe" }
+
+// Doc implements Analyzer.
+func (Scratchsafe) Doc() string {
+	return "scratch-workspace slices escaping via returns or struct fields (next use overwrites them)"
+}
+
+// scratchParams collects the parameter names of ft declared as
+// *graph.Scratch.
+func scratchParams(ft *ast.FuncType) map[string]bool {
+	out := map[string]bool{}
+	if ft == nil || ft.Params == nil {
+		return out
+	}
+	for _, fld := range ft.Params.List {
+		star, ok := fld.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := star.X.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "graph" || sel.Sel.Name != "Scratch" {
+			continue
+		}
+		for _, name := range fld.Names {
+			if name.Name != "_" {
+				out[name.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// rootName descends selector/index/slice chains to the base identifier;
+// calls and other shapes yield "" (their results are not scratch storage
+// as far as syntax can tell).
+func rootName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return rootName(x.X)
+	case *ast.IndexExpr:
+		return rootName(x.X)
+	case *ast.SliceExpr:
+		return rootName(x.X)
+	case *ast.ParenExpr:
+		return rootName(x.X)
+	case *ast.StarExpr:
+		return rootName(x.X)
+	case *ast.UnaryExpr:
+		return rootName(x.X)
+	}
+	return ""
+}
+
+// scratchRooted reports whether e selects into a scratch parameter's
+// storage. A bare identifier (the scratch itself) is exempt: retaining
+// the pointer is ownership transfer, not slice leakage.
+func scratchRooted(e ast.Expr, params map[string]bool) bool {
+	if _, bare := unparen(e).(*ast.Ident); bare {
+		return false
+	}
+	return params[rootName(e)]
+}
+
+// appendLeak reports whether e is an append call with a scratch-rooted
+// argument: append retains the slice header it is given.
+func appendLeak(e ast.Expr, params map[string]bool) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	for _, a := range call.Args {
+		if scratchRooted(a, params) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run implements Analyzer.
+func (sc Scratchsafe) Run(pass *Pass) []Finding {
+	var out []Finding
+	report := func(pos ast.Node, what string) {
+		out = append(out, pass.finding(sc.Name(), pos.Pos(),
+			what+" escapes the reusable scratch workspace; the next measurement overwrites this storage in place"))
+	}
+	var check func(body *ast.BlockStmt, params map[string]bool)
+	check = func(body *ast.BlockStmt, params map[string]bool) {
+		if body == nil {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				// Closures inherit the enclosing scratch parameters (they
+				// capture them) plus any of their own.
+				inner := scratchParams(x.Type)
+				for name := range params {
+					if _, shadowed := inner[name]; !shadowed {
+						inner[name] = true
+					}
+				}
+				check(x.Body, inner)
+				return false
+			case *ast.ReturnStmt:
+				if len(params) == 0 {
+					return true
+				}
+				for _, res := range x.Results {
+					if scratchRooted(res, params) {
+						report(res, "returned scratch-rooted slice")
+					}
+				}
+			case *ast.AssignStmt:
+				if len(params) == 0 || len(x.Lhs) != len(x.Rhs) {
+					return true
+				}
+				for i, lhs := range x.Lhs {
+					if _, field := unparen(lhs).(*ast.SelectorExpr); !field {
+						continue
+					}
+					if scratchRooted(x.Rhs[i], params) {
+						report(x.Rhs[i], "scratch-rooted slice stored in a struct field")
+					} else if appendLeak(x.Rhs[i], params) {
+						report(x.Rhs[i], "scratch-rooted slice appended into a struct field")
+					}
+				}
+			case *ast.KeyValueExpr:
+				if len(params) == 0 {
+					return true
+				}
+				if scratchRooted(x.Value, params) {
+					report(x.Value, "scratch-rooted slice carried in a composite literal")
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			check(fd.Body, scratchParams(fd.Type))
+		}
+	}
+	return out
+}

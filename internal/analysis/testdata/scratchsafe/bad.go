@@ -1,0 +1,51 @@
+// Fixture: every line marked `want` must be flagged by scratchsafe. The
+// analyzer is syntactic, so the fixture freely selects into unexported
+// Scratch fields — it is parsed, never compiled.
+package fixtures
+
+import "dynaminer/internal/graph"
+
+type sticky struct {
+	dist []int
+	rows [][]int
+	all  [][]int
+}
+
+// returnsScratchSlice hands the caller storage the next measurement
+// overwrites in place.
+func returnsScratchSlice(s *graph.Scratch) []int {
+	return s.dist // want "returned scratch-rooted slice"
+}
+
+// returnsScratchRow leaks one row of an arena-backed adjacency list.
+func returnsScratchRow(u int, s *graph.Scratch) []int {
+	return s.und[u] // want "returned scratch-rooted slice"
+}
+
+// returnsSubslice leaks via a slice expression of scratch storage.
+func returnsSubslice(n int, s *graph.Scratch) []int {
+	return s.dist[:n] // want "returned scratch-rooted slice"
+}
+
+// storesInField retains scratch storage in a long-lived struct.
+func storesInField(c *sticky, s *graph.Scratch) {
+	c.dist = s.dist // want "stored in a struct field"
+}
+
+// appendsIntoField leaks through append: the appended header still
+// points at the workspace arena.
+func appendsIntoField(c *sticky, s *graph.Scratch) {
+	c.rows = append(c.rows, s.dist) // want "appended into a struct field"
+}
+
+// literalCarriesSlice smuggles the slice out inside a composite literal.
+func literalCarriesSlice(s *graph.Scratch) *sticky {
+	return &sticky{dist: s.dist} // want "carried in a composite literal"
+}
+
+// closureLeak escapes through a closure that outlives the call.
+func closureLeak(s *graph.Scratch) func() []int {
+	return func() []int {
+		return s.dist // want "returned scratch-rooted slice"
+	}
+}

@@ -1,0 +1,44 @@
+// Fixture: none of these may be flagged — they are the intended ways to
+// use a scratch workspace.
+package fixtures
+
+import "dynaminer/internal/graph"
+
+type holder struct {
+	buf []float64
+	s   *graph.Scratch
+}
+
+// passesThrough hands the scratch to a measurement and returns the
+// caller-owned destination — the Into-method pattern.
+func passesThrough(g *graph.Digraph, dst []float64, s *graph.Scratch) []float64 {
+	return g.DegreeCentralityInto(dst, s)
+}
+
+// copiesOut duplicates scratch contents into caller storage; the arena
+// itself does not escape.
+func copiesOut(s *graph.Scratch, dst []int) {
+	copy(dst, s.dist)
+}
+
+// localAlias may borrow scratch storage for the duration of the call.
+func localAlias(s *graph.Scratch) int {
+	d := s.dist
+	return len(d)
+}
+
+// keepsScratchItself retains the workspace pointer — ownership transfer,
+// the feature-cache constructor pattern.
+func keepsScratchItself(h *holder, s *graph.Scratch) {
+	h.s = s
+}
+
+// freshCopyInField stores a copy, not the arena.
+func freshCopyInField(h *holder, s *graph.Scratch) {
+	h.buf = append([]float64(nil), h.buf...)
+}
+
+// noScratchParam is out of scope regardless of what it stores.
+func noScratchParam(h *holder, dist []float64) {
+	h.buf = dist
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"dynaminer/internal/features"
+	"dynaminer/internal/graph"
 	"dynaminer/internal/httpstream"
 	"dynaminer/internal/wcg"
 )
@@ -56,6 +57,12 @@ type Config struct {
 	// routes clients across. Zero selects runtime.GOMAXPROCS(0). A plain
 	// Engine ignores it.
 	Shards int
+	// DisableIncremental forces every classification onto the from-scratch
+	// path: rebuild the watched WCG with FromTransactions and re-extract
+	// all 37 features on each update. The incremental path produces
+	// bit-identical scores and alerts (pinned by the differential tests),
+	// so this knob exists for debugging and as the documented fallback.
+	DisableIncremental bool
 }
 
 func (c Config) withDefaults() Config {
@@ -175,6 +182,10 @@ type Stats struct {
 	// Dropped counts transactions discarded because their cluster hit
 	// MaxClusterTxs.
 	Dropped int
+	// Rebuilds counts classifications served by the from-scratch path:
+	// all of them when DisableIncremental is set, otherwise only watches
+	// whose transactions arrived out of request-time order.
+	Rebuilds int
 }
 
 // add accumulates o into s (used to aggregate shard counters).
@@ -187,6 +198,7 @@ func (s *Stats) add(o Stats) {
 	s.Classifications += o.Classifications
 	s.Alerts += o.Alerts
 	s.Dropped += o.Dropped
+	s.Rebuilds += o.Rebuilds
 }
 
 // clickGap separates automatic redirections from human link-clicks, as in
@@ -228,6 +240,15 @@ type cluster struct {
 	// closed holds the watch sets of WCGs that stopped growing, for
 	// offline subset extraction.
 	closed [][]int
+
+	// Incremental classification state for the current watch: the live
+	// WCG, its feature cache, and how many watch entries have been fed.
+	// incBroken pins the from-scratch fallback for the rest of a watch
+	// whose transactions arrived out of request-time order.
+	ib        *wcg.IncrementalBuilder
+	cache     *features.Cache
+	fed       int
+	incBroken bool
 }
 
 // Engine is the streaming detector. It is not safe for concurrent use; run
@@ -242,6 +263,11 @@ type Engine struct {
 	// idBase/idStep parameterize cluster ID allocation so the shards of a
 	// ShardedEngine never collide: shard i of n allocates i, i+n, i+2n, ...
 	idBase, idStep int
+	// scratch is the graph workspace shared by every cluster's feature
+	// cache (safe: the engine is serialized); fvec is the reusable
+	// classification vector.
+	scratch *graph.Scratch
+	fvec    []float64
 }
 
 // New returns an Engine using the given trained model.
@@ -251,6 +277,7 @@ func New(cfg Config, model Scorer) *Engine {
 		model:    model,
 		byClient: make(map[netip.Addr][]*cluster),
 		idStep:   1,
+		scratch:  graph.NewScratch(),
 	}
 }
 
@@ -342,16 +369,32 @@ func (e *Engine) Process(tx httpstream.Transaction) []Alert {
 // classify scores the cluster's potential-infection WCG and emits an
 // alert on the first infectious verdict and on every payload download into
 // an infectious-scoring WCG.
+//
+// The hot path is incremental: new watch transactions are appended to the
+// cluster's live WCG and the cached feature vector is refreshed in place,
+// so the per-update cost no longer re-copies the cumulative subset,
+// rebuilds the graph, or re-derives all 37 features. The WCG itself is
+// materialized (snapshotted) only when an alert actually fires. The
+// from-scratch path remains as the explicit fallback — selected by
+// Config.DisableIncremental or by out-of-order arrival — and produces
+// bit-identical scores and alerts.
 func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 	if e.model == nil {
 		return nil // extraction-only mode (training-set construction)
 	}
-	subset := make([]httpstream.Transaction, 0, len(c.watch))
-	for _, i := range c.watch {
-		subset = append(subset, c.txs[i])
+	var score float64
+	var g *wcg.WCG // nil on the incremental path until an alert needs it
+	if x, ok := e.incrementalVector(c); ok {
+		score = e.model.Score(x)
+	} else {
+		subset := make([]httpstream.Transaction, 0, len(c.watch))
+		for _, i := range c.watch {
+			subset = append(subset, c.txs[i])
+		}
+		g = wcg.FromTransactions(subset)
+		score = e.model.Score(features.Extract(g))
+		e.stats.Rebuilds++
 	}
-	g := wcg.FromTransactions(subset)
-	score := e.model.Score(features.Extract(g))
 	e.stats.Classifications++
 	if score <= e.cfg.ScoreThreshold {
 		return nil
@@ -379,6 +422,11 @@ func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 	if when.IsZero() {
 		when = c.txs[idx].ReqTime
 	}
+	if g == nil {
+		// Incremental path: materialize the alert's WCG only now — a
+		// finalized clone immune to later appends to the live graph.
+		g = c.ib.Snapshot()
+	}
 	return []Alert{{
 		Time:           when,
 		Client:         c.client,
@@ -388,6 +436,35 @@ func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 		TriggerPayload: trigger.payload,
 		WCG:            g,
 	}}
+}
+
+// incrementalVector feeds the watch set's new transactions into the
+// cluster's live WCG and returns the refreshed cached feature vector
+// (valid until the next classify call). It reports false when the
+// incremental path is disabled or has fallen back for this watch, in
+// which case the caller rebuilds from scratch.
+func (e *Engine) incrementalVector(c *cluster) ([]float64, bool) {
+	if e.cfg.DisableIncremental || c.incBroken {
+		return nil, false
+	}
+	if c.ib == nil {
+		c.ib = wcg.NewIncrementalBuilder()
+		c.cache = features.NewCache(c.ib.Live(), e.scratch)
+		c.fed = 0
+	}
+	for _, i := range c.watch[c.fed:] {
+		if !c.ib.Append(c.txs[i]) {
+			// Out-of-order arrival voids the byte-identity contract with
+			// the batch builder: abandon the live graph and serve the rest
+			// of this watch from scratch.
+			c.incBroken = true
+			c.ib, c.cache = nil, nil
+			return nil, false
+		}
+		c.fed++
+	}
+	e.fvec = c.cache.FeaturesInto(e.fvec)
+	return e.fvec, true
 }
 
 // ClueSubsets replays a recorded transaction stream with the clue
@@ -573,6 +650,10 @@ func (c *cluster) closeWatch() {
 	c.related = nil
 	c.preWatch = nil
 	c.redirects = 0
+	c.ib = nil
+	c.cache = nil
+	c.fed = 0
+	c.incBroken = false
 }
 
 // WatchedWCG describes one actively watched potential-infection WCG, for

@@ -1,0 +1,204 @@
+package detector
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"dynaminer/internal/httpstream"
+	"dynaminer/internal/synth"
+	"dynaminer/internal/wcg"
+)
+
+// recordingScorer captures every vector it is asked to score, so the
+// differential tests can compare the exact feature vectors each classify
+// path produced, not just the resulting alerts.
+type recordingScorer struct {
+	base    Scorer
+	vectors [][]float64
+}
+
+func (r *recordingScorer) Score(x []float64) float64 {
+	r.vectors = append(r.vectors, append([]float64(nil), x...))
+	return r.base.Score(x)
+}
+
+// vecScorer derives a deterministic pseudo-probability from the vector
+// content: identical bits in, identical score out, and small feature
+// differences move it across the alert threshold — so the differential
+// tests exercise both alerting and non-alerting classifications.
+type vecScorer struct{}
+
+func (vecScorer) Score(x []float64) float64 {
+	h := 0.0
+	for i, v := range x {
+		h += v * float64(i%7+1)
+	}
+	_, frac := math.Modf(h / 10)
+	return math.Abs(frac)
+}
+
+func wcgJSON(t *testing.T, w *wcg.WCG) []byte {
+	t.Helper()
+	if w == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := w.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// requireSameAlerts compares two alert batches field by field, scores
+// bitwise, and the carried WCGs byte for byte.
+func requireSameAlerts(t *testing.T, ctx string, inc, scr []Alert) {
+	t.Helper()
+	if len(inc) != len(scr) {
+		t.Fatalf("%s: %d alerts incremental, %d from scratch", ctx, len(inc), len(scr))
+	}
+	for i := range inc {
+		a, b := inc[i], scr[i]
+		if math.Float64bits(a.Score) != math.Float64bits(b.Score) {
+			t.Fatalf("%s: alert %d score %v != %v", ctx, i, a.Score, b.Score)
+		}
+		if !a.Time.Equal(b.Time) || a.Client != b.Client || a.ClusterID != b.ClusterID ||
+			a.TriggerHost != b.TriggerHost || a.TriggerPayload != b.TriggerPayload {
+			t.Fatalf("%s: alert %d fields diverged:\nincremental: %+v\nscratch:     %+v", ctx, i, a, b)
+		}
+		if !bytes.Equal(wcgJSON(t, a.WCG), wcgJSON(t, b.WCG)) {
+			t.Fatalf("%s: alert %d WCG serializations diverged", ctx, i)
+		}
+	}
+}
+
+// runDifferential streams txs through an incremental engine and a
+// DisableIncremental twin, comparing alerts per transaction and the full
+// scored-vector sequences at the end. Returns the incremental engine's
+// stats.
+func runDifferential(t *testing.T, ctx string, cfg Config, base Scorer, txs []httpstream.Transaction) Stats {
+	t.Helper()
+	incRec := &recordingScorer{base: base}
+	scrRec := &recordingScorer{base: base}
+	scrCfg := cfg
+	scrCfg.DisableIncremental = true
+	inc := New(cfg, incRec)
+	scr := New(scrCfg, scrRec)
+	for _, tx := range txs {
+		requireSameAlerts(t, ctx, inc.Process(tx), scr.Process(tx))
+	}
+	if len(incRec.vectors) != len(scrRec.vectors) {
+		t.Fatalf("%s: %d classifications incremental, %d from scratch", ctx, len(incRec.vectors), len(scrRec.vectors))
+	}
+	for i := range incRec.vectors {
+		a, b := incRec.vectors[i], scrRec.vectors[i]
+		for j := range a {
+			if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+				t.Fatalf("%s: classification %d feature %d = %v incremental, %v from scratch",
+					ctx, i, j, a[j], b[j])
+			}
+		}
+	}
+	is, ss := inc.Stats(), scr.Stats()
+	if is.Classifications != ss.Classifications || is.CluesFired != ss.CluesFired || is.Alerts != ss.Alerts {
+		t.Fatalf("%s: stats diverged:\nincremental: %+v\nscratch:     %+v", ctx, is, ss)
+	}
+	if ss.Rebuilds != ss.Classifications {
+		t.Fatalf("%s: DisableIncremental engine rebuilt %d of %d classifications", ctx, ss.Rebuilds, ss.Classifications)
+	}
+	return is
+}
+
+// TestIncrementalClassifyMatchesScratch is the tentpole's correctness
+// gate: over 55 seeded synthetic episodes, the incremental classify path
+// must produce bit-identical feature vectors, scores, and alert sequences
+// (including the serialized alert WCGs) to the from-scratch path.
+func TestIncrementalClassifyMatchesScratch(t *testing.T) {
+	episodes := synth.GenerateCorpus(synth.Config{Seed: 59, Infections: 30, Benign: 25})
+	if len(episodes) < 50 {
+		t.Fatalf("only %d episodes generated", len(episodes))
+	}
+	cfg := Config{RedirectThreshold: 1, ScoreThreshold: 0.3}
+	classified, rebuilt := 0, 0
+	for _, ep := range episodes {
+		st := runDifferential(t, ep.Family, cfg, vecScorer{}, ep.Txs)
+		classified += st.Classifications
+		rebuilt += st.Rebuilds
+	}
+	if classified == 0 {
+		t.Fatal("no episode triggered a classification; the differential covered nothing")
+	}
+	// Synthetic episodes arrive in request-time order, so the incremental
+	// path must have served every classification.
+	if rebuilt != 0 {
+		t.Fatalf("incremental engine fell back on %d of %d classifications", rebuilt, classified)
+	}
+}
+
+// TestIncrementalInterleavedClients merges all episodes into one stream
+// ordered by request time, so many clients' clusters grow interleaved
+// through the same engine (and the same shared scratch workspace).
+func TestIncrementalInterleavedClients(t *testing.T) {
+	episodes := synth.GenerateCorpus(synth.Config{Seed: 71, Infections: 12, Benign: 10})
+	var stream []httpstream.Transaction
+	for _, ep := range episodes {
+		stream = append(stream, ep.Txs...)
+	}
+	sort.SliceStable(stream, func(i, j int) bool { return stream[i].ReqTime.Before(stream[j].ReqTime) })
+	st := runDifferential(t, "interleaved", Config{RedirectThreshold: 1, ScoreThreshold: 0.3}, vecScorer{}, stream)
+	if st.Classifications == 0 {
+		t.Fatal("interleaved stream triggered no classifications")
+	}
+	if st.Rebuilds != 0 {
+		t.Fatalf("incremental engine fell back on %d of %d classifications", st.Rebuilds, st.Classifications)
+	}
+}
+
+// TestIncrementalFallbackOnOutOfOrder pins the explicit fallback: a
+// watched transaction arriving with an earlier request time than the live
+// WCG's last append voids the byte-identity contract, so the engine must
+// finish the watch from scratch — with output still identical to the
+// always-from-scratch twin.
+func TestIncrementalFallbackOnOutOfOrder(t *testing.T) {
+	txs := infectionStream()
+	// A related follow-up (same host as the download) whose ReqTime
+	// precedes the download it follows in arrival order.
+	late := mkTx("d.evil", "/beacon", "POST", 200, "text/plain", 40, "", 400*time.Millisecond)
+	txs = append(txs, late)
+	// And one more in-order growth transaction afterwards.
+	txs = append(txs, mkTx("d.evil", "/beacon2", "POST", 200, "text/plain", 40, "", 900*time.Millisecond))
+
+	st := runDifferential(t, "out-of-order", Config{RedirectThreshold: 3}, constScorer(0.9), txs)
+	if st.Rebuilds == 0 {
+		t.Fatal("out-of-order watched transaction did not trigger the from-scratch fallback")
+	}
+	if st.Rebuilds >= st.Classifications {
+		t.Fatalf("fallback served all %d classifications; the clue itself should have been incremental", st.Classifications)
+	}
+}
+
+// TestCloseWatchResetsIncrementalState checks a second clue in the same
+// cluster starts a fresh live WCG instead of growing the closed one.
+func TestCloseWatchResetsIncrementalState(t *testing.T) {
+	cfg := Config{RedirectThreshold: 3, WatchIdle: time.Minute}
+	var txs []httpstream.Transaction
+	txs = append(txs, infectionStream()...)
+	// Let the watch go idle, then run a second, unrelated infection chain.
+	base := 10 * time.Minute
+	txs = append(txs,
+		redirectTx("p.evil", "q.evil", base),
+		mkTx("q.evil", "/x", "GET", 302, "", 0, "http://p.evil/r", base+100*time.Millisecond),
+		redirectTx("q.evil", "r.evil", base+150*time.Millisecond),
+		redirectTx("r.evil", "s.evil", base+300*time.Millisecond),
+		mkTx("s.evil", "/second.exe", "GET", 200, "application/x-msdownload", 70000, "http://r.evil/r", base+500*time.Millisecond),
+	)
+	st := runDifferential(t, "second-clue", cfg, constScorer(0.9), txs)
+	if st.CluesFired != 2 {
+		t.Fatalf("clues fired = %d, want 2", st.CluesFired)
+	}
+	if st.Rebuilds != 0 {
+		t.Fatalf("second watch fell back to from-scratch (%d rebuilds)", st.Rebuilds)
+	}
+}

@@ -375,10 +375,12 @@ func Figure10(ds *ml.Dataset, o Options) (Figure10Result, error) {
 		if err != nil {
 			return Figure10Result{}, err
 		}
-		for _, i := range test {
-			scores = append(scores, forest.Score(ds.X[i]))
+		testX := make([][]float64, len(test))
+		for j, i := range test {
+			testX[j] = ds.X[i]
 			labels = append(labels, ds.Y[i])
 		}
+		scores = append(scores, forest.ScoresParallel(testX, 0)...)
 	}
 	curve := ml.ROC(scores, labels)
 	return Figure10Result{Points: curve, AUC: ml.AUC(curve)}, nil

@@ -1,0 +1,234 @@
+package features
+
+import (
+	"time"
+
+	"dynaminer/internal/graph"
+	"dynaminer/internal/wcg"
+)
+
+// Cache maintains the 37-feature vector of a growing WCG incrementally.
+// It is keyed on the live WCG of one watched cluster: after every batch of
+// appended transactions, a sync scans only the new edges and updates the
+// running aggregates behind the HLF, HF, and TF slots (plus the degree/
+// density/volume/reciprocity GF slots, which reduce to counters the WCG
+// already maintains) in O(1) per edge, using the exact arithmetic of the
+// from-scratch extractor so the resulting floats are bit-identical. The
+// expensive topology-bound GF slots — diameter, the centrality family,
+// connectivity, clustering, neighborhood statistics, PageRank — recompute
+// through the reusable graph.Scratch only when the WCG's StructVersion
+// moved, i.e. when an append introduced a new host or a first edge between
+// a host pair; appends that only add parallel request/response edges or
+// annotations skip them entirely.
+//
+// A Cache observes its WCG strictly through appends (the only mutation the
+// builder performs) and is not safe for concurrent use.
+type Cache struct {
+	w       *wcg.WCG
+	scratch *graph.Scratch
+
+	v [NumFeatures]float64
+
+	// Sync cursor and topology dirty tracking.
+	edgeCount int
+	structVer uint64
+	gfValid   bool
+
+	// Running aggregates mirroring wcg.Summarize.
+	gets, posts, other      int
+	h10, h20, h30, h40, h50 int
+	refSet, refEmpty        int
+	uriLenSum, uriCount     int
+	maxDegree               int
+	first, last             time.Time
+	lastReq                 time.Time
+	reqCount                int
+	gapSum                  time.Duration
+
+	buf []float64 // reusable buffer for the GF vector means
+}
+
+// NewCache returns a cache over w. The scratch may be shared with other
+// caches that run on the same goroutine (one per detector engine); nil
+// allocates a private one.
+func NewCache(w *wcg.WCG, s *graph.Scratch) *Cache {
+	if s == nil {
+		s = graph.NewScratch()
+	}
+	return &Cache{w: w, scratch: s}
+}
+
+// Features returns a freshly allocated feature vector, syncing first.
+func (c *Cache) Features() []float64 {
+	return c.FeaturesInto(make([]float64, NumFeatures))
+}
+
+// FeaturesInto syncs the cache with the WCG and writes the 37 features
+// into dst (grown if needed), returning it.
+func (c *Cache) FeaturesInto(dst []float64) []float64 {
+	c.sync()
+	if cap(dst) < NumFeatures {
+		dst = make([]float64, NumFeatures)
+	}
+	dst = dst[:NumFeatures]
+	copy(dst, c.v[:])
+	return dst
+}
+
+// sync folds the edges appended since the last call into the running
+// aggregates, reassembles the O(1) slots, and recomputes the topology
+// slots when the structural projection changed.
+func (c *Cache) sync() {
+	w := c.w
+	g := w.Graph() // materialized once, then grown in place by the builder
+	for _, e := range w.Edges[c.edgeCount:] {
+		switch e.Kind {
+		case wcg.EdgeRequest:
+			switch e.Method {
+			case "GET":
+				c.gets++
+			case "POST":
+				c.posts++
+			default:
+				c.other++
+			}
+			if e.Referer != "" {
+				c.refSet++
+			} else {
+				c.refEmpty++
+			}
+			c.uriLenSum += e.URILen
+			c.uriCount++
+			// f37 walks consecutive request-edge times in edge order,
+			// zero times included, exactly like Summarize.
+			if c.reqCount > 0 {
+				d := e.Time.Sub(c.lastReq)
+				if d < 0 {
+					d = -d
+				}
+				c.gapSum += d
+			}
+			c.lastReq = e.Time
+			c.reqCount++
+		case wcg.EdgeResponse:
+			switch {
+			case e.StatusCode >= 100 && e.StatusCode < 200:
+				c.h10++
+			case e.StatusCode >= 200 && e.StatusCode < 300:
+				c.h20++
+			case e.StatusCode >= 300 && e.StatusCode < 400:
+				c.h30++
+			case e.StatusCode >= 400 && e.StatusCode < 500:
+				c.h40++
+			case e.StatusCode >= 500 && e.StatusCode < 600:
+				c.h50++
+			}
+		}
+		if !e.Time.IsZero() {
+			if c.first.IsZero() || e.Time.Before(c.first) {
+				c.first = e.Time
+			}
+			if c.last.IsZero() || e.Time.After(c.last) {
+				c.last = e.Time
+			}
+		}
+		// Only the endpoints of new edges can raise the max multigraph
+		// degree; g already contains every appended edge.
+		if d := g.Degree(e.From); d > c.maxDegree {
+			c.maxDegree = d
+		}
+		if d := g.Degree(e.To); d > c.maxDegree {
+			c.maxDegree = d
+		}
+	}
+	c.edgeCount = len(w.Edges)
+
+	n := g.N()
+	m := g.M()
+	c.v[0] = boolFeature(w.OriginKnown)
+	c.v[1] = boolFeature(w.XFlashVersion != "")
+	c.v[2] = float64(len(w.Edges))
+	hosts, uris := w.HostURIStats()
+	c.v[3] = float64(hosts)
+	c.v[4] = 0
+	if hosts > 0 {
+		c.v[4] = float64(uris) / float64(hosts)
+	}
+	c.v[5] = 0
+	if c.uriCount > 0 {
+		c.v[5] = float64(c.uriLenSum) / float64(c.uriCount)
+	}
+
+	c.v[6] = float64(n)
+	c.v[7] = float64(m)
+	c.v[8] = float64(c.maxDegree)
+	pairs, recip := w.SimpleEdgeStats()
+	c.v[9] = 0
+	if n >= 2 {
+		c.v[9] = float64(pairs) / float64(n*(n-1))
+	}
+	c.v[10] = float64(2 * m)
+	c.v[12] = 0
+	if n > 0 {
+		c.v[12] = float64(m) / float64(n)
+	}
+	c.v[13] = c.v[12] // avg out-degree equals avg in-degree (M/N)
+	c.v[14] = 0
+	if pairs > 0 {
+		c.v[14] = float64(recip) / float64(pairs)
+	}
+
+	c.v[25] = float64(c.gets)
+	c.v[26] = float64(c.posts)
+	c.v[27] = float64(c.other)
+	c.v[28] = float64(c.h10)
+	c.v[29] = float64(c.h20)
+	c.v[30] = float64(c.h30)
+	c.v[31] = float64(c.h40)
+	c.v[32] = float64(c.h50)
+	c.v[33] = float64(c.refSet)
+	c.v[34] = float64(c.refEmpty)
+
+	reqs := c.gets + c.posts + c.other
+	var dur time.Duration
+	if !c.first.IsZero() {
+		dur = c.last.Sub(c.first)
+	}
+	c.v[35] = 0
+	if reqs > 0 {
+		c.v[35] = dur.Seconds() / float64(reqs)
+	}
+	c.v[36] = 0
+	if c.reqCount > 1 {
+		c.v[36] = (c.gapSum / time.Duration(c.reqCount-1)).Seconds()
+	}
+
+	if sv := w.StructVersion(); !c.gfValid || sv != c.structVer {
+		c.recomputeTopology(g)
+		c.structVer = sv
+		c.gfValid = true
+	}
+}
+
+// recomputeTopology refreshes the GF slots that depend on the simple
+// structural projection, through the reusable scratch workspace.
+func (c *Cache) recomputeTopology(g *graph.Digraph) {
+	s := c.scratch
+	c.v[11] = float64(g.DiameterS(s))
+	c.buf = g.DegreeCentralityInto(c.buf, s)
+	c.v[15] = graph.Mean(c.buf)
+	c.buf = g.ClosenessCentralityInto(c.buf, s)
+	c.v[16] = graph.Mean(c.buf)
+	c.buf = g.BetweennessCentralityInto(c.buf, s)
+	c.v[17] = graph.Mean(c.buf)
+	c.buf = g.LoadCentralityInto(c.buf, s)
+	c.v[18] = graph.Mean(c.buf)
+	c.v[19] = float64(g.NodeConnectivityS(s))
+	c.v[20] = g.AvgClusteringCoefficientS(s)
+	c.buf = g.AvgNeighborDegreesInto(c.buf, s)
+	c.v[21] = graph.Mean(c.buf)
+	c.v[22] = g.AvgDegreeConnectivityS(s)
+	c.v[23] = g.AvgNodesWithinKS(knnRadius, s)
+	c.buf = g.PageRankInto(c.buf, s, 0.85, 100, 1e-10)
+	c.v[24] = graph.Mean(c.buf)
+}

@@ -5,7 +5,6 @@
 package features
 
 import (
-	"dynaminer/internal/graph"
 	"dynaminer/internal/wcg"
 )
 
@@ -125,62 +124,13 @@ func Indices(gs ...Group) []int {
 // knnRadius is the k used by f24: nodes within distance k.
 const knnRadius = 2
 
-// Extract computes the full 37-dimensional feature vector of a WCG.
+// Extract computes the full 37-dimensional feature vector of a WCG. It is
+// the one-shot form of Cache: both the batch experiments and the detector's
+// incremental path run the same extraction code, so their vectors agree
+// bit for bit (pinned by the differential tests in this package and in
+// internal/detector).
 func Extract(w *wcg.WCG) []float64 {
-	s := w.Summarize()
-	g := w.Graph()
-	v := make([]float64, NumFeatures)
-
-	// High-level features.
-	v[0] = boolFeature(w.OriginKnown)
-	v[1] = boolFeature(s.XFlashVersionSet)
-	v[2] = float64(s.Size)
-	v[3] = float64(s.UniqueHosts)
-	v[4] = s.AvgURIsPerHost
-	v[5] = s.AvgURILength
-
-	// Graph features.
-	v[6] = float64(g.N())
-	v[7] = float64(g.M())
-	v[8] = float64(g.MaxDegree())
-	v[9] = g.Density()
-	v[10] = float64(g.Volume())
-	v[11] = float64(g.Diameter())
-	v[12] = g.AvgInDegree()
-	v[13] = g.AvgOutDegree()
-	v[14] = g.Reciprocity()
-	v[15] = graph.Mean(g.DegreeCentrality())
-	v[16] = graph.Mean(g.ClosenessCentrality())
-	v[17] = graph.Mean(g.BetweennessCentrality())
-	v[18] = graph.Mean(g.LoadCentrality())
-	v[19] = float64(g.NodeConnectivity())
-	v[20] = g.AvgClusteringCoefficient()
-	v[21] = graph.Mean(g.AvgNeighborDegrees())
-	v[22] = g.AvgDegreeConnectivity()
-	v[23] = g.AvgNodesWithinK(knnRadius)
-	v[24] = graph.Mean(g.PageRank(0.85, 100, 1e-10))
-
-	// Header features.
-	v[25] = float64(s.GETs)
-	v[26] = float64(s.POSTs)
-	v[27] = float64(s.OtherMethods)
-	v[28] = float64(s.HTTP10X)
-	v[29] = float64(s.HTTP20X)
-	v[30] = float64(s.HTTP30X)
-	v[31] = float64(s.HTTP40X)
-	v[32] = float64(s.HTTP50X)
-	v[33] = float64(s.RefererSet)
-	v[34] = float64(s.RefererEmpty)
-
-	// Temporal features: f36 is the average duration to access a single
-	// URI (total conversation span over request count), f37 the mean
-	// inter-transaction gap. Both in seconds.
-	reqs := s.GETs + s.POSTs + s.OtherMethods
-	if reqs > 0 {
-		v[35] = s.Duration.Seconds() / float64(reqs)
-	}
-	v[36] = s.AvgInterTransact.Seconds()
-	return v
+	return NewCache(w, nil).Features()
 }
 
 func boolFeature(b bool) float64 {

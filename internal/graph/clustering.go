@@ -1,5 +1,7 @@
 package graph
 
+import "sort"
+
 // ClusteringCoefficients returns the local clustering coefficient of every
 // node on the undirected simple projection: the fraction of pairs of a
 // node's neighbors that are themselves adjacent. Nodes with degree < 2
@@ -90,9 +92,16 @@ func (g *Digraph) AvgDegreeConnectivity() float64 {
 	if len(m) == 0 {
 		return 0
 	}
+	// Sum in ascending-degree order: float addition is not associative,
+	// so map iteration order would make the low bits nondeterministic.
+	degrees := make([]int, 0, len(m))
+	for k := range m {
+		degrees = append(degrees, k)
+	}
+	sort.Ints(degrees)
 	sum := 0.0
-	for _, v := range m {
-		sum += v
+	for _, k := range degrees {
+		sum += m[k]
 	}
 	return sum / float64(len(m))
 }

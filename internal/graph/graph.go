@@ -23,7 +23,15 @@ type Digraph struct {
 	out [][]int // out[u] lists v for every edge u->v (with multiplicity)
 	in  [][]int // in[v] lists u for every edge u->v (with multiplicity)
 	m   int     // total number of edges including parallels
+
+	// version counts mutations; Scratch uses it to invalidate cached
+	// projections of this graph.
+	version uint64
 }
+
+// Version returns the mutation counter, incremented by every AddNode and
+// AddEdge. Two calls observing the same version see the same topology.
+func (g *Digraph) Version() uint64 { return g.version }
 
 // New returns a Digraph with n isolated nodes.
 func New(n int) *Digraph {
@@ -43,6 +51,7 @@ func (g *Digraph) M() int { return g.m }
 func (g *Digraph) AddNode() int {
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	g.version++
 	return len(g.out) - 1
 }
 
@@ -54,6 +63,7 @@ func (g *Digraph) AddEdge(u, v int) error {
 	g.out[u] = append(g.out[u], v)
 	g.in[v] = append(g.in[v], u)
 	g.m++
+	g.version++
 	return nil
 }
 

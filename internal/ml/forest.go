@@ -110,12 +110,3 @@ func (f *Forest) PredictVote(x []float64) int {
 	}
 	return LabelBenign
 }
-
-// Scores evaluates the ensemble over a matrix of samples.
-func (f *Forest) Scores(X [][]float64) []float64 {
-	out := make([]float64, len(X))
-	for i, x := range X {
-		out[i] = f.Score(x)
-	}
-	return out
-}

@@ -135,7 +135,7 @@ type EvalResult struct {
 // Evaluate scores X with the forest, thresholds at 0.5 for the confusion
 // matrix, and computes TPR/FPR/F-score plus ROC area.
 func Evaluate(f *Forest, X [][]float64, y []int) EvalResult {
-	scores := f.Scores(X)
+	scores := f.ScoresParallel(X, 0)
 	var c Confusion
 	for i, s := range scores {
 		pred := LabelBenign

@@ -1,0 +1,80 @@
+package ml
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// scoresParallelCutoff is the batch size below which the fan-out overhead
+// outweighs the tree walks and ScoresParallel stays sequential.
+const scoresParallelCutoff = 256
+
+// scoreChunk is the number of samples a worker claims at a time: large
+// enough to amortize the atomic increment, small enough to balance load
+// across forests with uneven tree depths.
+const scoreChunk = 64
+
+// ScoreInto evaluates the ensemble over X, writing the score of X[i] into
+// dst[i]. dst is grown only if its capacity is insufficient; the (possibly
+// reallocated) slice is returned. Scoring allocates nothing when dst has
+// room, which keeps the per-update cost of the on-the-wire pipeline flat.
+func (f *Forest) ScoreInto(dst []float64, X [][]float64) []float64 {
+	if cap(dst) < len(X) {
+		dst = make([]float64, len(X))
+	}
+	dst = dst[:len(X)]
+	for i, x := range X {
+		dst[i] = f.Score(x)
+	}
+	return dst
+}
+
+// Scores evaluates the ensemble over a matrix of samples.
+func (f *Forest) Scores(X [][]float64) []float64 {
+	return f.ScoreInto(nil, X)
+}
+
+// ScoresParallel evaluates the ensemble over X with worker goroutines
+// (0 means GOMAXPROCS). Each sample's score is written only to its own
+// index and each score is a pure function of one sample, so the result is
+// identical to the sequential Scores regardless of scheduling. Small
+// batches run sequentially.
+func (f *Forest) ScoresParallel(X [][]float64, workers int) []float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(X)/scoreChunk {
+		workers = len(X) / scoreChunk
+	}
+	out := make([]float64, len(X))
+	if len(X) < scoresParallelCutoff || workers < 2 {
+		for i, x := range X {
+			out[i] = f.Score(x)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(scoreChunk)) - scoreChunk
+				if lo >= len(X) {
+					return
+				}
+				hi := lo + scoreChunk
+				if hi > len(X) {
+					hi = len(X)
+				}
+				for i := lo; i < hi; i++ {
+					out[i] = f.Score(X[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -101,7 +101,7 @@ func (b *Builder) Add(tx httpstream.Transaction) {
 		serverHost = tx.ServerIP.String()
 	}
 	server := w.ensureNode(serverHost, tx.ServerIP, NodeRemote)
-	w.Nodes[server].URIs[tx.URI] = struct{}{}
+	w.addURI(server, tx.URI)
 
 	if tx.DNT() {
 		w.DNT = true

@@ -1,0 +1,172 @@
+package wcg
+
+import (
+	"bytes"
+	"net/netip"
+	"sort"
+	"testing"
+	"time"
+
+	"dynaminer/internal/httpstream"
+	"dynaminer/internal/synth"
+)
+
+// jsonBytes is the byte-identity comparison vehicle: two WCGs are "the
+// same" when their full wire serializations match.
+func jsonBytes(t *testing.T, w *WCG) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := w.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func sortedByReqTime(txs []httpstream.Transaction) []httpstream.Transaction {
+	ordered := make([]httpstream.Transaction, len(txs))
+	copy(ordered, txs)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].ReqTime.Before(ordered[j].ReqTime) })
+	return ordered
+}
+
+// TestIncrementalMatchesBatch streams synthetic episodes through the
+// incremental builder and checks that at every prefix the finalized WCG is
+// byte-identical to FromTransactions over the same transactions, and that
+// the O(1) structural counters agree with the full graph recomputation.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	episodes := synth.GenerateCorpus(synth.Config{Seed: 11, Infections: 8, Benign: 6})
+	for ei, ep := range episodes {
+		txs := sortedByReqTime(ep.Txs)
+		ib := NewIncrementalBuilder()
+		for i, tx := range txs {
+			if !ib.Append(tx) {
+				t.Fatalf("episode %d (%s): in-order append %d rejected", ei, ep.Family, i)
+			}
+			// Byte-compare every prefix on small episodes, and the final
+			// graph always; full quadratic comparison on long chains adds
+			// minutes without adding coverage.
+			if len(txs) <= 30 || i == len(txs)-1 {
+				got := jsonBytes(t, ib.Finalize())
+				want := jsonBytes(t, FromTransactions(txs[:i+1]))
+				if !bytes.Equal(got, want) {
+					t.Fatalf("episode %d (%s): prefix %d diverged\nincremental: %s\nbatch:       %s",
+						ei, ep.Family, i+1, got, want)
+				}
+			}
+		}
+		// The maintained counters must match a from-scratch recomputation.
+		w := ib.Live()
+		g := w.Graph()
+		pairs, recip := w.SimpleEdgeStats()
+		wantDensity := g.Density()
+		var gotDensity float64
+		if n := len(w.Nodes); n >= 2 {
+			gotDensity = float64(pairs) / float64(n*(n-1))
+		}
+		if gotDensity != wantDensity {
+			t.Fatalf("episode %d: density from counters %v != %v", ei, gotDensity, wantDensity)
+		}
+		wantRecip := g.Reciprocity()
+		var gotRecip float64
+		if pairs > 0 {
+			gotRecip = float64(recip) / float64(pairs)
+		}
+		if gotRecip != wantRecip {
+			t.Fatalf("episode %d: reciprocity from counters %v != %v", ei, gotRecip, wantRecip)
+		}
+		hosts, uris := w.HostURIStats()
+		s := w.Summarize()
+		if hosts != s.UniqueHosts {
+			t.Fatalf("episode %d: uniqueHosts counter %d != %d", ei, hosts, s.UniqueHosts)
+		}
+		wantURIs := 0
+		for _, n := range w.Nodes {
+			if n.Type != NodeOrigin {
+				wantURIs += len(n.URIs)
+			}
+		}
+		if uris != wantURIs {
+			t.Fatalf("episode %d: uriTotal counter %d != %d", ei, uris, wantURIs)
+		}
+	}
+}
+
+// TestStructVersionStaysPutOnParallelEdges pins the dirty-tracking
+// contract: re-requesting a known URI pair adds parallel edges without
+// moving StructVersion, while a fresh host moves it.
+func TestStructVersionStaysPutOnParallelEdges(t *testing.T) {
+	base := time.Date(2014, 3, 1, 10, 0, 0, 0, time.UTC)
+	tx := func(host, uri string, at time.Time) httpstream.Transaction {
+		return httpstream.Transaction{
+			ClientIP: netip.MustParseAddr("10.0.0.5"), ServerIP: netip.MustParseAddr("93.184.216.34"),
+			Host: host, URI: uri, Method: "GET", StatusCode: 200,
+			ReqTime: at, RespTime: at.Add(30 * time.Millisecond),
+			ContentType: "text/html", BodySize: 900,
+		}
+	}
+	ib := NewIncrementalBuilder()
+	ib.Append(tx("a.example.com", "/", base))
+	v1 := ib.Live().StructVersion()
+	ib.Append(tx("a.example.com", "/again", base.Add(time.Second)))
+	if v2 := ib.Live().StructVersion(); v2 != v1 {
+		t.Fatalf("parallel request/response edges moved StructVersion %d -> %d", v1, v2)
+	}
+	ib.Append(tx("b.example.com", "/", base.Add(2*time.Second)))
+	if v3 := ib.Live().StructVersion(); v3 == v1 {
+		t.Fatal("new host did not move StructVersion")
+	}
+}
+
+// TestAppendRejectsOutOfOrder checks the rejection happens before any
+// mutation: the WCG serialization is unchanged after the refused append.
+func TestAppendRejectsOutOfOrder(t *testing.T) {
+	episodes := synth.GenerateCorpus(synth.Config{Seed: 3, Infections: 1, Benign: 0})
+	txs := sortedByReqTime(episodes[0].Txs)
+	if len(txs) < 3 {
+		t.Skip("episode too short")
+	}
+	ib := NewIncrementalBuilder()
+	for _, tx := range txs[1:] {
+		if !ib.Append(tx) {
+			t.Fatal("in-order append rejected")
+		}
+	}
+	before := jsonBytes(t, ib.Live().Clone())
+	stale := txs[0] // strictly earlier than everything already appended
+	if ib.Append(stale) {
+		t.Fatal("out-of-order append accepted")
+	}
+	after := jsonBytes(t, ib.Live().Clone())
+	if !bytes.Equal(before, after) {
+		t.Fatal("refused append mutated the WCG")
+	}
+}
+
+// TestSnapshotIsolation pins that an alert's snapshot is immune to later
+// appends to the live graph.
+func TestSnapshotIsolation(t *testing.T) {
+	episodes := synth.GenerateCorpus(synth.Config{Seed: 7, Infections: 1, Benign: 0})
+	txs := sortedByReqTime(episodes[0].Txs)
+	if len(txs) < 2 {
+		t.Skip("episode too short")
+	}
+	ib := NewIncrementalBuilder()
+	mid := len(txs) / 2
+	for _, tx := range txs[:mid] {
+		ib.Append(tx)
+	}
+	snap := ib.Snapshot()
+	frozen := jsonBytes(t, snap)
+	for _, tx := range txs[mid:] {
+		ib.Append(tx)
+	}
+	ib.Finalize()
+	if got := jsonBytes(t, snap); !bytes.Equal(got, frozen) {
+		t.Fatal("snapshot mutated by later appends")
+	}
+	// And the snapshot equals the batch build over the same prefix.
+	want := jsonBytes(t, FromTransactions(txs[:mid]))
+	if !bytes.Equal(frozen, want) {
+		t.Fatal("snapshot differs from batch build of the same prefix")
+	}
+}

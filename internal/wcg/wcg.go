@@ -138,7 +138,41 @@ type WCG struct {
 	XFlashVersion string
 
 	byHost map[string]int
-	g      *graph.Digraph // cached structural projection
+	g      *graph.Digraph // structural projection, maintained in place
+
+	// Simple-projection bookkeeping, maintained on every addEdge so
+	// density/reciprocity stay O(1) and topology changes are detectable
+	// without diffing the graph. pairSeen keys directed simple pairs
+	// (from<<32|to, self-loops excluded).
+	pairSeen      map[uint64]struct{}
+	simplePairs   int // distinct directed pairs = directed simple edge count
+	recipPairs    int // directed pairs whose reverse pair also exists
+	structVersion uint64
+
+	// Host/URI aggregates for the O(1) feature path: non-origin node
+	// count and total distinct URIs across non-origin nodes.
+	uniqueHosts int
+	uriTotal    int
+}
+
+// StructVersion counts changes to the simple structural projection: it
+// bumps when a node or a previously unseen directed pair appears, and
+// stays put when an append only adds parallel edges or annotations. The
+// feature cache recomputes the expensive graph measures only when this
+// moves.
+func (w *WCG) StructVersion() uint64 { return w.structVersion }
+
+// SimpleEdgeStats returns the number of directed simple edges (parallel
+// edges collapsed, self-loops excluded) and how many of them have their
+// reverse edge present — the O(1) inputs to density and reciprocity.
+func (w *WCG) SimpleEdgeStats() (pairs, reciprocal int) {
+	return w.simplePairs, w.recipPairs
+}
+
+// HostURIStats returns the number of non-origin nodes and the total count
+// of distinct URIs across them — the O(1) inputs to f4 and f5.
+func (w *WCG) HostURIStats() (hosts, uris int) {
+	return w.uniqueHosts, w.uriTotal
 }
 
 // NodeByHost returns the node for host, or nil. Hosts are stored
@@ -170,18 +204,57 @@ func (w *WCG) ensureNode(host string, ip netip.Addr, typ NodeType) int {
 		Payloads: make(map[PayloadClass]int),
 	})
 	w.byHost[host] = id
-	w.g = nil
+	if typ != NodeOrigin {
+		w.uniqueHosts++
+	}
+	w.structVersion++
+	if w.g != nil {
+		w.g.AddNode()
+	}
 	return id
 }
 
-// addEdge appends e and invalidates the cached structural graph.
+// addEdge appends e, extends the structural graph in place, and updates
+// the simple-pair bookkeeping.
 func (w *WCG) addEdge(e *Edge) {
 	w.Edges = append(w.Edges, e)
-	w.g = nil
+	if w.g != nil {
+		_ = w.g.AddEdge(e.From, e.To) // ids are internally consistent
+	}
+	if e.From != e.To {
+		key := uint64(e.From)<<32 | uint64(e.To)
+		if w.pairSeen == nil {
+			w.pairSeen = make(map[uint64]struct{})
+		}
+		if _, ok := w.pairSeen[key]; !ok {
+			w.pairSeen[key] = struct{}{}
+			w.simplePairs++
+			w.structVersion++
+			if _, ok := w.pairSeen[uint64(e.To)<<32|uint64(e.From)]; ok {
+				w.recipPairs += 2 // both directions just became reciprocal
+			}
+		}
+	}
+}
+
+// addURI records a distinct URI on node id, keeping the non-origin URI
+// total in sync with the per-node sets.
+func (w *WCG) addURI(id int, uri string) {
+	n := w.Nodes[id]
+	if _, ok := n.URIs[uri]; ok {
+		return
+	}
+	n.URIs[uri] = struct{}{}
+	if n.Type != NodeOrigin {
+		w.uriTotal++
+	}
 }
 
 // Graph returns the structural projection of the WCG as a directed
-// multigraph over node ids, building and caching it on first use.
+// multigraph over node ids. It is built once and then grown in place by
+// ensureNode/addEdge, so repeated calls on a growing WCG are O(1); the
+// incremental adjacency is identical to a from-scratch build because both
+// append edges in w.Edges order.
 func (w *WCG) Graph() *graph.Digraph {
 	if w.g != nil {
 		return w.g
@@ -192,6 +265,52 @@ func (w *WCG) Graph() *graph.Digraph {
 	}
 	w.g = g
 	return g
+}
+
+// Clone returns a deep copy sharing no mutable state with w: alerts hand
+// out clones of the live incremental WCG so later appends cannot mutate
+// an already-emitted graph. The structural projection is rebuilt lazily.
+func (w *WCG) Clone() *WCG {
+	c := &WCG{
+		Nodes:         make([]*Node, len(w.Nodes)),
+		Edges:         make([]*Edge, len(w.Edges)),
+		OriginKnown:   w.OriginKnown,
+		OriginHost:    w.OriginHost,
+		DNT:           w.DNT,
+		XFlashVersion: w.XFlashVersion,
+		byHost:        make(map[string]int, len(w.byHost)),
+		simplePairs:   w.simplePairs,
+		recipPairs:    w.recipPairs,
+		structVersion: w.structVersion,
+		uniqueHosts:   w.uniqueHosts,
+		uriTotal:      w.uriTotal,
+	}
+	for i, n := range w.Nodes {
+		nn := *n
+		nn.URIs = make(map[string]struct{}, len(n.URIs))
+		for u := range n.URIs {
+			nn.URIs[u] = struct{}{}
+		}
+		nn.Payloads = make(map[PayloadClass]int, len(n.Payloads))
+		for k, v := range n.Payloads {
+			nn.Payloads[k] = v
+		}
+		c.Nodes[i] = &nn
+	}
+	for i, e := range w.Edges {
+		ee := *e
+		c.Edges[i] = &ee
+	}
+	for k, v := range w.byHost {
+		c.byHost[k] = v
+	}
+	if w.pairSeen != nil {
+		c.pairSeen = make(map[uint64]struct{}, len(w.pairSeen))
+		for k := range w.pairSeen {
+			c.pairSeen[k] = struct{}{}
+		}
+	}
+	return c
 }
 
 // Order is the number of nodes (feature f7).
