@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 tier2 lint bench
+.PHONY: all build tier1 tier2 lint bench chaos fuzz
 
 all: tier1
 
@@ -18,12 +18,31 @@ lint:
 	$(GO) run ./cmd/dynalint -root .
 
 # Tier 2: static analysis plus the race-detector stress suites for every
-# package that spawns goroutines. Slower; run before touching engine or
-# proxy locking.
+# package that spawns goroutines (the root package covers the monitor
+# janitor, internal/proxy the retry/breaker paths, internal/chaos the
+# fault-injection soak). Slower; run before touching engine or proxy
+# locking.
 tier2:
 	$(GO) vet ./...
 	$(GO) run ./cmd/dynalint -root .
-	$(GO) test -race . ./cmd/dynaminer ./internal/detector ./internal/proxy ./internal/httpstream
+	$(GO) test -race . ./cmd/dynaminer ./internal/detector ./internal/proxy ./internal/httpstream ./internal/chaos
+
+# Chaos: the deterministic fault-injection soak (fixed seeds, see
+# internal/chaos and DESIGN.md "Fault tolerance"): seeded synth episodes
+# through the sharded engine and the proxy under injected panics, NaN
+# scores, transport faults, and transaction damage. Asserts zero crashes,
+# conserved stats counters, and a bit-identical fault-free replay.
+chaos:
+	$(GO) test -race -count 1 -v -run 'TestChaosSoak' ./internal/chaos
+
+# Fuzz smoke: run each httpstream parser fuzz target for FUZZTIME on top
+# of the checked-in seed corpus (testdata/fuzz). Regenerate the synth
+# seeds with DYNAMINER_WRITE_FUZZ_CORPUS=1 go test ./internal/synth.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/httpstream -run '^$$' -fuzz '^FuzzParseRequests$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/httpstream -run '^$$' -fuzz '^FuzzParseResponses$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/httpstream -run '^$$' -fuzz '^FuzzExtractPair$$' -fuzztime $(FUZZTIME)
 
 # Bench: run the benchmark suite and record the parsed results as JSON.
 # BENCH_PATTERN narrows the run (CI smokes just the classify pair);

@@ -23,6 +23,10 @@
 //     workspace's slices via returns, struct fields, or composite
 //     literals — the next measurement overwrites that storage in place
 //     (the zero-alloc incremental-classification invariant).
+//   - goguard: goroutines launched in the serving packages (module root,
+//     internal/detector, internal/proxy) carry their own recover() guard
+//     — a panic on a fresh stack bypasses the handler-level recovery and
+//     kills the process.
 //
 // A finding on a specific line can be suppressed with a
 // "//dynalint:ignore <analyzer> <reason>" comment on the same line or the
@@ -78,7 +82,7 @@ type Analyzer interface {
 
 // All returns the full suite in reporting order.
 func All() []Analyzer {
-	return []Analyzer{Hostfold{}, Zerotime{}, Lockscope{}, Floatsafe{}, Scratchsafe{}}
+	return []Analyzer{Hostfold{}, Zerotime{}, Lockscope{}, Floatsafe{}, Scratchsafe{}, Goguard{}}
 }
 
 // NewPass assembles a Pass and indexes its ignore directives. Files must

@@ -129,6 +129,18 @@ func TestScratchsafeFixtures(t *testing.T) {
 // itself.
 func TestFloatsafeFixtures(t *testing.T) { runFixture(t, Floatsafe{}, "internal/features") }
 
+// Goguard only runs over the serving packages, so its fixture is analyzed
+// under one of those package paths; a second test asserts the scoping
+// (internal/graph launches crash-loudly goroutines legitimately).
+func TestGoguardFixtures(t *testing.T) { runFixture(t, Goguard{}, "internal/detector") }
+
+func TestGoguardScopedToServingPackages(t *testing.T) {
+	pass := parsePass(t, filepath.Join("testdata", "goguard"), "internal/graph")
+	if findings := Run(pass, []Analyzer{Goguard{}}); len(findings) != 0 {
+		t.Fatalf("goguard fired outside the serving packages: %v", findings)
+	}
+}
+
 func TestFloatsafeScopedToFeatures(t *testing.T) {
 	pass := parsePass(t, filepath.Join("testdata", "floatsafe"), "internal/analysis/testdata")
 	if findings := Run(pass, []Analyzer{Floatsafe{}}); len(findings) != 0 {
@@ -235,7 +247,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 		names[a.Name()] = true
 	}
-	for _, want := range []string{"hostfold", "zerotime", "lockscope", "floatsafe", "scratchsafe"} {
+	for _, want := range []string{"hostfold", "zerotime", "lockscope", "floatsafe", "scratchsafe", "goguard"} {
 		if !names[want] {
 			t.Errorf("analyzer %s missing from All()", want)
 		}

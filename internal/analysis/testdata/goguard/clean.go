@@ -1,0 +1,66 @@
+// Fixture: none of these may be flagged — they are the sanctioned ways
+// to launch goroutines in the serving packages.
+package fixtures
+
+import "time"
+
+type monitor struct{ stop chan struct{} }
+
+func (m *monitor) evict() {}
+
+// guardedJanitor is the canonical pattern: the goroutine's first deferred
+// function recovers.
+func guardedJanitor(m *monitor) {
+	go func() {
+		defer func() {
+			recover()
+		}()
+		tick := time.NewTicker(time.Minute)
+		defer tick.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-tick.C:
+				m.evict()
+			}
+		}
+	}()
+}
+
+// guardedWithHandler inspects the recovered value.
+func guardedWithHandler(m *monitor, errs chan<- any) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				errs <- r
+			}
+		}()
+		m.evict()
+	}()
+}
+
+// guardedPerIteration recovers inside a helper closure the goroutine
+// calls each round; the guard is still lexically inside the body.
+func guardedPerIteration(m *monitor) {
+	go func() {
+		sweep := func() {
+			defer func() { recover() }()
+			m.evict()
+		}
+		for i := 0; i < 3; i++ {
+			sweep()
+		}
+	}()
+}
+
+// suppressedNamed documents why the named callee is safe.
+func suppressedNamed(m *monitor) {
+	//dynalint:ignore goguard evict guards itself and takes no locks
+	go m.evict()
+}
+
+// notAGoroutine is a plain call; goguard only looks at go statements.
+func notAGoroutine(m *monitor) {
+	m.evict()
+}

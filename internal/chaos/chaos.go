@@ -1,0 +1,274 @@
+// Package chaos provides seeded, deterministic fault injectors for
+// DynaMiner's serving path: a scorer that panics or returns non-finite
+// probabilities, an HTTP transport that times out, resets, truncates, and
+// garbles upstream exchanges, and a transaction mutator that feeds the
+// engine the kind of damage real captures exhibit. Every injector draws
+// its decisions from its own math/rand stream, so a run is reproducible
+// bit-for-bit from its seed, and every injector counts the faults it
+// actually delivered so soak tests can assert coverage.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"dynaminer/internal/detector"
+	"dynaminer/internal/httpstream"
+)
+
+// Scorer wraps a detector scorer with seeded fault injection: with
+// probability PanicProb a classification panics, and with probability
+// NaNProb it returns a non-finite value. With both probabilities zero the
+// wrapper is transparent — verdicts are bit-identical to the base
+// scorer's, which is what chaos replay tests pin.
+//
+// Scorer is safe for concurrent use (sharded engines classify in
+// parallel).
+type Scorer struct {
+	base      detector.Scorer
+	panicProb float64
+	nanProb   float64
+
+	mu     sync.Mutex
+	rng    *rand.Rand // guarded by mu
+	faults int        // guarded by mu
+}
+
+// NewScorer wraps base with fault injection drawn from seed.
+func NewScorer(seed int64, base detector.Scorer, panicProb, nanProb float64) *Scorer {
+	return &Scorer{
+		base:      base,
+		panicProb: panicProb,
+		nanProb:   nanProb,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Faults returns how many classifications were sabotaged so far.
+func (s *Scorer) Faults() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
+}
+
+// Score classifies x through the base scorer, or injects a fault.
+func (s *Scorer) Score(x []float64) float64 {
+	s.mu.Lock()
+	roll := s.rng.Float64()
+	sabotage := roll < s.panicProb+s.nanProb
+	doPanic := roll < s.panicProb
+	if sabotage {
+		s.faults++
+	}
+	s.mu.Unlock()
+	if doPanic {
+		panic("chaos: injected scorer panic")
+	}
+	if sabotage {
+		return math.NaN()
+	}
+	return s.base.Score(x)
+}
+
+// Fault modes the chaos transport injects.
+const (
+	faultReset     = iota // transport error before any response
+	faultTimeout          // hang until the request context expires
+	faultTruncate         // response body cut mid-transfer
+	faultMalformed        // garbage headers and an unreadable body
+	faultLatency          // delivery delayed by a latency spike
+	numFaultModes
+)
+
+// RoundTripper wraps an upstream transport with seeded fault injection.
+// With probability FaultProb an exchange is sabotaged by one of the five
+// fault modes above, chosen uniformly. A nil Inner serves a canned 200
+// HTML page, which is enough for soak tests that only need the proxy's
+// serving path exercised.
+//
+// RoundTripper is safe for concurrent use.
+type RoundTripper struct {
+	Inner http.RoundTripper
+	// Sleep implements latency spikes; nil selects time.Sleep. Soak tests
+	// inject a no-op.
+	Sleep func(time.Duration)
+	// Spike is the latency-spike duration; zero selects 5ms.
+	Spike     time.Duration
+	faultProb float64
+
+	mu     sync.Mutex
+	rng    *rand.Rand // guarded by mu
+	faults int        // guarded by mu
+}
+
+// NewRoundTripper returns a chaos transport drawing from seed.
+func NewRoundTripper(seed int64, faultProb float64) *RoundTripper {
+	return &RoundTripper{
+		faultProb: faultProb,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Faults returns how many exchanges were sabotaged so far.
+func (rt *RoundTripper) Faults() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.faults
+}
+
+// errReader fails after its prefix is consumed, like a connection cut
+// mid-body.
+type errReader struct {
+	r   io.Reader
+	err error
+}
+
+func (e *errReader) Read(p []byte) (int, error) {
+	n, err := e.r.Read(p)
+	if err == io.EOF {
+		err = e.err
+	}
+	return n, err
+}
+
+func (rt *RoundTripper) inner(r *http.Request) (*http.Response, error) {
+	if rt.Inner != nil {
+		return rt.Inner.RoundTrip(r)
+	}
+	body := "<html><body>chaos upstream ok</body></html>"
+	return &http.Response{
+		StatusCode:    http.StatusOK,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"text/html"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       r,
+	}, nil
+}
+
+// RoundTrip performs the exchange, possibly sabotaged.
+func (rt *RoundTripper) RoundTrip(r *http.Request) (*http.Response, error) {
+	rt.mu.Lock()
+	mode := -1
+	if rt.rng.Float64() < rt.faultProb {
+		mode = rt.rng.Intn(numFaultModes)
+		rt.faults++
+	}
+	rt.mu.Unlock()
+
+	switch mode {
+	case faultReset:
+		return nil, fmt.Errorf("chaos: connection reset by peer")
+	case faultTimeout:
+		<-r.Context().Done()
+		return nil, r.Context().Err()
+	case faultTruncate:
+		resp, err := rt.inner(r)
+		if err != nil {
+			return resp, err
+		}
+		cut, _ := io.ReadAll(io.LimitReader(resp.Body, 8))
+		resp.Body.Close()
+		resp.Body = io.NopCloser(&errReader{r: strings.NewReader(string(cut)), err: io.ErrUnexpectedEOF})
+		return resp, nil
+	case faultMalformed:
+		resp, err := rt.inner(r)
+		if err != nil {
+			return resp, err
+		}
+		resp.Body.Close()
+		resp.Header = http.Header{
+			"Content-Type":   []string{"\x00\xfftext/\x01garbage"},
+			"X-Chaos-Header": []string{strings.Repeat("\xfe", 64)},
+		}
+		resp.Body = io.NopCloser(&errReader{r: strings.NewReader(""), err: io.ErrUnexpectedEOF})
+		return resp, nil
+	case faultLatency:
+		sleep := rt.Sleep
+		if sleep == nil {
+			sleep = time.Sleep
+		}
+		spike := rt.Spike
+		if spike == 0 {
+			spike = 5 * time.Millisecond
+		}
+		sleep(spike)
+		return rt.inner(r)
+	default:
+		return rt.inner(r)
+	}
+}
+
+// Mutation modes the transaction mutator injects.
+const (
+	mutGarbageHeaders = iota // binary garbage in request headers
+	mutZeroTimes             // request/response timestamps zeroed
+	mutReorder               // transaction swapped with its predecessor
+	numMutModes
+)
+
+// Mutator damages transaction streams the way broken captures do: binary
+// garbage in headers, zero timestamps, and out-of-order delivery. Mutate
+// copies its input, so the caller's stream stays pristine for baselines.
+//
+// Mutator is safe for concurrent use.
+type Mutator struct {
+	rate float64
+
+	mu     sync.Mutex
+	rng    *rand.Rand // guarded by mu
+	faults int        // guarded by mu
+}
+
+// NewMutator returns a mutator damaging each transaction with probability
+// rate, drawing from seed.
+func NewMutator(seed int64, rate float64) *Mutator {
+	return &Mutator{rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Faults returns how many transactions were damaged so far.
+func (m *Mutator) Faults() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.faults
+}
+
+// Mutate returns a damaged copy of txs.
+func (m *Mutator) Mutate(txs []httpstream.Transaction) []httpstream.Transaction {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]httpstream.Transaction, len(txs))
+	copy(out, txs)
+	for i := range out {
+		if m.rng.Float64() >= m.rate {
+			continue
+		}
+		m.faults++
+		switch m.rng.Intn(numMutModes) {
+		case mutGarbageHeaders:
+			hdr := http.Header{}
+			for k, v := range out[i].ReqHdr {
+				hdr[k] = v
+			}
+			hdr.Set("User-Agent", "\x00\xff\xfe"+strings.Repeat("\x01", 32))
+			hdr.Set("X-Chaos", string(rune(m.rng.Intn(0x10FFFF))))
+			out[i].ReqHdr = hdr
+		case mutZeroTimes:
+			out[i].ReqTime = time.Time{}
+			out[i].RespTime = time.Time{}
+		case mutReorder:
+			if i > 0 {
+				out[i-1], out[i] = out[i], out[i-1]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"dynaminer/internal/httpstream"
+)
+
+// constScorer returns a fixed infection probability.
+type constScorer float64
+
+func (c constScorer) Score([]float64) float64 { return float64(c) }
+
+// scoreSignature runs n classifications and records each outcome: the
+// score, or which fault fired.
+func scoreSignature(s *Scorer, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					out = append(out, "panic")
+				}
+			}()
+			v := s.Score([]float64{1, 2, 3})
+			if v != v {
+				out = append(out, "nan")
+				return
+			}
+			out = append(out, fmt.Sprintf("%g", v))
+		}()
+	}
+	return out
+}
+
+func TestScorerDeterministic(t *testing.T) {
+	a := scoreSignature(NewScorer(42, constScorer(0.7), 0.1, 0.1), 500)
+	b := scoreSignature(NewScorer(42, constScorer(0.7), 0.1, 0.1), 500)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	faults := 0
+	for _, s := range a {
+		if s == "panic" || s == "nan" {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("no faults injected in 500 classifications at 20% rate")
+	}
+}
+
+func TestScorerTransparentAtZeroRate(t *testing.T) {
+	s := NewScorer(7, constScorer(0.42), 0, 0)
+	for i := 0; i < 100; i++ {
+		if v := s.Score(nil); v != 0.42 {
+			t.Fatalf("fault-free scorer altered verdict: %v", v)
+		}
+	}
+	if s.Faults() != 0 {
+		t.Fatalf("faults = %d at zero rate", s.Faults())
+	}
+}
+
+// tripSignature performs n exchanges against a chaos transport and
+// classifies each outcome.
+func tripSignature(rt *RoundTripper, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		// An already-expired context makes the timeout mode return
+		// immediately instead of hanging the signature run.
+		ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+		r, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://chaos.example/", nil)
+		resp, err := rt.RoundTrip(r)
+		switch {
+		case err != nil:
+			out = append(out, "err:"+err.Error())
+		case resp.Header.Get("X-Chaos-Header") != "":
+			out = append(out, "malformed")
+			resp.Body.Close()
+		default:
+			b := make([]byte, 64)
+			n, rerr := resp.Body.Read(b)
+			resp.Body.Close()
+			out = append(out, fmt.Sprintf("body:%d:%v", n, rerr))
+		}
+		cancel()
+	}
+	return out
+}
+
+func TestRoundTripperDeterministic(t *testing.T) {
+	mk := func() *RoundTripper {
+		rt := NewRoundTripper(99, 0.5)
+		rt.Sleep = func(time.Duration) {}
+		return rt
+	}
+	a, b := tripSignature(mk(), 300), tripSignature(mk(), 300)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different exchange outcomes")
+	}
+	rt := mk()
+	if tripSignature(rt, 300); rt.Faults() < 100 {
+		t.Fatalf("faults = %d in 300 exchanges at 50%% rate", rt.Faults())
+	}
+}
+
+func TestRoundTripperTransparentAtZeroRate(t *testing.T) {
+	rt := NewRoundTripper(5, 0)
+	r, _ := http.NewRequest(http.MethodGet, "http://ok.example/", nil)
+	resp, err := rt.RoundTrip(r)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("fault-free exchange broken: %v %v", resp, err)
+	}
+	resp.Body.Close()
+	if rt.Faults() != 0 {
+		t.Fatalf("faults = %d at zero rate", rt.Faults())
+	}
+}
+
+func sampleTxs(n int) []httpstream.Transaction {
+	client := netip.MustParseAddr("10.1.1.1")
+	server := netip.MustParseAddr("203.0.113.9")
+	base := time.Date(2016, 7, 10, 12, 0, 0, 0, time.UTC)
+	txs := make([]httpstream.Transaction, n)
+	for i := range txs {
+		txs[i] = httpstream.Transaction{
+			ClientIP: client, ServerIP: server,
+			Method: "GET", URI: fmt.Sprintf("/p%d", i), Host: "site.example",
+			ReqHdr: http.Header{"User-Agent": []string{"MSIE8.0"}}, RespHdr: http.Header{},
+			ReqTime: base.Add(time.Duration(i) * time.Second), RespTime: base.Add(time.Duration(i)*time.Second + 40*time.Millisecond),
+			StatusCode: 200, ContentType: "text/html", BodySize: 512,
+		}
+	}
+	return txs
+}
+
+func TestMutatorDeterministicAndNonDestructive(t *testing.T) {
+	in := sampleTxs(200)
+	pristine := sampleTxs(200)
+	a := NewMutator(13, 0.3).Mutate(in)
+	b := NewMutator(13, 0.3).Mutate(in)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different mutations")
+	}
+	if !reflect.DeepEqual(in, pristine) {
+		t.Fatal("Mutate damaged the caller's stream")
+	}
+	m := NewMutator(13, 0.3)
+	m.Mutate(in)
+	if m.Faults() < 30 {
+		t.Fatalf("faults = %d in 200 transactions at 30%% rate", m.Faults())
+	}
+	if reflect.DeepEqual(a, in) {
+		t.Fatal("mutations had no observable effect")
+	}
+}

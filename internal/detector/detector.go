@@ -11,6 +11,7 @@ package detector
 
 import (
 	"encoding/json"
+	"math"
 	"net/netip"
 	"strings"
 	"time"
@@ -63,6 +64,24 @@ type Config struct {
 	// bit-identical scores and alerts (pinned by the differential tests),
 	// so this knob exists for debugging and as the documented fallback.
 	DisableIncremental bool
+	// MaxClassifyLatency is the per-classification time budget. When the
+	// smoothed classify latency exceeds it, the engine degrades: watched
+	// WCGs keep growing but are re-scored only at clue boundaries (the
+	// clue firing and payload downloads), and the skips are counted in
+	// Stats.Degraded. Zero disables degradation, keeping every update
+	// classified.
+	MaxClassifyLatency time.Duration
+	// MaxWatched caps how many potential-infection WCGs one engine (one
+	// shard of a ShardedEngine) watches concurrently. When a new clue
+	// would exceed the cap, the largest existing watches are shed
+	// (closed early, counted in Stats.Shed) so a burst of clue-triggering
+	// traffic degrades gracefully instead of pinning the classify budget.
+	// Zero means unlimited.
+	MaxWatched int
+	// Now supplies time for the classify-latency measurement; nil selects
+	// time.Now. Only consulted when MaxClassifyLatency is set, so replays
+	// with the knob off never observe the wall clock.
+	Now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -184,8 +203,25 @@ type Stats struct {
 	Dropped int
 	// Rebuilds counts classifications served by the from-scratch path:
 	// all of them when DisableIncremental is set, otherwise only watches
-	// whose transactions arrived out of request-time order.
+	// whose transactions arrived out of request-time order, plus every
+	// classification of a quarantined cluster.
 	Rebuilds int
+	// Panics counts per-transaction faults the engine recovered from: a
+	// panic while processing or classifying, or a scorer returning a
+	// non-finite probability. The transaction's alerts are discarded; the
+	// engine itself keeps serving.
+	Panics int
+	// Quarantined counts clusters placed in quarantine after their first
+	// fault: the incremental cache is dropped and every later
+	// classification of that cluster rebuilds from scratch. A second
+	// fault evicts the cluster outright (counted in Evicted).
+	Quarantined int
+	// Degraded counts watched-WCG updates whose re-classification was
+	// skipped because the engine exceeded MaxClassifyLatency; the WCG
+	// still grows and is re-scored at the next clue boundary.
+	Degraded int
+	// Shed counts watches closed early to hold the MaxWatched ceiling.
+	Shed int
 }
 
 // add accumulates o into s (used to aggregate shard counters).
@@ -199,6 +235,10 @@ func (s *Stats) add(o Stats) {
 	s.Alerts += o.Alerts
 	s.Dropped += o.Dropped
 	s.Rebuilds += o.Rebuilds
+	s.Panics += o.Panics
+	s.Quarantined += o.Quarantined
+	s.Degraded += o.Degraded
+	s.Shed += o.Shed
 }
 
 // clickGap separates automatic redirections from human link-clicks, as in
@@ -249,6 +289,12 @@ type cluster struct {
 	cache     *features.Cache
 	fed       int
 	incBroken bool
+
+	// faults is the cluster's position on the quarantine ladder: 0 is
+	// healthy, 1 is quarantined (incremental cache dropped, every
+	// classification rebuilds from scratch), and a second fault evicts
+	// the cluster.
+	faults int
 }
 
 // Engine is the streaming detector. It is not safe for concurrent use; run
@@ -268,16 +314,27 @@ type Engine struct {
 	// classification vector.
 	scratch *graph.Scratch
 	fvec    []float64
+	// now and classifyEWMA drive overload detection: an exponentially
+	// weighted average of classify wall time, compared against
+	// Config.MaxClassifyLatency. Both idle unless the knob is set.
+	now          func() time.Time
+	classifyEWMA time.Duration
 }
 
 // New returns an Engine using the given trained model.
 func New(cfg Config, model Scorer) *Engine {
+	cfg = cfg.withDefaults()
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
 	return &Engine{
-		cfg:      cfg.withDefaults(),
+		cfg:      cfg,
 		model:    model,
 		byClient: make(map[netip.Addr][]*cluster),
 		idStep:   1,
 		scratch:  graph.NewScratch(),
+		now:      now,
 	}
 }
 
@@ -295,6 +352,10 @@ func (e *Engine) trusted(host string) bool {
 }
 
 // Process ingests one transaction and returns any alerts it triggers.
+// A panic raised while processing — a poisoned cluster state, a faulty
+// scorer — is recovered here and converted into quarantine of the
+// offending session cluster (see quarantine), so one hostile client
+// cannot take the engine down.
 func (e *Engine) Process(tx httpstream.Transaction) []Alert {
 	e.stats.Transactions++
 	if e.stats.Transactions%evictEvery == 0 {
@@ -309,6 +370,20 @@ func (e *Engine) Process(tx httpstream.Transaction) []Alert {
 		return nil
 	}
 	c := e.clusterFor(&tx, host)
+	return e.processInCluster(c, tx, host)
+}
+
+// processInCluster runs the per-cluster pipeline under a panic guard:
+// a fault anywhere past cluster assignment discards the transaction's
+// alerts and advances the cluster on the quarantine ladder instead of
+// unwinding through the caller.
+func (e *Engine) processInCluster(c *cluster, tx httpstream.Transaction, host string) (alerts []Alert) {
+	defer func() {
+		if r := recover(); r != nil {
+			alerts = nil
+			e.quarantine(c)
+		}
+	}()
 	if len(c.txs) >= e.cfg.MaxClusterTxs {
 		// The session is still active even though its history is capped:
 		// keep lastActive fresh so TTL eviction does not destroy the
@@ -350,6 +425,7 @@ func (e *Engine) Process(tx httpstream.Transaction) []Alert {
 		c.buildPotentialWCG(idx, e.cfg.WatchIdle)
 		c.snapshot = append([]int(nil), c.watch...)
 		c.watchLast = tx.ReqTime
+		e.shedWatches(c)
 		return e.classify(c, idx, meta)
 	}
 	if !c.watching {
@@ -363,7 +439,95 @@ func (e *Engine) Process(tx httpstream.Transaction) []Alert {
 	}
 	c.include(idx)
 	c.watchLast = tx.ReqTime
+	// Degraded mode: when classification is over budget, the WCG keeps
+	// growing but only clue boundaries — payload downloads — re-score it;
+	// the incremental builder catches up on the skipped growth at the
+	// next classify call.
+	if !meta.download && e.overBudget() {
+		e.stats.Degraded++
+		return nil
+	}
 	return e.classify(c, idx, meta)
+}
+
+// overBudget reports whether the smoothed classify latency exceeds the
+// configured budget, selecting degraded mode.
+func (e *Engine) overBudget() bool {
+	return e.cfg.MaxClassifyLatency > 0 && e.classifyEWMA > e.cfg.MaxClassifyLatency
+}
+
+// shedWatches enforces the MaxWatched ceiling after opened (the watch
+// that just fired) joined the watched set: while the engine watches more
+// than the ceiling, the largest watch other than opened is closed early.
+// Its WCG is preserved in the cluster's closed list, exactly as if it
+// had stopped growing; only the continued re-classification is lost.
+func (e *Engine) shedWatches(opened *cluster) {
+	if e.cfg.MaxWatched <= 0 {
+		return
+	}
+	var watching []*cluster
+	for _, c := range e.clusters {
+		if c.watching {
+			watching = append(watching, c)
+		}
+	}
+	for len(watching) > e.cfg.MaxWatched {
+		victim := -1
+		for i, c := range watching {
+			if c == opened {
+				continue
+			}
+			if victim < 0 || len(c.watch) > len(watching[victim].watch) {
+				victim = i
+			}
+		}
+		if victim < 0 {
+			return // only the just-opened watch remains
+		}
+		watching[victim].closeWatch()
+		watching = append(watching[:victim], watching[victim+1:]...)
+		e.stats.Shed++
+	}
+}
+
+// quarantine advances a faulted cluster on the quarantine ladder. First
+// fault: drop the (possibly poisoned) incremental cache and pin every
+// later classification of this cluster to the from-scratch rebuild path.
+// Second fault: the rebuild did not cure it — evict the cluster outright
+// so its state cannot fault a third time.
+func (e *Engine) quarantine(c *cluster) {
+	e.stats.Panics++
+	c.faults++
+	if c.faults == 1 {
+		c.ib, c.cache, c.fed = nil, nil, 0
+		e.stats.Quarantined++
+		return
+	}
+	e.dropCluster(c)
+}
+
+// dropCluster removes one session cluster from the engine.
+func (e *Engine) dropCluster(target *cluster) {
+	kept := e.clusters[:0]
+	for _, c := range e.clusters {
+		if c != target {
+			kept = append(kept, c)
+		}
+	}
+	e.clusters = kept
+	list := e.byClient[target.client]
+	keptList := list[:0]
+	for _, c := range list {
+		if c != target {
+			keptList = append(keptList, c)
+		}
+	}
+	if len(keptList) == 0 {
+		delete(e.byClient, target.client)
+	} else {
+		e.byClient[target.client] = keptList
+	}
+	e.stats.Evicted++
 }
 
 // classify scores the cluster's potential-infection WCG and emits an
@@ -382,6 +546,10 @@ func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 	if e.model == nil {
 		return nil // extraction-only mode (training-set construction)
 	}
+	var start time.Time
+	if e.cfg.MaxClassifyLatency > 0 {
+		start = e.now()
+	}
 	var score float64
 	var g *wcg.WCG // nil on the incremental path until an alert needs it
 	if x, ok := e.incrementalVector(c); ok {
@@ -396,6 +564,18 @@ func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 		e.stats.Rebuilds++
 	}
 	e.stats.Classifications++
+	if e.cfg.MaxClassifyLatency > 0 {
+		// EWMA with alpha 1/8: smooth enough to ride out one slow WCG,
+		// fast enough to catch sustained overload within a few updates.
+		e.classifyEWMA += (e.now().Sub(start) - e.classifyEWMA) / 8
+	}
+	// A scorer emitting a non-finite probability is as broken as one
+	// that panics: NaN compares false with every threshold and would
+	// either always or never alert. Treat it as a fault so the recover
+	// guard quarantines the cluster instead of corrupting verdicts.
+	if math.IsNaN(score) || math.IsInf(score, 0) {
+		panic("detector: scorer returned a non-finite probability")
+	}
 	if score <= e.cfg.ScoreThreshold {
 		return nil
 	}
@@ -444,7 +624,7 @@ func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 // incremental path is disabled or has fallen back for this watch, in
 // which case the caller rebuilds from scratch.
 func (e *Engine) incrementalVector(c *cluster) ([]float64, bool) {
-	if e.cfg.DisableIncremental || c.incBroken {
+	if e.cfg.DisableIncremental || c.incBroken || c.faults > 0 {
 		return nil, false
 	}
 	if c.ib == nil {

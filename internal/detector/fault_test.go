@@ -1,0 +1,307 @@
+package detector
+
+import (
+	"math"
+	"net/netip"
+	"sort"
+	"testing"
+	"time"
+
+	"dynaminer/internal/httpstream"
+	"dynaminer/internal/synth"
+)
+
+// panicScorer fails hard on every classification.
+type panicScorer struct{}
+
+func (panicScorer) Score([]float64) float64 { panic("poisoned scorer") }
+
+// nanScorer returns a non-finite probability on every classification.
+type nanScorer struct{}
+
+func (nanScorer) Score([]float64) float64 { return math.NaN() }
+
+// gatedPanicScorer panics only while armed; the test arms it per
+// transaction, which is well-defined because a plain Engine is serialized.
+type gatedPanicScorer struct {
+	base  Scorer
+	armed bool
+}
+
+func (g *gatedPanicScorer) Score(x []float64) float64 {
+	if g.armed {
+		panic("poisoned client")
+	}
+	return g.base.Score(x)
+}
+
+// relatedFollowUp extends the infection stream with post-clue traffic to
+// the watched chain: n non-download updates and one final download.
+func relatedFollowUp(n int) []httpstream.Transaction {
+	txs := infectionStream()
+	at := 600 * time.Millisecond
+	for i := 0; i < n; i++ {
+		txs = append(txs, mkTx("d.evil", "/beacon", "GET", 200, "text/html", 512, "", at))
+		at += 100 * time.Millisecond
+	}
+	txs = append(txs, mkTx("d.evil", "/second.exe", "GET", 200, "application/x-msdownload", 70000, "", at))
+	return txs
+}
+
+// TestPanicQuarantineLadder walks one cluster down the full ladder: the
+// first scorer panic quarantines it (incremental cache dropped, engine
+// survives), the second evicts it outright.
+func TestPanicQuarantineLadder(t *testing.T) {
+	e := New(Config{RedirectThreshold: 3}, panicScorer{})
+	txs := relatedFollowUp(0) // clue download, then a second download
+
+	for _, tx := range txs[:5] {
+		if got := e.Process(tx); got != nil {
+			t.Fatalf("poisoned classify returned alerts: %v", got)
+		}
+	}
+	st := e.Stats()
+	if st.Panics != 1 || st.Quarantined != 1 {
+		t.Fatalf("after first fault: stats %+v, want Panics=1 Quarantined=1", st)
+	}
+	if len(e.clusters) != 1 {
+		t.Fatalf("quarantined cluster evicted too early (clusters=%d)", len(e.clusters))
+	}
+	if e.clusters[0].ib != nil || e.clusters[0].cache != nil {
+		t.Fatal("quarantine must drop the incremental cache")
+	}
+
+	// The second classification rebuilds from scratch, faults again, and
+	// the cluster is evicted.
+	if got := e.Process(txs[5]); got != nil {
+		t.Fatalf("second poisoned classify returned alerts: %v", got)
+	}
+	st = e.Stats()
+	if st.Panics != 2 || st.Quarantined != 1 || st.Evicted != 1 {
+		t.Fatalf("after second fault: stats %+v, want Panics=2 Quarantined=1 Evicted=1", st)
+	}
+	if len(e.clusters) != 0 {
+		t.Fatalf("cluster survived the second fault (clusters=%d)", len(e.clusters))
+	}
+	if len(e.byClient) != 0 {
+		t.Fatal("byClient index still references the evicted cluster")
+	}
+
+	// The engine keeps serving after the eviction.
+	if e.Process(mkTx("fresh.com", "/", "GET", 200, "text/html", 100, "", time.Hour)); e.Stats().Transactions != 7 {
+		t.Fatalf("engine stopped counting after eviction: %+v", e.Stats())
+	}
+}
+
+// TestNonFiniteScoreQuarantines pins that a NaN probability rides the
+// same ladder as a panic instead of corrupting threshold comparisons.
+func TestNonFiniteScoreQuarantines(t *testing.T) {
+	e := New(Config{RedirectThreshold: 3}, nanScorer{})
+	for _, tx := range relatedFollowUp(0) {
+		if got := e.Process(tx); got != nil {
+			t.Fatalf("NaN score produced alerts: %v", got)
+		}
+	}
+	st := e.Stats()
+	if st.Panics != 2 || st.Quarantined != 1 || st.Evicted != 1 || st.Alerts != 0 {
+		t.Fatalf("stats %+v, want the full ladder (Panics=2 Quarantined=1 Evicted=1) and zero alerts", st)
+	}
+}
+
+// TestPoisonedClientDoesNotAffectOthers is the acceptance differential: a
+// scorer that panics for exactly one client must degrade only that client
+// — quarantine, rebuild, evict — while every other client's alert stream
+// stays bit-identical to a fault-free engine's.
+func TestPoisonedClientDoesNotAffectOthers(t *testing.T) {
+	episodes := synth.GenerateCorpus(synth.Config{Seed: 97, Infections: 10, Benign: 8})
+	// One distinct client per episode so per-client alert streams are
+	// well-defined.
+	var stream []httpstream.Transaction
+	for i := range episodes {
+		addr := netip.AddrFrom4([4]byte{10, 9, byte(i / 200), byte(1 + i%200)})
+		for j := range episodes[i].Txs {
+			episodes[i].Txs[j].ClientIP = addr
+		}
+		stream = append(stream, episodes[i].Txs...)
+	}
+	sort.SliceStable(stream, func(i, j int) bool { return stream[i].ReqTime.Before(stream[j].ReqTime) })
+
+	cfg := Config{RedirectThreshold: 1, ScoreThreshold: 0.3}
+
+	// Baseline: a healthy engine over the full interleaved stream.
+	base := New(cfg, vecScorer{})
+	var baseAlerts []Alert
+	for _, tx := range stream {
+		baseAlerts = append(baseAlerts, base.Process(tx)...)
+	}
+	if len(baseAlerts) == 0 {
+		t.Fatal("baseline produced no alerts; the differential covers nothing")
+	}
+	poisoned := baseAlerts[0].Client
+
+	// Faulty run: the scorer panics whenever the poisoned client's
+	// transactions are being classified.
+	gate := &gatedPanicScorer{base: vecScorer{}}
+	faulty := New(cfg, gate)
+	var faultyAlerts []Alert
+	for _, tx := range stream {
+		gate.armed = tx.ClientIP == poisoned
+		faultyAlerts = append(faultyAlerts, faulty.Process(tx)...)
+	}
+
+	keepOthers := func(in []Alert) []Alert {
+		var out []Alert
+		for _, a := range in {
+			if a.Client != poisoned {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	wantOthers, gotOthers := keepOthers(baseAlerts), keepOthers(faultyAlerts)
+	if len(wantOthers) == 0 {
+		t.Fatal("no non-poisoned alerts to compare")
+	}
+	requireSameAlerts(t, "non-poisoned clients", gotOthers, wantOthers)
+
+	for _, a := range faultyAlerts {
+		if a.Client == poisoned {
+			t.Fatalf("poisoned client still alerted: %+v", a)
+		}
+	}
+	st := faulty.Stats()
+	if st.Panics == 0 || st.Quarantined == 0 {
+		t.Fatalf("poisoned client never walked the ladder: %+v", st)
+	}
+}
+
+// slowClock advances a fixed step on every reading, so each classify
+// appears to take one step of wall time.
+type slowClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *slowClock) Now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+// TestDegradedModeSkipsReclassification drives a watched WCG past the
+// classify budget: growth continues, but only the clue firing and payload
+// downloads are re-scored, and the skips are counted.
+func TestDegradedModeSkipsReclassification(t *testing.T) {
+	clock := &slowClock{t: t0, step: 40 * time.Millisecond}
+	e := New(Config{
+		RedirectThreshold:  3,
+		MaxClassifyLatency: time.Millisecond,
+		Now:                clock.Now,
+	}, constScorer(0.9))
+
+	txs := relatedFollowUp(4) // clue, 4 non-download updates, final download
+	var alerts []Alert
+	for _, tx := range txs {
+		alerts = append(alerts, e.Process(tx)...)
+	}
+	st := e.Stats()
+	// Classify #1 at the clue pushes the EWMA over the 1ms budget, so the
+	// 4 non-download updates are skipped; the final download re-scores.
+	if st.Classifications != 2 {
+		t.Fatalf("classifications = %d, want 2 (clue + download): %+v", st.Classifications, st)
+	}
+	if st.Degraded != 4 {
+		t.Fatalf("degraded = %d, want 4: %+v", st.Degraded, st)
+	}
+	// Degradation must not lose the alert-bearing moments.
+	if len(alerts) != 2 || st.Alerts != 2 {
+		t.Fatalf("alerts = %d (stats %+v), want clue + download alerts", len(alerts), st)
+	}
+	// The watch kept growing through the skipped updates.
+	w := e.Watched()
+	if len(w) != 1 || w[0].Transactions != len(txs) {
+		t.Fatalf("watched = %+v, want one watch spanning all %d transactions", w, len(txs))
+	}
+}
+
+// TestDegradationDisabledByDefault pins that with MaxClassifyLatency
+// unset the engine never consults the clock and never degrades.
+func TestDegradationDisabledByDefault(t *testing.T) {
+	e := New(Config{RedirectThreshold: 3}, constScorer(0.9))
+	e.now = func() time.Time { panic("clock consulted with degradation disabled") }
+	for _, tx := range relatedFollowUp(4) {
+		e.Process(tx)
+	}
+	st := e.Stats()
+	if st.Degraded != 0 || st.Classifications != 6 {
+		t.Fatalf("stats %+v, want every update classified", st)
+	}
+}
+
+// shiftClient returns the infection stream re-attributed to a client and
+// shifted in time.
+func shiftClient(addr netip.Addr, by time.Duration) []httpstream.Transaction {
+	txs := infectionStream()
+	for i := range txs {
+		txs[i].ClientIP = addr
+		txs[i].ReqTime = txs[i].ReqTime.Add(by)
+		txs[i].RespTime = txs[i].RespTime.Add(by)
+	}
+	return txs
+}
+
+// TestMaxWatchedShedsLargest pins the shedding step: when a new clue
+// would exceed the watched-WCG ceiling, the largest existing watch is
+// closed early and counted.
+func TestMaxWatchedShedsLargest(t *testing.T) {
+	e := New(Config{RedirectThreshold: 3, MaxWatched: 1}, constScorer(0.1))
+	a := netip.MustParseAddr("10.5.0.1")
+	b := netip.MustParseAddr("10.5.0.2")
+
+	for _, tx := range shiftClient(a, 0) {
+		e.Process(tx)
+	}
+	if w := e.Watched(); len(w) != 1 || w[0].Client != a {
+		t.Fatalf("watched = %+v, want client a only", w)
+	}
+	for _, tx := range shiftClient(b, 2*time.Second) {
+		e.Process(tx)
+	}
+	w := e.Watched()
+	if len(w) != 1 || w[0].Client != b {
+		t.Fatalf("watched = %+v, want client a shed and b kept", w)
+	}
+	st := e.Stats()
+	if st.Shed != 1 || st.CluesFired != 2 {
+		t.Fatalf("stats %+v, want Shed=1 CluesFired=2", st)
+	}
+	// The shed watch is preserved for offline extraction, exactly like a
+	// watch that stopped growing.
+	subsets := 0
+	for _, c := range e.clusters {
+		subsets += len(c.closed)
+	}
+	if subsets != 1 {
+		t.Fatalf("shed watch not preserved in closed subsets (%d)", subsets)
+	}
+}
+
+// TestShardProcessRecovers pins the shard-level last-resort guard: a
+// panic that escapes Engine.Process (here: a corrupted client index, so
+// the fault fires before cluster attribution) is swallowed at the shard
+// boundary and counted, instead of unwinding into the caller.
+func TestShardProcessRecovers(t *testing.T) {
+	s := NewSharded(Config{Shards: 1}, constScorer(0))
+	s.shards[0].eng.byClient = nil // poison: clusterFor writes into a nil map
+	if got := s.Process(mkTx("x.com", "/", "GET", 200, "text/html", 10, "", 0)); got != nil {
+		t.Fatalf("poisoned shard returned alerts: %v", got)
+	}
+	if st := s.Stats(); st.Panics != 1 {
+		t.Fatalf("stats %+v, want Panics=1", st)
+	}
+	// The shard keeps serving.
+	s.shards[0].eng.byClient = map[netip.Addr][]*cluster{}
+	s.Process(mkTx("x.com", "/", "GET", 200, "text/html", 10, "", time.Second))
+	if st := s.Stats(); st.Transactions != 2 {
+		t.Fatalf("shard stopped serving: %+v", st)
+	}
+}

@@ -70,9 +70,23 @@ func (s *ShardedEngine) shardFor(client netip.Addr) *engineShard {
 // Process ingests one transaction under its client's shard lock and
 // returns any alerts it triggers.
 func (s *ShardedEngine) Process(tx httpstream.Transaction) []Alert {
-	sh := s.shardFor(tx.ClientIP)
+	return s.shardFor(tx.ClientIP).process(tx)
+}
+
+// process runs one transaction under the shard lock with a last-resort
+// panic guard. Engine.Process already recovers per-cluster faults; this
+// outer guard catches anything that escapes it (including faults in the
+// recovery path itself), so a panic on one shard can never unwind into
+// the proxy's request handler and kill the process.
+func (sh *engineShard) process(tx httpstream.Transaction) (alerts []Alert) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			alerts = nil
+			sh.eng.stats.Panics++
+		}
+	}()
 	return sh.eng.Process(tx)
 }
 

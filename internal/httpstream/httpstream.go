@@ -169,9 +169,18 @@ func parseResponses(data []byte, reqs []reqMsg) []respMsg {
 		if err != nil {
 			return out
 		}
+		bodyStart := cr.n - br.Buffered()
 		body, bodyErr := io.ReadAll(resp.Body)
 		_ = resp.Body.Close()
 		size := len(body)
+		if bodyErr != nil && size == 0 && bodyStart < len(data) {
+			// The framing was unusable from the first body byte (e.g. a
+			// garbage chunk-size line): degrade to the raw stream remainder
+			// so the transaction keeps its payload evidence instead of
+			// reporting an empty body.
+			body = data[bodyStart:]
+			size = len(body)
+		}
 		body = decodeContent(body, resp.Header.Get("Content-Encoding"))
 		if len(body) > maxRetainedBody {
 			body = body[:maxRetainedBody]

@@ -6,8 +6,11 @@
 package proxy
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/netip"
@@ -40,23 +43,70 @@ type Config struct {
 	// Transport performs the upstream requests; nil selects
 	// http.DefaultTransport.
 	Transport http.RoundTripper
-	// Now supplies time for block expiry; nil selects time.Now. Tests
-	// inject a fake clock.
+	// Now supplies time for block expiry, circuit-breaker cooldowns and
+	// upstream timing; nil selects time.Now. Tests inject a fake clock.
 	Now func() time.Time
 	// TrustXForwardedFor attributes traffic to the first X-Forwarded-For
 	// address instead of the TCP peer. Enable only when an upstream
 	// load balancer or proxy chain sets the header trustworthily.
 	TrustXForwardedFor bool
+	// UpstreamTimeout bounds one upstream exchange end to end: the round
+	// trip, buffering the analysis prefix of the body, and relaying the
+	// tail. A hung upstream or a slow-loris body surfaces as a 504 within
+	// this deadline instead of pinning the handler forever. Zero selects
+	// 30 seconds.
+	UpstreamTimeout time.Duration
+	// UpstreamRetries is how many extra attempts an idempotent (GET/HEAD,
+	// bodyless) request gets after a retryable transport failure, within
+	// the same UpstreamTimeout deadline. Zero selects 2; negative
+	// disables retries. Timeouts are never retried — the budget is
+	// already spent.
+	UpstreamRetries int
+	// RetryBackoff is the base of the jittered exponential backoff
+	// between retries (doubles per attempt, jittered to 50–100% of the
+	// step). Zero selects 100ms.
+	RetryBackoff time.Duration
+	// BreakerThreshold is how many consecutive transport failures to one
+	// upstream host open its circuit: while open, requests for that host
+	// are answered with a synthesized 502 without touching the upstream.
+	// Zero selects 5; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit refuses traffic before
+	// letting a single probe request test the upstream. Zero selects
+	// 30 seconds.
+	BreakerCooldown time.Duration
+	// Sleep pauses between retry attempts; nil selects time.Sleep. Tests
+	// inject a no-op to run fault schedules without real delays.
+	Sleep func(time.Duration)
 }
 
-// Stats counts proxy activity.
+// Stats counts proxy activity. Every request lands in exactly one of
+// Relayed, Refused, UpstreamErrors, BreakerRejected or BadRequests, so
+// Requests always equals their sum — the conservation identity the chaos
+// soak asserts.
 type Stats struct {
 	Requests       int
 	Relayed        int
 	BlockedClients int
 	Refused        int
+	// UpstreamErrors counts exchanges that failed against the upstream
+	// after exhausting any retries: transport errors, timeouts, and body
+	// reads that died while buffering the analysis prefix.
 	UpstreamErrors int
 	Alerts         int
+	// Retries counts re-sent idempotent requests (not terminal outcomes;
+	// a request that eventually succeeds after 2 retries adds 2 here and
+	// 1 to Relayed).
+	Retries int
+	// BadRequests counts requests the proxy refused to relay at all:
+	// CONNECT tunnels and requests with no usable target.
+	BadRequests int
+	// BreakerRejected counts requests answered with a synthesized 502
+	// because their upstream's circuit was open.
+	BreakerRejected int
+	// BreakerTrips counts circuit transitions to open (including a failed
+	// half-open probe re-opening).
+	BreakerTrips int
 }
 
 // Proxy is an http.Handler implementing a detecting forward proxy. Safe
@@ -67,11 +117,14 @@ type Proxy struct {
 	cfg       Config
 	transport http.RoundTripper
 	now       func() time.Time
+	sleep     func(time.Duration)
 	engine    *detector.ShardedEngine
 
-	mu      sync.Mutex
-	blocked map[netip.Addr]time.Time // guarded by mu; client -> block expiry
-	stats   Stats                    // guarded by mu
+	mu       sync.Mutex
+	blocked  map[netip.Addr]time.Time // guarded by mu; client -> block expiry
+	stats    Stats                    // guarded by mu
+	breakers map[string]*breaker      // guarded by mu; upstream host -> circuit
+	rng      *rand.Rand               // guarded by mu; retry-backoff jitter
 }
 
 var _ http.Handler = (*Proxy)(nil)
@@ -81,6 +134,21 @@ func New(cfg Config, model detector.Scorer) *Proxy {
 	if cfg.BlockDuration == 0 {
 		cfg.BlockDuration = 10 * time.Minute
 	}
+	if cfg.UpstreamTimeout == 0 {
+		cfg.UpstreamTimeout = 30 * time.Second
+	}
+	if cfg.UpstreamRetries == 0 {
+		cfg.UpstreamRetries = 2
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown == 0 {
+		cfg.BreakerCooldown = 30 * time.Second
+	}
 	transport := cfg.Transport
 	if transport == nil {
 		transport = http.DefaultTransport
@@ -89,12 +157,19 @@ func New(cfg Config, model detector.Scorer) *Proxy {
 	if now == nil {
 		now = time.Now
 	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
 	return &Proxy{
 		cfg:       cfg,
 		transport: transport,
 		now:       now,
+		sleep:     sleep,
 		engine:    detector.NewSharded(cfg.Detector, model),
 		blocked:   make(map[netip.Addr]time.Time),
+		breakers:  make(map[string]*breaker),
+		rng:       rand.New(rand.NewSource(1)),
 	}
 }
 
@@ -161,22 +236,40 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodConnect {
 		// DynaMiner operates on unencrypted HTTP (Section VII); tunneled
 		// TLS cannot be inspected and is refused by this deployment.
+		p.count(func(s *Stats) { s.BadRequests++ })
 		http.Error(w, "CONNECT not supported: DynaMiner inspects plain HTTP", http.StatusMethodNotAllowed)
 		return
 	}
 
-	out, err := p.buildUpstreamRequest(r)
+	// The deadline covers the whole upstream exchange — connecting, the
+	// response headers, buffering the analysis prefix, and the tail relay
+	// — so neither a hung upstream nor a slow-loris body can pin this
+	// handler past UpstreamTimeout.
+	ctx, cancel := context.WithTimeout(r.Context(), p.cfg.UpstreamTimeout)
+	defer cancel()
+	out, err := p.buildUpstreamRequest(ctx, r)
 	if err != nil {
+		p.count(func(s *Stats) { s.BadRequests++ })
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	upstreamHost := strings.ToLower(out.URL.Hostname())
+	if !p.breakerAllow(upstreamHost) {
+		p.count(func(s *Stats) { s.BreakerRejected++ })
+		http.Error(w, "upstream circuit open: "+upstreamHost, http.StatusBadGateway)
+		return
+	}
+
 	reqTime := p.now()
-	resp, err := p.transport.RoundTrip(out)
+	resp, err := p.roundTrip(out)
 	if err != nil {
-		p.mu.Lock()
-		p.stats.UpstreamErrors++
-		p.mu.Unlock()
-		http.Error(w, fmt.Sprintf("upstream: %v", err), http.StatusBadGateway)
+		p.breakerResult(upstreamHost, false)
+		p.count(func(s *Stats) { s.UpstreamErrors++ })
+		code := http.StatusBadGateway
+		if isTimeout(err) {
+			code = http.StatusGatewayTimeout
+		}
+		http.Error(w, fmt.Sprintf("upstream: %v", err), code)
 		return
 	}
 	defer resp.Body.Close()
@@ -185,9 +278,16 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// Buffer a prefix of the body for analysis, stream the rest through.
 	prefix, rest, err := bufferPrefix(resp.Body, maxCapturedBody)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("upstream body: %v", err), http.StatusBadGateway)
+		p.breakerResult(upstreamHost, false)
+		p.count(func(s *Stats) { s.UpstreamErrors++ })
+		code := http.StatusBadGateway
+		if isTimeout(err) {
+			code = http.StatusGatewayTimeout
+		}
+		http.Error(w, fmt.Sprintf("upstream body: %v", err), code)
 		return
 	}
+	p.breakerResult(upstreamHost, true)
 	relayHdr := resp.Header.Clone()
 	removeHopByHop(relayHdr)
 	copyHeader(w.Header(), relayHdr)
@@ -217,8 +317,79 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// buildUpstreamRequest converts the proxied request into an origin request.
-func (p *Proxy) buildUpstreamRequest(r *http.Request) (*http.Request, error) {
+// count applies one update to the proxy counters under p.mu.
+func (p *Proxy) count(update func(*Stats)) {
+	p.mu.Lock()
+	update(&p.stats)
+	p.mu.Unlock()
+}
+
+// roundTrip performs the upstream exchange with bounded, jittered
+// exponential-backoff retries. Only idempotent bodyless requests
+// (GET/HEAD) are retried — a request body has already been consumed by
+// the failed attempt — and only on retryable transport errors; the
+// context deadline set by ServeHTTP bounds all attempts together, so
+// retries never extend the caller-visible latency past UpstreamTimeout.
+func (p *Proxy) roundTrip(out *http.Request) (*http.Response, error) {
+	retries := 0
+	if (out.Method == http.MethodGet || out.Method == http.MethodHead) && out.Body == nil && p.cfg.UpstreamRetries > 0 {
+		retries = p.cfg.UpstreamRetries
+	}
+	backoff := p.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		resp, err := p.transport.RoundTrip(out)
+		if err == nil || attempt >= retries || !retryable(err) {
+			return resp, err
+		}
+		p.count(func(s *Stats) { s.Retries++ })
+		p.sleep(p.jitter(backoff))
+		backoff *= 2
+		if ctxErr := out.Context().Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+	}
+}
+
+// retryable reports whether a transport error is worth a second attempt:
+// connection-level failures (refused, reset, broken pipe) are; timeouts
+// and cancellations are not, because the deadline budget is shared across
+// attempts.
+func retryable(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return false
+	}
+	return true
+}
+
+// isTimeout classifies an upstream error as a deadline expiry (504) as
+// opposed to a generic relay failure (502).
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// jitter draws a uniform duration in [d/2, d]: full-magnitude backoff
+// jitter so synchronized retry storms against a recovering upstream
+// spread out.
+func (p *Proxy) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return d/2 + time.Duration(p.rng.Int63n(int64(d/2)+1))
+}
+
+// buildUpstreamRequest converts the proxied request into an origin request
+// carrying the deadline-bearing context.
+func (p *Proxy) buildUpstreamRequest(ctx context.Context, r *http.Request) (*http.Request, error) {
 	u := *r.URL
 	if u.Host == "" {
 		u.Host = r.Host
@@ -229,7 +400,15 @@ func (p *Proxy) buildUpstreamRequest(r *http.Request) (*http.Request, error) {
 	if u.Host == "" {
 		return nil, fmt.Errorf("proxy: request has no target host")
 	}
-	out, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), r.Body)
+	// Server-side requests always carry a non-nil Body; normalize the
+	// bodyless GET/HEAD case to nil so the retry gate can recognize a
+	// replayable request.
+	body := io.Reader(r.Body)
+	if (r.Method == http.MethodGet || r.Method == http.MethodHead) &&
+		r.ContentLength == 0 && len(r.TransferEncoding) == 0 {
+		body = nil
+	}
+	out, err := http.NewRequestWithContext(ctx, r.Method, u.String(), body)
 	if err != nil {
 		return nil, fmt.Errorf("proxy: build upstream request: %w", err)
 	}

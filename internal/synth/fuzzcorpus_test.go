@@ -1,0 +1,63 @@
+package synth
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteFuzzSeedCorpus regenerates the checked-in seed corpus for the
+// httpstream fuzz targets from the synth generator, so the fuzzers start
+// from realistic pipelined traffic (redirect chains, downloads, gzip
+// bodies). The corpus files live in the httpstream package because the
+// import direction (synth -> httpstream) forbids the fuzzers from calling
+// the generator directly.
+//
+// It is a no-op unless DYNAMINER_WRITE_FUZZ_CORPUS=1 is set:
+//
+//	DYNAMINER_WRITE_FUZZ_CORPUS=1 go test ./internal/synth -run TestWriteFuzzSeedCorpus
+func TestWriteFuzzSeedCorpus(t *testing.T) {
+	if os.Getenv("DYNAMINER_WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set DYNAMINER_WRITE_FUZZ_CORPUS=1 to regenerate the httpstream fuzz seed corpus")
+	}
+	root := filepath.Join("..", "httpstream", "testdata", "fuzz")
+
+	write := func(target, name string, args ...[]byte) {
+		t.Helper()
+		dir := filepath.Join(root, target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data := "go test fuzz v1\n"
+		for _, a := range args {
+			data += fmt.Sprintf("[]byte(%q)\n", a)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	eps := GenerateCorpus(Config{Seed: 12, Infections: 2, Benign: 2})
+	seeds := 0
+	for i := range eps {
+		for _, conv := range eps[i].Conversations() {
+			var c2s, s2c []byte
+			for _, ex := range conv.Exchanges {
+				if ex.ClientToServer {
+					c2s = append(c2s, ex.Payload...)
+				} else {
+					s2c = append(s2c, ex.Payload...)
+				}
+			}
+			name := fmt.Sprintf("synth-%03d", seeds)
+			write("FuzzParseRequests", name, c2s)
+			write("FuzzParseResponses", name, s2c)
+			write("FuzzExtractPair", name, c2s, s2c)
+			seeds++
+			if seeds >= 8 {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package dynaminer
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestJanitorEvictsIdleClusters pins the background sweep: with an
+// injected clock far past every cluster's last activity, the janitor
+// evicts them without any new traffic arriving.
+func TestJanitorEvictsIdleClusters(t *testing.T) {
+	c, eps := trainedOnSmallCorpus(t)
+
+	// The synth corpus is timestamped around a fixed epoch; a clock one
+	// year later puts every cluster beyond any TTL.
+	var mu sync.Mutex
+	clock := eps[0].Txs[0].ReqTime
+	now := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return clock
+	}
+
+	m := NewMonitor(MonitorConfig{RedirectThreshold: 1, Now: now}, c)
+	for i := 0; i < 4; i++ {
+		m.ProcessAll(eps[i].Txs)
+	}
+	if m.Stats().Clusters == 0 {
+		t.Fatal("no clusters built; the sweep covers nothing")
+	}
+
+	m.StartJanitor(time.Millisecond)
+	defer m.Close()
+
+	mu.Lock()
+	clock = clock.Add(365 * 24 * time.Hour)
+	mu.Unlock()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Evicted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("janitor never evicted; stats %+v", m.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJanitorCloseIsIdempotent pins the lifecycle edges: closing a
+// never-started monitor, double-close, and restart after close all work.
+func TestJanitorCloseIsIdempotent(t *testing.T) {
+	c, _ := trainedOnSmallCorpus(t)
+	m := NewMonitor(MonitorConfig{RedirectThreshold: 1}, c)
+	m.Close() // never started
+	m.StartJanitor(time.Hour)
+	m.StartJanitor(time.Hour) // already running: no-op
+	m.Close()
+	m.Close()                 // double close
+	m.StartJanitor(time.Hour) // restart after close
+	m.Close()
+}
+
+// TestJanitorConcurrentWithProcess runs the janitor at full tilt while
+// transactions stream in concurrently; under -race this proves the sweep
+// takes the same shard locks as Process.
+func TestJanitorConcurrentWithProcess(t *testing.T) {
+	c, eps := trainedOnSmallCorpus(t)
+	m := NewMonitor(MonitorConfig{RedirectThreshold: 1, Shards: 4}, c)
+	m.StartJanitor(time.Millisecond)
+	defer m.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < 32; i += 4 {
+				m.ProcessAll(eps[i].Txs)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Stats().Transactions == 0 {
+		t.Fatal("no transactions processed")
+	}
+}

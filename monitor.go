@@ -2,6 +2,8 @@ package dynaminer
 
 import (
 	"io"
+	"sync"
+	"time"
 
 	"dynaminer/internal/detector"
 	"dynaminer/internal/proxy"
@@ -15,6 +17,12 @@ import (
 // classify in parallel; per-client results are shard-count independent.
 type Monitor struct {
 	engine *detector.ShardedEngine
+	now    func() time.Time
+	ttl    time.Duration
+
+	mu   sync.Mutex
+	stop chan struct{} // non-nil while the janitor is running; guarded by mu
+	done chan struct{} // closed when the janitor goroutine exits; guarded by mu
 }
 
 // NewMonitor wraps a trained classifier in a streaming engine.
@@ -22,8 +30,73 @@ func NewMonitor(cfg MonitorConfig, c *Classifier) *Monitor {
 	if cfg.TrustedVendors == nil {
 		cfg.TrustedVendors = detector.DefaultTrustedVendors
 	}
-	return &Monitor{engine: detector.NewSharded(cfg, c.forest)}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	ttl := cfg.ClusterTTL
+	if ttl == 0 {
+		ttl = time.Hour
+	}
+	return &Monitor{engine: detector.NewSharded(cfg, c.forest), now: now, ttl: ttl}
 }
+
+// StartJanitor launches a background sweeper that evicts idle session
+// clusters every interval (zero selects one minute), so memory stays
+// bounded even while no traffic arrives to trigger the inline eviction in
+// Process. Starting an already-running janitor is a no-op. Stop it with
+// Close.
+func (m *Monitor) StartJanitor(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stop != nil {
+		return
+	}
+	stop, done := make(chan struct{}), make(chan struct{})
+	m.stop, m.done = stop, done
+	go func() {
+		defer close(done)
+		defer func() {
+			// Last-resort guard: a janitor fault must never take the
+			// process down.
+			recover()
+		}()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				m.engine.EvictIdle(m.now().Add(-m.ttl))
+			}
+		}
+	}()
+}
+
+// Close stops the background janitor, if one is running, and waits for it
+// to exit. It is safe to call multiple times and on monitors that never
+// started one.
+func (m *Monitor) Close() {
+	m.mu.Lock()
+	stop, done := m.stop, m.done
+	m.stop, m.done = nil, nil
+	m.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// EvictIdle drops every session cluster idle since before cutoff across
+// all shards and returns how many were removed. The engine also evicts
+// inline as traffic flows and via the background janitor; this is for
+// deployments that manage their own sweep schedule.
+func (m *Monitor) EvictIdle(cutoff time.Time) int { return m.engine.EvictIdle(cutoff) }
 
 // Process ingests one transaction and returns any alerts it triggers.
 func (m *Monitor) Process(tx Transaction) []Alert { return m.engine.Process(tx) }
