@@ -20,12 +20,12 @@ lint:
 # Tier 2: static analysis plus the race-detector stress suites for every
 # package that spawns goroutines (the root package covers the monitor
 # janitor, internal/proxy the retry/breaker paths, internal/chaos the
-# fault-injection soak). Slower; run before touching engine or proxy
-# locking.
+# fault-injection soak, internal/obs the admin server and sharded
+# counters). Slower; run before touching engine or proxy locking.
 tier2:
 	$(GO) vet ./...
 	$(GO) run ./cmd/dynalint -root .
-	$(GO) test -race . ./cmd/dynaminer ./internal/detector ./internal/proxy ./internal/httpstream ./internal/chaos
+	$(GO) test -race . ./cmd/dynaminer ./internal/detector ./internal/proxy ./internal/httpstream ./internal/chaos ./internal/obs
 
 # Chaos: the deterministic fault-injection soak (fixed seeds, see
 # internal/chaos and DESIGN.md "Fault tolerance"): seeded synth episodes
@@ -45,11 +45,15 @@ fuzz:
 	$(GO) test ./internal/httpstream -run '^$$' -fuzz '^FuzzExtractPair$$' -fuzztime $(FUZZTIME)
 
 # Bench: run the benchmark suite and record the parsed results as JSON.
-# BENCH_PATTERN narrows the run (CI smokes just the classify pair);
-# BENCH_OUT names the committed record for this PR.
+# BENCH_PATTERN narrows the run (CI smokes just the classify trio);
+# BENCH_OUT names the committed record for this PR. BENCH_GATE, when
+# set, is a benchjson ns/op ratio assertion such as
+# 'ClassifyInstrumented/ClassifyIncremental<=1.05' — the observability
+# overhead bar — and fails the target when violated.
 BENCH_PATTERN ?= .
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_3.json
+BENCH_OUT ?= BENCH_5.json
+BENCH_GATE ?=
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCHTIME) -count 1 -benchmem . \
-		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCH_OUT) $(if $(BENCH_GATE),-gate '$(BENCH_GATE)')

@@ -17,6 +17,7 @@ import (
 	"dynaminer/internal/detector"
 	"dynaminer/internal/experiments"
 	"dynaminer/internal/ml"
+	"dynaminer/internal/obs"
 	"dynaminer/internal/synth"
 )
 
@@ -459,10 +460,9 @@ func chainTxsForBench(b *testing.B) []Transaction {
 	return txs
 }
 
-func benchClassifyChain(b *testing.B, disable bool) {
+func benchClassifyChain(b *testing.B, cfg detector.Config) {
 	clf := classifierForBench(b)
 	txs := chainTxsForBench(b)
-	cfg := detector.Config{RedirectThreshold: 3, DisableIncremental: disable}
 	b.ReportAllocs()
 	b.ResetTimer()
 	var st detector.Stats
@@ -480,6 +480,19 @@ func benchClassifyChain(b *testing.B, disable bool) {
 	b.ReportMetric(float64(st.Rebuilds), "rebuilds")
 }
 
-func BenchmarkClassifyIncremental(b *testing.B) { benchClassifyChain(b, false) }
+func BenchmarkClassifyIncremental(b *testing.B) {
+	benchClassifyChain(b, detector.Config{RedirectThreshold: 3})
+}
 
-func BenchmarkClassifyScratch(b *testing.B) { benchClassifyChain(b, true) }
+func BenchmarkClassifyScratch(b *testing.B) {
+	benchClassifyChain(b, detector.Config{RedirectThreshold: 3, DisableIncremental: true})
+}
+
+// BenchmarkClassifyInstrumented replays the incremental chain with a
+// metrics registry attached, which also arms the per-classification
+// latency clock — the full per-transaction observability cost. The
+// acceptance bar for the obs layer is ns/op within 5% of
+// BenchmarkClassifyIncremental (`benchjson -gate` pins it in CI).
+func BenchmarkClassifyInstrumented(b *testing.B) {
+	benchClassifyChain(b, detector.Config{RedirectThreshold: 3, Metrics: obs.NewRegistry()})
+}

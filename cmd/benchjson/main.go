@@ -3,7 +3,13 @@
 // (BENCH_*.json at the repo root). It reads the benchmark output on
 // stdin and writes the record to -o (default stdout).
 //
-//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -o BENCH_3.json
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -o BENCH_5.json
+//
+// -gate asserts an ns/op ratio between two benchmarks in the same run
+// and exits non-zero when it is violated, so CI can pin overhead
+// regressions (e.g. the observability layer's classify cost):
+//
+//	... | go run ./cmd/benchjson -gate 'ClassifyInstrumented/ClassifyIncremental<=1.05'
 package main
 
 import (
@@ -94,8 +100,62 @@ func parse(r io.Reader) (Record, error) {
 	return rec, sc.Err()
 }
 
+// nsPerOp finds a benchmark's ns/op by name, ignoring the -GOMAXPROCS
+// suffix go test appends ("ClassifyIncremental" matches
+// "ClassifyIncremental-8").
+func nsPerOp(rec Record, name string) (float64, error) {
+	for _, b := range rec.Benchmarks {
+		base, _, _ := strings.Cut(b.Name, "-")
+		if base != name {
+			continue
+		}
+		v, ok := b.Metrics["ns/op"]
+		if !ok {
+			return 0, fmt.Errorf("benchmark %s has no ns/op metric", b.Name)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("benchmark %s not in this run", name)
+}
+
+// checkGate enforces a "Num/Den<=Limit" ns/op ratio assertion against
+// the parsed run.
+func checkGate(rec Record, spec string) error {
+	pair, limitStr, ok := strings.Cut(spec, "<=")
+	if !ok {
+		return fmt.Errorf("gate %q: want 'Num/Den<=Limit'", spec)
+	}
+	numName, denName, ok := strings.Cut(pair, "/")
+	if !ok {
+		return fmt.Errorf("gate %q: want 'Num/Den<=Limit'", spec)
+	}
+	limit, err := strconv.ParseFloat(strings.TrimSpace(limitStr), 64)
+	if err != nil {
+		return fmt.Errorf("gate %q: bad limit: %v", spec, err)
+	}
+	num, err := nsPerOp(rec, strings.TrimSpace(numName))
+	if err != nil {
+		return err
+	}
+	den, err := nsPerOp(rec, strings.TrimSpace(denName))
+	if err != nil {
+		return err
+	}
+	if den == 0 {
+		return fmt.Errorf("gate %q: denominator ran in 0 ns/op", spec)
+	}
+	ratio := num / den
+	fmt.Fprintf(os.Stderr, "benchjson: gate %s/%s = %.3f (limit %g)\n",
+		strings.TrimSpace(numName), strings.TrimSpace(denName), ratio, limit)
+	if ratio > limit {
+		return fmt.Errorf("gate violated: %s/%s = %.3f > %g", numName, denName, ratio, limit)
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	gate := flag.String("gate", "", "assert an ns/op ratio 'Num/Den<=Limit' and exit non-zero when violated")
 	flag.Parse()
 
 	rec, err := parse(os.Stdin)
@@ -126,5 +186,11 @@ func main() {
 	if _, err := w.Write(data); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *gate != "" {
+		if err := checkGate(rec, *gate); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 }

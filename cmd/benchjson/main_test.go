@@ -45,6 +45,35 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestCheckGate(t *testing.T) {
+	rec := Record{Benchmarks: []Benchmark{
+		{Name: "ClassifyIncremental-8", Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "ClassifyInstrumented-8", Metrics: map[string]float64{"ns/op": 1040}},
+		{Name: "NoNs-8", Metrics: map[string]float64{"B/op": 7}},
+	}}
+	cases := []struct {
+		spec string
+		ok   bool
+	}{
+		{"ClassifyInstrumented/ClassifyIncremental<=1.05", true},
+		{"ClassifyInstrumented/ClassifyIncremental<=1.01", false}, // ratio is 1.04
+		{"ClassifyInstrumented / ClassifyIncremental <= 1.05", true},
+		{"ClassifyInstrumented/Missing<=1.05", false},
+		{"ClassifyInstrumented/NoNs<=1.05", false},
+		{"no-separator", false},
+		{"ClassifyInstrumented/ClassifyIncremental<=tight", false},
+	}
+	for _, c := range cases {
+		err := checkGate(rec, c.spec)
+		if c.ok && err != nil {
+			t.Errorf("checkGate(%q) = %v, want pass", c.spec, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("checkGate(%q) passed, want failure", c.spec)
+		}
+	}
+}
+
 func TestParseRejectsNonBenchLines(t *testing.T) {
 	for _, line := range []string{
 		"PASS",

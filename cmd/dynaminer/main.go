@@ -8,6 +8,14 @@
 //	dynaminer summarize capture.pcap
 //	dynaminer dataset -corpus dir/ -out features.csv
 //	dynaminer proxy -model model.json -listen 127.0.0.1:8080
+//	dynaminer journal alerts.jsonl
+//	dynaminer metrics -addr 127.0.0.1:9090
+//
+// "stream" and "proxy" take -admin-addr to serve the observability
+// endpoints (Prometheus /metrics, /healthz, JSON /snapshot, /debug/pprof/)
+// and -journal to append one provenance record per alert to a JSONL file;
+// "journal" renders such a file, and "metrics" fetches and renders a live
+// admin server's /snapshot.
 //
 // "train -corpus" expects a directory produced by tracegen (pcap files and
 // a manifest.csv); "-synthetic" trains directly on a generated corpus
@@ -40,7 +48,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: dynaminer <train|classify|stream|features|summarize|dataset|verify|proxy> [flags]")
+		return fmt.Errorf("usage: dynaminer <train|classify|stream|features|summarize|dataset|verify|proxy|journal|metrics> [flags]")
 	}
 	switch args[0] {
 	case "train":
@@ -57,6 +65,10 @@ func run(args []string) error {
 		return runSummarize(args[1:])
 	case "dataset":
 		return runDataset(args[1:])
+	case "journal":
+		return runJournal(args[1:])
+	case "metrics":
+		return runMetrics(args[1:])
 	case "verify":
 		return runVerify(args[1:])
 	default:
@@ -72,6 +84,8 @@ func runProxy(args []string) error {
 		threshold = fs.Int("threshold", 3, "clue redirect threshold L")
 		block     = fs.Bool("block", true, "terminate sessions of alerted clients")
 		shards    = fs.Int("shards", 0, "detection engine shards (0 = GOMAXPROCS)")
+		adminAddr = fs.String("admin-addr", "", "serve /metrics, /healthz, /snapshot and /debug/pprof/ on this address (empty = no admin server)")
+		journal   = fs.String("journal", "", "append one JSONL provenance record per alert to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,14 +94,31 @@ func runProxy(args []string) error {
 	if err != nil {
 		return err
 	}
+	cfg := dynaminer.MonitorConfig{RedirectThreshold: *threshold, Shards: *shards}
+	if *journal != "" {
+		j, err := dynaminer.NewJournal(*journal)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		cfg.Journal = j
+	}
 	p := dynaminer.NewProxy(dynaminer.ProxyConfig{
-		Detector:        dynaminer.MonitorConfig{RedirectThreshold: *threshold, Shards: *shards},
+		Detector:        cfg,
 		BlockAfterAlert: *block,
 		OnAlert: func(a dynaminer.Alert) {
 			fmt.Printf("ALERT %s client=%s payload=%s host=%s score=%.2f\n",
 				a.FormatTime("15:04:05"), a.Client, a.TriggerPayload, a.TriggerHost, a.Score)
 		},
 	}, clf)
+	if *adminAddr != "" {
+		adm, err := dynaminer.StartAdmin(*adminAddr, p.Registry(), dynaminer.DefaultMetricsRegistry())
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Printf("admin endpoints on http://%s/ (metrics, healthz, snapshot, debug/pprof)\n", adm.Addr())
+	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
@@ -230,6 +261,8 @@ func runStream(args []string) error {
 		threshold = fs.Int("threshold", 3, "clue redirect threshold L")
 		asJSON    = fs.Bool("json", false, "emit alerts as JSON lines (SIEM-friendly)")
 		pace      = fs.Float64("pace", 0, "replay at capture pace divided by this factor (0 = as fast as possible)")
+		adminAddr = fs.String("admin-addr", "", "serve /metrics, /healthz, /snapshot and /debug/pprof/ on this address (empty = no admin server)")
+		journal   = fs.String("journal", "", "append one JSONL provenance record per alert to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -245,7 +278,24 @@ func runStream(args []string) error {
 	if err != nil {
 		return err
 	}
-	m := dynaminer.NewMonitor(dynaminer.MonitorConfig{RedirectThreshold: *threshold}, clf)
+	cfg := dynaminer.MonitorConfig{RedirectThreshold: *threshold}
+	if *journal != "" {
+		j, err := dynaminer.NewJournal(*journal)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		cfg.Journal = j
+	}
+	m := dynaminer.NewMonitor(cfg, clf)
+	defer m.Close()
+	if *adminAddr != "" {
+		addr, err := m.StartAdmin(*adminAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("admin endpoints on http://%s/ (metrics, healthz, snapshot, debug/pprof)\n", addr)
+	}
 	emit := func(a dynaminer.Alert) error {
 		if *asJSON {
 			data, err := json.Marshal(a)

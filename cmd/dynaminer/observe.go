@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"dynaminer"
+)
+
+// runJournal renders an alert provenance journal (JSONL, written by
+// stream/proxy -journal) as one line per alert, or re-emits the records
+// as canonical JSON with -json.
+func runJournal(args []string) error {
+	fs := flag.NewFlagSet("journal", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "re-emit records as canonical JSON lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("journal: need exactly one journal file")
+	}
+	recs, err := dynaminer.ReadJournalFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if *asJSON {
+			data, err := json.Marshal(r)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(data))
+			continue
+		}
+		ts := "unset"
+		if !r.Time.IsZero() {
+			ts = r.Time.Format("2006-01-02 15:04:05.000")
+		}
+		mode := "incremental"
+		if !r.Incremental {
+			mode = "rebuild"
+		}
+		line := fmt.Sprintf("%s client=%s cluster=%d clue=%s/%s score=%.3f (threshold %.2f)",
+			ts, r.Client, r.ClusterID, r.CluePayload, r.ClueHost, r.Score, r.Threshold)
+		if r.Trees > 0 {
+			line += fmt.Sprintf(" votes=%d/%d", r.Votes, r.Trees)
+		}
+		line += fmt.Sprintf(" wcg=%dn/%de v%d %s", r.WCGNodes, r.WCGEdges, r.WCGStructVersion, mode)
+		if r.Degraded {
+			line += " degraded"
+		}
+		if r.Quarantined {
+			line += " quarantined"
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("%d alert record(s), %d features each\n", len(recs), featureWidth(recs))
+	return nil
+}
+
+// featureWidth reports the feature-vector width of the records (0 when
+// the journal is empty).
+func featureWidth(recs []dynaminer.AlertRecord) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	return len(recs[0].Features)
+}
+
+// runMetrics fetches a live admin server's /snapshot and renders every
+// metric's current value.
+func runMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "admin server address (host:port)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := http.Get("http://" + *addr + "/snapshot")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics: %s returned %s", *addr, resp.Status)
+	}
+	var snaps []dynaminer.MetricSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snaps); err != nil {
+		return fmt.Errorf("metrics: decode snapshot: %w", err)
+	}
+	for _, s := range snaps {
+		switch {
+		case s.Type == "histogram":
+			fmt.Printf("%-52s count=%d sum=%g\n", s.Name, s.Count, s.Sum)
+		case len(s.Children) > 0:
+			labels := make([]string, 0, len(s.Children))
+			for l := range s.Children {
+				labels = append(labels, l)
+			}
+			sort.Strings(labels)
+			for _, l := range labels {
+				fmt.Printf("%-52s %d\n", fmt.Sprintf("%s{%s}", s.Name, l), s.Children[l])
+			}
+		default:
+			fmt.Printf("%-52s %d\n", s.Name, s.Value)
+		}
+	}
+	return nil
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"log"
@@ -76,6 +77,10 @@ func (t hostPinnedTransport) RoundTrip(r *http.Request) (*http.Response, error) 
 }
 
 func main() {
+	adminAddr := flag.String("admin-addr", "", "serve /metrics, /healthz, /snapshot and /debug/pprof/ on this address (empty = no admin server)")
+	journalPath := flag.String("journal", "", "append one JSONL provenance record per alert to this file")
+	flag.Parse()
+
 	// Train the deployment-matched classifier.
 	corpus := dynaminer.Corpus(dynaminer.CorpusConfig{Seed: 1, Infections: 250, Benign: 300})
 	clf, err := dynaminer.TrainForMonitoring(corpus, dynaminer.TrainConfig{Seed: 1})
@@ -86,8 +91,17 @@ func main() {
 	web := httptest.NewServer(fakeWeb())
 	defer web.Close()
 
+	detCfg := dynaminer.MonitorConfig{RedirectThreshold: 3}
+	if *journalPath != "" {
+		j, err := dynaminer.NewJournal(*journalPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer j.Close()
+		detCfg.Journal = j
+	}
 	p := dynaminer.NewProxy(dynaminer.ProxyConfig{
-		Detector:        dynaminer.MonitorConfig{RedirectThreshold: 3},
+		Detector:        detCfg,
 		BlockAfterAlert: true,
 		Transport:       hostPinnedTransport{target: web.URL},
 		OnAlert: func(a dynaminer.Alert) {
@@ -95,6 +109,14 @@ func main() {
 				a.TriggerPayload, a.TriggerHost, a.Score, a.WCG.Order())
 		},
 	}, clf)
+	if *adminAddr != "" {
+		adm, err := dynaminer.StartAdmin(*adminAddr, p.Registry())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer adm.Close()
+		fmt.Printf("admin endpoints on http://%s/\n", adm.Addr())
+	}
 	proxySrv := httptest.NewServer(p)
 	defer proxySrv.Close()
 	proxyURL, err := url.Parse(proxySrv.URL)
@@ -171,4 +193,12 @@ func main() {
 	st := p.Stats()
 	fmt.Printf("\nproxy stats: %d requests relayed, %d alerts, %d clients blocked, %d refused\n",
 		st.Relayed, st.Alerts, st.BlockedClients, st.Refused)
+	if *journalPath != "" {
+		recs, err := dynaminer.ReadJournalFile(*journalPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("journal: %d provenance record(s) in %s (render with `dynaminer journal %[2]s`)\n",
+			len(recs), *journalPath)
+	}
 }

@@ -24,9 +24,13 @@
 //     literals — the next measurement overwrites that storage in place
 //     (the zero-alloc incremental-classification invariant).
 //   - goguard: goroutines launched in the serving packages (module root,
-//     internal/detector, internal/proxy) carry their own recover() guard
-//     — a panic on a fresh stack bypasses the handler-level recovery and
-//     kills the process.
+//     internal/detector, internal/proxy, internal/obs) carry their own
+//     recover() guard — a panic on a fresh stack bypasses the
+//     handler-level recovery and kills the process.
+//   - metricname: metrics registered on an obs registry use snake_case
+//     names with a unit suffix (_seconds/_bytes/_total) and are unique
+//     per package, keeping the PR-5 metric inventory greppable and
+//     Prometheus-legal.
 //
 // A finding on a specific line can be suppressed with a
 // "//dynalint:ignore <analyzer> <reason>" comment on the same line or the
@@ -82,7 +86,7 @@ type Analyzer interface {
 
 // All returns the full suite in reporting order.
 func All() []Analyzer {
-	return []Analyzer{Hostfold{}, Zerotime{}, Lockscope{}, Floatsafe{}, Scratchsafe{}, Goguard{}}
+	return []Analyzer{Hostfold{}, Zerotime{}, Lockscope{}, Floatsafe{}, Scratchsafe{}, Goguard{}, Metricname{}}
 }
 
 // NewPass assembles a Pass and indexes its ignore directives. Files must

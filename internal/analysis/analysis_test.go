@@ -134,6 +134,11 @@ func TestFloatsafeFixtures(t *testing.T) { runFixture(t, Floatsafe{}, "internal/
 // (internal/graph launches crash-loudly goroutines legitimately).
 func TestGoguardFixtures(t *testing.T) { runFixture(t, Goguard{}, "internal/detector") }
 
+// Metricname is unscoped, so its fixture runs under the testdata path.
+func TestMetricnameFixtures(t *testing.T) {
+	runFixture(t, Metricname{}, "internal/analysis/testdata")
+}
+
 func TestGoguardScopedToServingPackages(t *testing.T) {
 	pass := parsePass(t, filepath.Join("testdata", "goguard"), "internal/graph")
 	if findings := Run(pass, []Analyzer{Goguard{}}); len(findings) != 0 {
@@ -247,7 +252,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 		names[a.Name()] = true
 	}
-	for _, want := range []string{"hostfold", "zerotime", "lockscope", "floatsafe", "scratchsafe", "goguard"} {
+	for _, want := range []string{"hostfold", "zerotime", "lockscope", "floatsafe", "scratchsafe", "goguard", "metricname"} {
 		if !names[want] {
 			t.Errorf("analyzer %s missing from All()", want)
 		}

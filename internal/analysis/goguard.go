@@ -20,7 +20,8 @@ import (
 // itself.
 //
 // Scope: the serving packages only (module root, internal/detector,
-// internal/proxy). Offline analytics and test helpers may crash loudly.
+// internal/proxy, internal/obs — the admin HTTP server runs a serve
+// goroutine). Offline analytics and test helpers may crash loudly.
 type Goguard struct{}
 
 // Name implements Analyzer.
@@ -36,6 +37,7 @@ var goguardPkgs = map[string]bool{
 	"":                  true, // module root: monitor, classifier
 	"internal/detector": true,
 	"internal/proxy":    true,
+	"internal/obs":      true, // admin server's serve goroutine
 }
 
 // containsRecover reports whether body lexically contains a recover()

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Metricname pins the observability inventory conventions (PR 5, DESIGN.md
+// §10). Every metric registered on an obs registry must be greppable,
+// Prometheus-legal, and self-describing:
+//
+//  1. snake_case: names and GaugeVec labels match [a-z][a-z0-9_]* with no
+//     empty segments — mixed case and dashes break PromQL ergonomics and
+//     the registry's own ValidateMetricName would reject them at runtime;
+//     the analyzer moves that failure to lint time.
+//  2. unit suffix: every metric name ends in _seconds, _bytes, or _total,
+//     so a dashboard reader never has to guess the unit.
+//  3. unique per package: the same literal name registered twice in one
+//     package is almost always a copy-paste slip; the registry's
+//     get-or-create semantics would silently alias the two call sites.
+//
+// The analyzer is syntactic: it inspects calls X.Counter(name, help),
+// X.Gauge(name, help), X.Histogram(name, help, buckets) and
+// X.GaugeVec(name, help, label) whose name argument is a string literal.
+// Dynamic names (helper functions forwarding a name parameter) are out of
+// reach without type information and are skipped — the runtime validator
+// still covers them.
+type Metricname struct{}
+
+// Name implements Analyzer.
+func (Metricname) Name() string { return "metricname" }
+
+// Doc implements Analyzer.
+func (Metricname) Doc() string {
+	return "metric registrations with non-snake_case names, missing unit suffixes, or per-package duplicates"
+}
+
+// registerArity maps obs registration method names to their exact
+// argument count; the name is always the first argument.
+var registerArity = map[string]int{
+	"Counter":   2, // name, help
+	"Gauge":     2, // name, help
+	"Histogram": 3, // name, help, bounds
+	"GaugeVec":  3, // name, help, label
+}
+
+// metricSuffixes are the unit suffixes the inventory admits.
+var metricSuffixes = []string{"_seconds", "_bytes", "_total"}
+
+// snakeCase reports whether s is non-empty lowercase snake_case with no
+// empty segments (mirrors obs.ValidateMetricName's character rules).
+func snakeCase(s string) bool {
+	if s == "" || s[0] == '_' || s[len(s)-1] == '_' || strings.Contains(s, "__") {
+		return false
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+// stringLit unquotes e when it is a string literal, reporting ok.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// Run implements Analyzer.
+func (m Metricname) Run(pass *Pass) []Finding {
+	var out []Finding
+	seen := map[string]token.Pos{} // literal name -> first registration
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			arity, ok := registerArity[sel.Sel.Name]
+			if !ok || len(call.Args) != arity {
+				return true
+			}
+			name, ok := stringLit(call.Args[0])
+			if !ok {
+				return true // dynamic name: the runtime validator covers it
+			}
+			if !snakeCase(name) {
+				out = append(out, pass.finding(m.Name(), call.Args[0].Pos(),
+					"metric name %q is not snake_case ([a-z][a-z0-9_]*, no empty segments)", name))
+			} else if !hasMetricSuffix(name) {
+				out = append(out, pass.finding(m.Name(), call.Args[0].Pos(),
+					"metric name %q lacks a unit suffix (want _seconds, _bytes, or _total)", name))
+			}
+			if first, dup := seen[name]; dup {
+				out = append(out, pass.finding(m.Name(), call.Args[0].Pos(),
+					"metric %q already registered at %s in this package; get-or-create would silently alias the two sites",
+					name, pass.Fset.Position(first)))
+			} else {
+				seen[name] = call.Args[0].Pos()
+			}
+			if sel.Sel.Name == "GaugeVec" {
+				if label, ok := stringLit(call.Args[2]); ok && !snakeCase(label) {
+					out = append(out, pass.finding(m.Name(), call.Args[2].Pos(),
+						"GaugeVec label %q is not snake_case", label))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// hasMetricSuffix reports whether name ends in an admitted unit suffix.
+func hasMetricSuffix(name string) bool {
+	for _, s := range metricSuffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,33 @@
+// Fixture: every line marked `want` must be flagged by metricname.
+package fixtures
+
+type registry struct{}
+
+func (registry) Counter(name, help string) int                { return 0 }
+func (registry) Gauge(name, help string) int                  { return 0 }
+func (registry) Histogram(name, help string, b []float64) int { return 0 }
+func (registry) GaugeVec(name, help, label string) int        { return 0 }
+
+func badNames(reg registry) {
+	reg.Counter("dynaminer_Requests_total", "mixed case")         // want "not snake_case"
+	reg.Counter("dynaminer-relay-seconds", "kebab case")          // want "not snake_case"
+	reg.Gauge("_dynaminer_watched_total", "leading _")            // want "not snake_case"
+	reg.Gauge("dynaminer__watched_total", "empty segment")        // want "not snake_case"
+	reg.Histogram("9th_percentile_seconds", "leading digit", nil) // want "not snake_case"
+}
+
+func badSuffixes(reg registry) {
+	reg.Counter("dynaminer_requests", "no unit")           // want "lacks a unit suffix"
+	reg.Histogram("dynaminer_relay_ms", "wrong unit", nil) // want "lacks a unit suffix"
+	reg.Gauge("dynaminer_watched_count", "wrong unit")     // want "lacks a unit suffix"
+}
+
+func duplicates(reg registry) {
+	reg.Counter("dynaminer_alerts_total", "first registration is fine")
+	reg.Counter("dynaminer_alerts_total", "copy-paste slip") // want "already registered"
+}
+
+func badLabel(reg registry) {
+	reg.GaugeVec("dynaminer_breaker_state_total", "ok name",
+		"Host-Name") // want "not snake_case"
+}

@@ -1,0 +1,24 @@
+// Fixture: compliant idioms that must produce zero metricname findings.
+package fixtures
+
+// helperOK: dynamic names are out of syntactic reach; the registry's
+// runtime validator covers them.
+func helperOK(reg registry, name string) int {
+	return reg.Counter(name, "forwarded name")
+}
+
+func conventionalOK(reg registry) {
+	reg.Counter("dynaminer_detector_transactions_total", "transactions ingested")
+	reg.Gauge("dynaminer_detector_watched_total", "watches currently open")
+	reg.Histogram("dynaminer_proxy_relay_seconds", "relay latency", nil)
+	reg.Histogram("dynaminer_httpstream_bytes", "", nil) //dynalint:ignore metricname demonstrating suppression
+	reg.GaugeVec("dynaminer_proxy_breaker_state_total", "breaker state", "host")
+}
+
+// notARegistration: same method names with the wrong arity are not
+// registration calls (e.g. a math counter taking one argument).
+type tally struct{}
+
+func (tally) Counter(n int) int { return n }
+
+func arityOK(t tally) int { return t.Counter(3) }

@@ -207,6 +207,73 @@ func (rt *RoundTripper) RoundTrip(r *http.Request) (*http.Response, error) {
 	}
 }
 
+// FlakyWriter sabotages an io.Writer with seeded faults, standing in for
+// a full disk or a yanked log volume under an alert journal: with
+// probability errProb a write fails, and with probability panicProb it
+// panics outright. Soak tests wrap a journal around one to prove that
+// provenance recording can never take the serving path down.
+//
+// FlakyWriter is safe for concurrent use.
+type FlakyWriter struct {
+	inner     io.Writer
+	errProb   float64
+	panicProb float64
+
+	mu     sync.Mutex
+	rng    *rand.Rand // guarded by mu
+	faults int        // guarded by mu
+	writes int        // guarded by mu
+}
+
+// NewFlakyWriter wraps inner with fault injection drawn from seed. A nil
+// inner discards successful writes.
+func NewFlakyWriter(seed int64, inner io.Writer, errProb, panicProb float64) *FlakyWriter {
+	if inner == nil {
+		inner = io.Discard
+	}
+	return &FlakyWriter{
+		inner:     inner,
+		errProb:   errProb,
+		panicProb: panicProb,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Faults returns how many writes were sabotaged so far.
+func (w *FlakyWriter) Faults() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.faults
+}
+
+// Writes returns how many writes were forwarded intact.
+func (w *FlakyWriter) Writes() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writes
+}
+
+// Write forwards p to the inner writer, or injects a fault.
+func (w *FlakyWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	roll := w.rng.Float64()
+	sabotage := roll < w.errProb+w.panicProb
+	doPanic := roll < w.panicProb
+	if sabotage {
+		w.faults++
+	} else {
+		w.writes++
+	}
+	w.mu.Unlock()
+	if doPanic {
+		panic("chaos: injected journal write panic")
+	}
+	if sabotage {
+		return 0, fmt.Errorf("chaos: no space left on device")
+	}
+	return w.inner.Write(p)
+}
+
 // Mutation modes the transaction mutator injects.
 const (
 	mutGarbageHeaders = iota // binary garbage in request headers

@@ -6,11 +6,13 @@ import (
 	"net/netip"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"dynaminer/internal/detector"
 	"dynaminer/internal/httpstream"
+	"dynaminer/internal/obs"
 	"dynaminer/internal/proxy"
 	"dynaminer/internal/synth"
 )
@@ -61,13 +63,19 @@ func TestChaosSoak(t *testing.T) {
 	}
 
 	// Faulty engine run: a damaged copy of the stream through an engine
-	// whose scorer panics and returns NaNs.
+	// whose scorer panics and returns NaNs, with the alert journal writing
+	// through a failing, panicking sink.
 	mut := NewMutator(2, 0.15)
 	damaged := mut.Mutate(stream)
 	scorer := NewScorer(3, base, 0.1, 0.1)
-	eng := detector.NewSharded(cfg, scorer)
+	flaky := NewFlakyWriter(5, nil, 0.2, 0.2)
+	journal := obs.NewJournalWriter(flaky)
+	faultyCfg := cfg
+	faultyCfg.Journal = journal
+	eng := detector.NewSharded(faultyCfg, scorer)
+	faultyAlerts := 0
 	for _, tx := range damaged {
-		eng.Process(tx) // property 1: must not crash
+		faultyAlerts += len(eng.Process(tx)) // property 1: must not crash
 	}
 	st := eng.Stats()
 	if st.Transactions != len(damaged) {
@@ -80,6 +88,29 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if scorer.Faults() == 0 || mut.Faults() == 0 {
 		t.Fatalf("soak injected no engine faults (scorer=%d mutator=%d)", scorer.Faults(), mut.Faults())
+	}
+	// Property 2 (registry): the metrics registry agrees with the bridged
+	// Stats view counter-for-counter, under faults.
+	reg := eng.Registry()
+	if n := reg.CounterValue("dynaminer_detector_transactions_total"); int(n) != len(damaged) {
+		t.Fatalf("registry transactions = %d, want %d", n, len(damaged))
+	}
+	if n := reg.CounterValue("dynaminer_detector_panics_total"); int(n) != scorer.Faults() {
+		t.Fatalf("registry panics = %d, scorer injected %d", n, scorer.Faults())
+	}
+	if n := reg.CounterValue("dynaminer_detector_alerts_total"); int(n) != faultyAlerts {
+		t.Fatalf("registry alerts = %d, engine returned %d", n, faultyAlerts)
+	}
+	// Journal conservation: every alert attempted exactly one record, and
+	// neither the write errors nor the write panics escaped Append.
+	if got := journal.Writes() + journal.Drops(); got != int64(faultyAlerts) {
+		t.Fatalf("journal writes+drops = %d, want one attempt per alert (%d)", got, faultyAlerts)
+	}
+	if int(journal.Writes()) != flaky.Writes() {
+		t.Fatalf("journal counted %d writes, sink saw %d", journal.Writes(), flaky.Writes())
+	}
+	if journal.Drops() == 0 || journal.Writes() == 0 {
+		t.Fatalf("journal fault injection vacuous: writes=%d drops=%d", journal.Writes(), journal.Drops())
 	}
 
 	// Proxy under a chaotic upstream: resets, hangs, truncations, garbage
@@ -106,6 +137,15 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if ps.Relayed == 0 || ps.UpstreamErrors == 0 {
 		t.Fatalf("soak exercised only one proxy outcome: %+v", ps)
+	}
+	// Under chaos the proxy's /metrics exposition must still be
+	// well-formed (cumulative buckets, +Inf == _count, parseable text).
+	var exp strings.Builder
+	if err := p.Registry().WritePrometheus(&exp); err != nil {
+		t.Fatalf("WritePrometheus under chaos: %v", err)
+	}
+	if _, err := obs.ParseExposition(strings.NewReader(exp.String())); err != nil {
+		t.Fatalf("chaos proxy exposition malformed: %v", err)
 	}
 
 	total := scorer.Faults() + mut.Faults() + rt.Faults()

@@ -19,6 +19,7 @@ import (
 	"dynaminer/internal/features"
 	"dynaminer/internal/graph"
 	"dynaminer/internal/httpstream"
+	"dynaminer/internal/obs"
 	"dynaminer/internal/wcg"
 )
 
@@ -26,6 +27,15 @@ import (
 // classifier (*ml.Forest) satisfies it.
 type Scorer interface {
 	Score(x []float64) float64
+}
+
+// VoteScorer is optionally implemented by scorers that can report the
+// per-tree vote tally alongside the ensemble score (*ml.Forest does).
+// ScoreWithVotes must accumulate in exactly the same order as Score so
+// the score it returns is bit-identical; the journal uses it to record
+// how contested each alert's verdict was.
+type VoteScorer interface {
+	ScoreWithVotes(x []float64) (score float64, votes, trees int)
 }
 
 // Config tunes the on-the-wire engine.
@@ -79,9 +89,20 @@ type Config struct {
 	// Zero means unlimited.
 	MaxWatched int
 	// Now supplies time for the classify-latency measurement; nil selects
-	// time.Now. Only consulted when MaxClassifyLatency is set, so replays
-	// with the knob off never observe the wall clock.
+	// time.Now. Only consulted when MaxClassifyLatency or Metrics is set,
+	// so replays with both knobs off never observe the wall clock.
 	Now func() time.Time
+	// Metrics selects the observability registry the engine's counters,
+	// the watched gauge and the classify/score latency histograms are
+	// registered on (shards of one ShardedEngine share it). nil keeps a
+	// private registry: the Stats view still works, nothing is exported,
+	// and no timing instrumentation (clock reads) is enabled.
+	Metrics *obs.Registry
+	// Journal, when set, receives one provenance record per alert: the
+	// arming clue, the WCG shape, the exact feature vector and score the
+	// classifier used, and the degraded-mode flags active at decision
+	// time. Journal failures never affect detection.
+	Journal *obs.Journal
 }
 
 func (c Config) withDefaults() Config {
@@ -277,6 +298,13 @@ type cluster struct {
 	related   map[string]struct{}
 	preWatch  map[string]struct{} // hosts seen before the clue fired
 
+	// Clue provenance for the current watch, recorded in journal entries:
+	// the host and payload class of the arming download and the redirect
+	// evidence accumulated when it fired.
+	clueHost      string
+	cluePayload   wcg.PayloadClass
+	clueRedirects int
+
 	// closed holds the watch sets of WCGs that stopped growing, for
 	// offline subset extraction.
 	closed [][]int
@@ -305,7 +333,10 @@ type Engine struct {
 	model    Scorer
 	clusters []*cluster
 	byClient map[netip.Addr][]*cluster
-	stats    Stats
+	// mx backs every Stats counter with registry cells; Stats() is a
+	// bridged view over it.
+	mx      *engineMetrics
+	journal *obs.Journal
 	// idBase/idStep parameterize cluster ID allocation so the shards of a
 	// ShardedEngine never collide: shard i of n allocates i, i+n, i+2n, ...
 	idBase, idStep int
@@ -316,8 +347,11 @@ type Engine struct {
 	fvec    []float64
 	// now and classifyEWMA drive overload detection: an exponentially
 	// weighted average of classify wall time, compared against
-	// Config.MaxClassifyLatency. Both idle unless the knob is set.
+	// Config.MaxClassifyLatency. timed enables the clock reads: set when
+	// either MaxClassifyLatency (degradation) or Metrics (latency
+	// histograms) asks for them.
 	now          func() time.Time
+	timed        bool
 	classifyEWMA time.Duration
 }
 
@@ -332,14 +366,39 @@ func New(cfg Config, model Scorer) *Engine {
 		cfg:      cfg,
 		model:    model,
 		byClient: make(map[netip.Addr][]*cluster),
+		mx:       newEngineMetrics(cfg.Metrics),
+		journal:  cfg.Journal,
 		idStep:   1,
 		scratch:  graph.NewScratch(),
 		now:      now,
+		timed:    cfg.MaxClassifyLatency > 0 || cfg.Metrics != nil,
 	}
 }
 
-// Stats returns a snapshot of engine counters.
-func (e *Engine) Stats() Stats { return e.stats }
+// Stats returns a snapshot of engine counters — a bridged view over this
+// engine's registry cells, so the numbers here and on /metrics are the
+// same counters read two ways.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Transactions:    int(e.mx.transactions.Value()),
+		Weeded:          int(e.mx.weeded.Value()),
+		Clusters:        int(e.mx.clusters.Value()),
+		Evicted:         int(e.mx.evicted.Value()),
+		CluesFired:      int(e.mx.cluesFired.Value()),
+		Classifications: int(e.mx.classifications.Value()),
+		Alerts:          int(e.mx.alerts.Value()),
+		Dropped:         int(e.mx.dropped.Value()),
+		Rebuilds:        int(e.mx.rebuilds.Value()),
+		Panics:          int(e.mx.panics.Value()),
+		Quarantined:     int(e.mx.quarantined.Value()),
+		Degraded:        int(e.mx.degraded.Value()),
+		Shed:            int(e.mx.shed.Value()),
+	}
+}
+
+// Registry returns the observability registry this engine's metrics live
+// on (the one from Config.Metrics, or the engine's private registry).
+func (e *Engine) Registry() *obs.Registry { return e.mx.reg }
 
 // trusted reports whether the host matches the weed-out list.
 func (e *Engine) trusted(host string) bool {
@@ -357,8 +416,7 @@ func (e *Engine) trusted(host string) bool {
 // offending session cluster (see quarantine), so one hostile client
 // cannot take the engine down.
 func (e *Engine) Process(tx httpstream.Transaction) []Alert {
-	e.stats.Transactions++
-	if e.stats.Transactions%evictEvery == 0 {
+	if e.mx.transactions.Inc()%evictEvery == 0 {
 		e.EvictIdle(tx.ReqTime.Add(-e.cfg.ClusterTTL))
 	}
 	host := strings.ToLower(tx.Host)
@@ -366,7 +424,7 @@ func (e *Engine) Process(tx httpstream.Transaction) []Alert {
 		host = tx.ServerIP.String()
 	}
 	if e.trusted(host) {
-		e.stats.Weeded++
+		e.mx.weeded.Inc()
 		return nil
 	}
 	c := e.clusterFor(&tx, host)
@@ -390,7 +448,7 @@ func (e *Engine) processInCluster(c *cluster, tx httpstream.Transaction, host st
 		// cluster (and any watched WCG) mid-session, and make the drop
 		// visible in the counters.
 		c.lastActive = tx.ReqTime
-		e.stats.Dropped++
+		e.mx.dropped.Inc()
 		return nil
 	}
 	meta := c.buildMeta(&tx, host)
@@ -403,7 +461,7 @@ func (e *Engine) processInCluster(c *cluster, tx httpstream.Transaction, host st
 	// same session open a fresh potential-infection WCG with fresh
 	// redirect evidence.
 	if c.watching && tx.ReqTime.Sub(c.watchLast) > e.cfg.WatchIdle {
-		c.closeWatch()
+		e.closeWatch(c)
 	}
 
 	// Accumulate redirect evidence (the sum-of-all-redirections rule).
@@ -417,7 +475,11 @@ func (e *Engine) processInCluster(c *cluster, tx httpstream.Transaction, host st
 	// construction of a potential-infection WCG around the chain.
 	if meta.download && !c.watching && c.redirects >= e.cfg.RedirectThreshold {
 		c.watching = true
-		e.stats.CluesFired++
+		e.mx.cluesFired.Inc()
+		e.mx.watched.Inc()
+		// Clue provenance for this watch's journal records: the arming
+		// download and the redirect evidence that armed it.
+		c.clueHost, c.cluePayload, c.clueRedirects = meta.host, meta.payload, c.redirects
 		c.preWatch = make(map[string]struct{}, len(c.hosts))
 		for h := range c.hosts {
 			c.preWatch[h] = struct{}{}
@@ -444,7 +506,7 @@ func (e *Engine) processInCluster(c *cluster, tx httpstream.Transaction, host st
 	// the incremental builder catches up on the skipped growth at the
 	// next classify call.
 	if !meta.download && e.overBudget() {
-		e.stats.Degraded++
+		e.mx.degraded.Inc()
 		return nil
 	}
 	return e.classify(c, idx, meta)
@@ -484,10 +546,19 @@ func (e *Engine) shedWatches(opened *cluster) {
 		if victim < 0 {
 			return // only the just-opened watch remains
 		}
-		watching[victim].closeWatch()
+		e.closeWatch(watching[victim])
 		watching = append(watching[:victim], watching[victim+1:]...)
-		e.stats.Shed++
+		e.mx.shed.Inc()
 	}
+}
+
+// closeWatch finalizes a cluster's watch via cluster.closeWatch and keeps
+// the watched gauge in step.
+func (e *Engine) closeWatch(c *cluster) {
+	if c.watching {
+		e.mx.watched.Dec()
+	}
+	c.closeWatch()
 }
 
 // quarantine advances a faulted cluster on the quarantine ladder. First
@@ -496,11 +567,11 @@ func (e *Engine) shedWatches(opened *cluster) {
 // Second fault: the rebuild did not cure it — evict the cluster outright
 // so its state cannot fault a third time.
 func (e *Engine) quarantine(c *cluster) {
-	e.stats.Panics++
+	e.mx.panics.Inc()
 	c.faults++
 	if c.faults == 1 {
 		c.ib, c.cache, c.fed = nil, nil, 0
-		e.stats.Quarantined++
+		e.mx.quarantined.Inc()
 		return
 	}
 	e.dropCluster(c)
@@ -527,7 +598,10 @@ func (e *Engine) dropCluster(target *cluster) {
 	} else {
 		e.byClient[target.client] = keptList
 	}
-	e.stats.Evicted++
+	if target.watching {
+		e.mx.watched.Dec()
+	}
+	e.mx.evicted.Inc()
 }
 
 // classify scores the cluster's potential-infection WCG and emits an
@@ -547,27 +621,38 @@ func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 		return nil // extraction-only mode (training-set construction)
 	}
 	var start time.Time
-	if e.cfg.MaxClassifyLatency > 0 {
+	if e.timed {
 		start = e.now()
 	}
-	var score float64
+	var x []float64
 	var g *wcg.WCG // nil on the incremental path until an alert needs it
-	if x, ok := e.incrementalVector(c); ok {
-		score = e.model.Score(x)
+	incremental := true
+	if v, ok := e.incrementalVector(c); ok {
+		x = v
 	} else {
+		incremental = false
 		subset := make([]httpstream.Transaction, 0, len(c.watch))
 		for _, i := range c.watch {
 			subset = append(subset, c.txs[i])
 		}
 		g = wcg.FromTransactions(subset)
-		score = e.model.Score(features.Extract(g))
-		e.stats.Rebuilds++
+		x = features.Extract(g)
+		e.mx.rebuilds.Inc()
 	}
-	e.stats.Classifications++
-	if e.cfg.MaxClassifyLatency > 0 {
-		// EWMA with alpha 1/8: smooth enough to ride out one slow WCG,
-		// fast enough to catch sustained overload within a few updates.
-		e.classifyEWMA += (e.now().Sub(start) - e.classifyEWMA) / 8
+	score := e.scoreVector(x)
+	e.mx.classifications.Inc()
+	if e.timed {
+		elapsed := e.now().Sub(start)
+		if e.cfg.MaxClassifyLatency > 0 {
+			// EWMA with alpha 1/8: smooth enough to ride out one slow WCG,
+			// fast enough to catch sustained overload within a few updates.
+			e.classifyEWMA += (elapsed - e.classifyEWMA) / 8
+		}
+		if incremental {
+			e.mx.classifyIncremental.Observe(elapsed.Seconds())
+		} else {
+			e.mx.classifyRebuild.Observe(elapsed.Seconds())
+		}
 	}
 	// A scorer emitting a non-finite probability is as broken as one
 	// that panics: NaN compares false with every threshold and would
@@ -583,7 +668,7 @@ func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 		return nil
 	}
 	c.alerted = true
-	e.stats.Alerts++
+	e.mx.alerts.Inc()
 	trigger := meta
 	if !meta.download {
 		// First crossing on a non-download update (e.g. a C&C call-back):
@@ -607,7 +692,7 @@ func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 		// finalized clone immune to later appends to the live graph.
 		g = c.ib.Snapshot()
 	}
-	return []Alert{{
+	alert := Alert{
 		Time:           when,
 		Client:         c.client,
 		ClusterID:      c.id,
@@ -615,7 +700,60 @@ func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 		TriggerHost:    trigger.host,
 		TriggerPayload: trigger.payload,
 		WCG:            g,
-	}}
+	}
+	e.journalAlert(c, &alert, x, incremental)
+	return []Alert{alert}
+}
+
+// scoreVector runs the model, timing the ensemble's share of classify
+// wall time when the engine is timed.
+func (e *Engine) scoreVector(x []float64) float64 {
+	if !e.timed {
+		return e.model.Score(x)
+	}
+	t0 := e.now()
+	score := e.model.Score(x)
+	e.mx.score.Observe(e.now().Sub(t0).Seconds())
+	return score
+}
+
+// journalAlert appends the alert's provenance record: the arming clue,
+// the WCG shape, the exact feature vector and score the classifier used
+// (the vector is copied before the reusable buffer is overwritten by the
+// next classification), and the degraded-mode flags active at decision
+// time. The journal's Append never panics, so a failing sink costs the
+// record, never the alert.
+func (e *Engine) journalAlert(c *cluster, a *Alert, x []float64, incremental bool) {
+	if e.journal == nil {
+		return
+	}
+	rec := obs.AlertRecord{
+		Time:             a.Time,
+		Client:           a.Client.String(),
+		ClusterID:        a.ClusterID,
+		ClueHost:         c.clueHost,
+		CluePayload:      c.cluePayload.String(),
+		ClueRedirects:    c.clueRedirects,
+		WCGNodes:         a.WCG.Order(),
+		WCGEdges:         a.WCG.Size(),
+		WCGStructVersion: a.WCG.StructVersion(),
+		Incremental:      incremental,
+		Features:         append([]float64(nil), x...),
+		Score:            a.Score,
+		Threshold:        e.cfg.ScoreThreshold,
+		Degraded:         e.overBudget(),
+		Quarantined:      c.faults > 0,
+	}
+	if vs, ok := e.model.(VoteScorer); ok {
+		// The tally re-scores the vector; the VoteScorer contract makes
+		// the result bit-identical to the decision score, and the guard
+		// drops the tally (never the record) from an implementation that
+		// breaks it.
+		if score, votes, trees := vs.ScoreWithVotes(x); score == a.Score {
+			rec.Votes, rec.Trees = votes, trees
+		}
+	}
+	_ = e.journal.Append(rec)
 }
 
 // incrementalVector feeds the watch set's new transactions into the
@@ -830,6 +968,7 @@ func (c *cluster) closeWatch() {
 	c.related = nil
 	c.preWatch = nil
 	c.redirects = 0
+	c.clueHost, c.cluePayload, c.clueRedirects = "", 0, 0
 	c.ib = nil
 	c.cache = nil
 	c.fed = 0
@@ -875,6 +1014,9 @@ func (e *Engine) EvictIdle(cutoff time.Time) int {
 	for _, c := range e.clusters {
 		if c.lastActive.Before(cutoff) {
 			evicted++
+			if c.watching {
+				e.mx.watched.Dec()
+			}
 			continue
 		}
 		kept = append(kept, c)
@@ -896,7 +1038,7 @@ func (e *Engine) EvictIdle(cutoff time.Time) int {
 		}
 		e.byClient[client] = keptList
 	}
-	e.stats.Evicted += evicted
+	e.mx.evicted.Add(int64(evicted))
 	return evicted
 }
 
@@ -974,6 +1116,6 @@ func (e *Engine) clusterFor(tx *httpstream.Transaction, host string) *cluster {
 	}
 	e.clusters = append(e.clusters, c)
 	e.byClient[tx.ClientIP] = append(clusters, c)
-	e.stats.Clusters++
+	e.mx.clusters.Inc()
 	return c
 }

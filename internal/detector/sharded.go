@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dynaminer/internal/httpstream"
+	"dynaminer/internal/obs"
 )
 
 // ShardedEngine partitions the streaming detector across N independent
@@ -37,6 +38,12 @@ func NewSharded(cfg Config, model Scorer) *ShardedEngine {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Metrics == nil {
+		// All shards must share one registry so the /metrics totals sum
+		// their per-shard cells; a private default keeps Registry coherent
+		// even when the caller exports nothing.
+		cfg.Metrics = obs.NewRegistry()
+	}
 	s := &ShardedEngine{shards: make([]*engineShard, n)}
 	for i := range s.shards {
 		eng := New(cfg, model)
@@ -50,6 +57,14 @@ func NewSharded(cfg Config, model Scorer) *ShardedEngine {
 
 // NumShards returns the number of engine shards.
 func (s *ShardedEngine) NumShards() int { return len(s.shards) }
+
+// Registry returns the observability registry shared by every shard.
+func (s *ShardedEngine) Registry() *obs.Registry {
+	sh := s.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.eng.Registry()
+}
 
 // shardFor routes a client address to its owning shard: FNV-1a over the
 // 16-byte address, so IPv4 and its v6-mapped form land together and the
@@ -84,7 +99,7 @@ func (sh *engineShard) process(tx httpstream.Transaction) (alerts []Alert) {
 	defer func() {
 		if r := recover(); r != nil {
 			alerts = nil
-			sh.eng.stats.Panics++
+			sh.eng.mx.panics.Inc()
 		}
 	}()
 	return sh.eng.Process(tx)

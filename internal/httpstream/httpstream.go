@@ -227,9 +227,12 @@ func decodeContent(body []byte, encoding string) []byte {
 // a capture that recorded only requests. Unmatched requests keep a zero
 // StatusCode.
 func ExtractPair(c2s, s2c *pcap.Stream) []Transaction {
+	start := parseClock()
+	payloadBytes := int64(len(c2s.Data))
 	reqs := parseRequests(c2s.Data)
 	var resps []respMsg
 	if s2c != nil {
+		payloadBytes += int64(len(s2c.Data))
 		resps = parseResponses(s2c.Data, reqs)
 	}
 	n := len(resps)
@@ -260,6 +263,9 @@ func ExtractPair(c2s, s2c *pcap.Stream) []Transaction {
 		}
 		out = append(out, tx)
 	}
+	parseSeconds.Observe(parseClock().Sub(start).Seconds())
+	parseBytes.Add(payloadBytes)
+	parseTransactions.Add(int64(len(out)))
 	return out
 }
 

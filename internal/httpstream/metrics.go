@@ -1,0 +1,23 @@
+package httpstream
+
+import (
+	"time"
+
+	"dynaminer/internal/obs"
+)
+
+// httpstream is a library with no owning serving instance, so its parse
+// telemetry lives on the process-wide obs.Default registry. The clock is
+// a function value (never a bare time.Now() call — the zerotime
+// invariant) so the package can be pointed at a fake clock if a test
+// ever needs to.
+var (
+	parseClock = time.Now
+
+	parseSeconds = obs.Default().Histogram("dynaminer_httpstream_parse_seconds",
+		"Wall time parsing one TCP conversation into transactions.", obs.LatencyBuckets)
+	parseTransactions = obs.Default().Counter("dynaminer_httpstream_transactions_total",
+		"Transactions extracted from parsed streams.")
+	parseBytes = obs.Default().Counter("dynaminer_httpstream_bytes_total",
+		"TCP payload bytes fed through the HTTP parsers.")
+)

@@ -87,6 +87,23 @@ func (f *Forest) Score(x []float64) float64 {
 	return sum / float64(len(f.trees))
 }
 
+// ScoreWithVotes returns the ensemble score together with the per-tree
+// vote tally: how many of the ensemble's trees put the infection class
+// above 0.5 for x. The score accumulates in exactly the same order as
+// Score, so the two are bit-identical — the detector's alert journal
+// relies on that to record the precise decision value.
+func (f *Forest) ScoreWithVotes(x []float64) (score float64, votes, trees int) {
+	sum := 0.0
+	for _, t := range f.trees {
+		p := t.PredictProba(x)[LabelInfection]
+		sum += p
+		if p > 0.5 {
+			votes++
+		}
+	}
+	return sum / float64(len(f.trees)), votes, len(f.trees)
+}
+
 // Predict classifies x by probability averaging with a 0.5 threshold.
 func (f *Forest) Predict(x []float64) int {
 	if f.Score(x) > 0.5 {

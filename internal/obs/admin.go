@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Admin is the opt-in observability HTTP server. Nothing in this file
+// runs unless StartAdmin is called: no listener, no goroutine, no
+// DefaultServeMux registration (pprof handlers are mounted on a private
+// mux precisely so importing this package has no side effects).
+type Admin struct {
+	ln  net.Listener
+	srv *http.Server
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// StartAdmin binds addr and serves /metrics (Prometheus text format,
+// concatenating every registry in order), /healthz, /snapshot (JSON
+// metric dump for the CLI), and /debug/pprof/. The serve loop runs in a
+// recover-guarded goroutine; Close shuts the listener down and waits for
+// the loop to exit.
+func StartAdmin(addr string, regs ...*Registry) (*Admin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, r := range regs {
+			if err := r.WritePrometheus(w); err != nil {
+				return
+			}
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		var snap []MetricSnapshot
+		for _, r := range regs {
+			snap = append(snap, r.Snapshot()...)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+	// pprof goes on the private mux, not http.DefaultServeMux, so the
+	// profiler exists only while an admin server is running.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	a := &Admin{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(a.done)
+		defer func() {
+			// Last-resort guard: a panicking serve loop must not take the
+			// process down (http.Server already isolates handler panics).
+			_ = recover()
+		}()
+		_ = a.srv.Serve(ln) // returns http.ErrServerClosed on Close
+	}()
+	return a, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (a *Admin) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the admin server and waits for the serve goroutine to
+// exit. Idempotent.
+func (a *Admin) Close() error {
+	var err error
+	a.closeOnce.Do(func() {
+		err = a.srv.Close()
+		<-a.done
+	})
+	return err
+}

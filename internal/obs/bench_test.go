@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"testing"
+)
+
+// The zero-allocation pins double as benchmarks: the acceptance criterion
+// is 0 allocs/op on the counter and histogram hot paths.
+
+func TestHotPathZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot_total", "hot counter")
+	cell := c.NewCell()
+	g := r.Gauge("hot_gauge_total", "hot gauge")
+	h := r.Histogram("hot_seconds", "hot histogram", LatencyBuckets)
+	vec := r.GaugeVec("hot_vec_total", "hot vec", "host")
+	child := vec.With("a.example") // resolved once, off the hot path
+
+	cases := map[string]func(){
+		"Counter.Inc":       func() { c.Inc() },
+		"Counter.Add":       func() { c.Add(3) },
+		"Cell.Inc":          func() { cell.Inc() },
+		"Gauge.Set":         func() { g.Set(7) },
+		"Histogram.Observe": func() { h.Observe(0.00042) },
+		"GaugeVec child":    func() { child.Inc() },
+	}
+	for name, f := range cases {
+		if avg := testing.AllocsPerRun(1000, f); avg != 0 {
+			t.Errorf("%s allocates %.1f per op, want 0", name, avg)
+		}
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCellIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		cell := c.NewCell()
+		for pb.Next() {
+			cell.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "bench", LatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.00073)
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// AlertRecord is one line of the alert provenance journal: everything the
+// classifier knew at the moment it raised an alert, so the decision can
+// be replayed offline. Features is the exact 37-slot vector the forest
+// scored and Score the exact ensemble output — JSON encodes finite
+// float64s losslessly, so a decoded record is bit-identical to the
+// decision-time values.
+type AlertRecord struct {
+	Time      time.Time `json:"time"`
+	Client    string    `json:"client"`
+	ClusterID int       `json:"cluster_id"`
+
+	// The arming clue: the redirect chain + payload download that opened
+	// the watch this alert came from.
+	ClueHost      string `json:"clue_host"`
+	CluePayload   string `json:"clue_payload"`
+	ClueRedirects int    `json:"clue_redirects"`
+
+	// WCG shape at decision time.
+	WCGNodes         int    `json:"wcg_nodes"`
+	WCGEdges         int    `json:"wcg_edges"`
+	WCGStructVersion uint64 `json:"wcg_struct_version"`
+	// Incremental is false when this decision came from a from-scratch
+	// rebuild (DisableIncremental or a quarantine pin).
+	Incremental bool `json:"incremental"`
+
+	// The decision itself.
+	Features  []float64 `json:"features"`
+	Score     float64   `json:"score"`
+	Threshold float64   `json:"threshold"`
+	// Votes/Trees are the per-tree tally when the scorer exposes one
+	// (ml.Forest does): Votes trees of Trees put the infection class
+	// above 0.5.
+	Votes int `json:"votes,omitempty"`
+	Trees int `json:"trees,omitempty"`
+
+	// Degraded-mode flags active at decision time.
+	Degraded    bool `json:"degraded,omitempty"`
+	Quarantined bool `json:"quarantined,omitempty"`
+}
+
+// Journal is an append-only JSONL sink for AlertRecords. Append never
+// panics and never blocks detection on malformed records: encode or
+// write failures are counted and reported, not thrown.
+type Journal struct {
+	mu     sync.Mutex
+	w      io.Writer // guarded by mu
+	closer io.Closer // guarded by mu; nil for caller-owned writers
+
+	writes Cell // records appended successfully
+	drops  Cell // records lost to encode/write errors or panics
+}
+
+// NewJournal opens (creating, append-mode) a JSONL journal file.
+func NewJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open journal: %w", err)
+	}
+	return &Journal{w: f, closer: f}, nil
+}
+
+// NewJournalWriter wraps a caller-owned writer (tests, buffers). Close
+// does not close the underlying writer.
+func NewJournalWriter(w io.Writer) *Journal { return &Journal{w: w} }
+
+// Append writes one record as a JSON line. It is safe for concurrent use
+// and guaranteed not to panic: a panicking or failing writer costs the
+// record (counted in Drops), never the detection pipeline.
+func (j *Journal) Append(rec AlertRecord) (err error) {
+	if j == nil {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			j.drops.Inc()
+			err = fmt.Errorf("obs: journal append panicked: %v", r)
+		}
+	}()
+	line, err := json.Marshal(rec)
+	if err != nil {
+		j.drops.Inc()
+		return fmt.Errorf("obs: journal encode: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.w == nil {
+		j.drops.Inc()
+		return fmt.Errorf("obs: journal is closed")
+	}
+	if _, err := j.w.Write(line); err != nil {
+		j.drops.Inc()
+		return fmt.Errorf("obs: journal write: %w", err)
+	}
+	j.writes.Inc()
+	return nil
+}
+
+// Writes returns how many records were appended successfully.
+func (j *Journal) Writes() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.writes.Value()
+}
+
+// Drops returns how many records were lost to errors or panics.
+func (j *Journal) Drops() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.drops.Value()
+}
+
+// Close flushes nothing (writes are unbuffered) and closes the file when
+// the journal owns one. Idempotent; Append after Close reports an error.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	c := j.closer
+	j.w, j.closer = nil, nil
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}
+
+// ReadJournal decodes a JSONL journal stream, the inverse of Append.
+func ReadJournal(r io.Reader) ([]AlertRecord, error) {
+	var out []AlertRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec AlertRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return out, fmt.Errorf("obs: journal line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// ReadJournalFile decodes a journal file by path.
+func ReadJournalFile(path string) ([]AlertRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJournal(f)
+}

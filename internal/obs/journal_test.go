@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func sampleRecord(i int) AlertRecord {
+	features := make([]float64, 37)
+	for j := range features {
+		// Awkward floats on purpose: the round-trip must be bit-exact.
+		features[j] = float64(j+i) / 7.0 * math.Pi
+	}
+	return AlertRecord{
+		Time:             time.Date(2026, 8, 5, 10, 30, 0, int(i)*1000, time.UTC),
+		Client:           "10.0.0.7",
+		ClusterID:        41 + i,
+		ClueHost:         "payload.example",
+		CluePayload:      "EXE",
+		ClueRedirects:    3,
+		WCGNodes:         12,
+		WCGEdges:         30,
+		WCGStructVersion: 9,
+		Incremental:      i%2 == 0,
+		Features:         features,
+		Score:            0.625 + float64(i)/113.0,
+		Threshold:        0.5,
+		Votes:            21,
+		Trees:            30,
+		Degraded:         i == 1,
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournalWriter(&buf)
+	want := []AlertRecord{sampleRecord(0), sampleRecord(1), sampleRecord(2)}
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Writes() != 3 || j.Drops() != 0 {
+		t.Fatalf("writes=%d drops=%d, want 3/0", j.Writes(), j.Drops())
+	}
+	got, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("journal round-trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	// Bit-exactness of the decision values, explicitly.
+	for i := range want {
+		if math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) {
+			t.Fatalf("record %d: score bits changed in round-trip", i)
+		}
+		for k := range want[i].Features {
+			if math.Float64bits(got[i].Features[k]) != math.Float64bits(want[i].Features[k]) {
+				t.Fatalf("record %d feature %d: bits changed in round-trip", i, k)
+			}
+		}
+	}
+}
+
+func TestJournalFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "alerts.jsonl")
+	j, err := NewJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(sampleRecord(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append-mode reopen must extend, not truncate.
+	j2, err := NewJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(sampleRecord(6)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	recs, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].ClusterID != 46 || recs[1].ClusterID != 47 {
+		t.Fatalf("file journal contents wrong: %+v", recs)
+	}
+}
+
+type panicWriter struct{}
+
+func (panicWriter) Write([]byte) (int, error) { return 0, errors.New("boom") }
+
+type explodingWriter struct{}
+
+func (explodingWriter) Write([]byte) (int, error) { panic("disk on fire") }
+
+func TestJournalAppendNeverPanics(t *testing.T) {
+	for name, j := range map[string]*Journal{
+		"nil journal":     nil,
+		"failing writer":  NewJournalWriter(panicWriter{}),
+		"panicky writer":  NewJournalWriter(explodingWriter{}),
+		"closed journal":  func() *Journal { j := NewJournalWriter(&bytes.Buffer{}); j.Close(); return j }(),
+		"unencodable rec": NewJournalWriter(&bytes.Buffer{}),
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s: Append panicked: %v", name, r)
+				}
+			}()
+			rec := sampleRecord(0)
+			if name == "unencodable rec" {
+				rec.Score = math.NaN() // json.Marshal refuses NaN
+			}
+			err := j.Append(rec)
+			if j != nil && name != "nil journal" && err == nil {
+				t.Errorf("%s: expected an error", name)
+			}
+			if j != nil && err != nil && j.Drops() == 0 {
+				t.Errorf("%s: drop not counted", name)
+			}
+		}()
+	}
+}
+
+func TestReadJournalRejectsGarbage(t *testing.T) {
+	if _, err := ReadJournal(bytes.NewBufferString("{\"time\":\"2026-08-05T00:00:00Z\"}\nnot json\n")); err == nil {
+		t.Fatal("ReadJournal accepted a non-JSON line")
+	}
+}

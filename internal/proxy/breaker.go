@@ -45,6 +45,7 @@ func (p *Proxy) breakerAllow(host string) bool {
 			return false
 		}
 		b.state = breakerProbe
+		p.mx.breakerState.With(host).Set(int64(breakerProbe))
 		return true
 	case breakerProbe:
 		return false
@@ -65,28 +66,34 @@ func (p *Proxy) breakerResult(host string, ok bool) {
 	b := p.breakers[host]
 	if ok {
 		// Healthy again (or still healthy): the circuit closes and its
-		// bookkeeping is dropped.
+		// bookkeeping — the state gauge child included — is dropped.
 		if b != nil {
 			delete(p.breakers, host)
+			p.mx.breakerState.Delete(host)
 		}
 		return
 	}
 	if b == nil {
 		b = &breaker{}
 		p.breakers[host] = b
+		// The gauge child is created here, when the host starts failing —
+		// never on the relay hot path — and mirrors the breaker's life.
+		p.mx.breakerState.With(host).Set(int64(breakerClosed))
 	}
 	switch b.state {
 	case breakerProbe:
 		// The probe failed: re-open and restart the cooldown.
 		b.state = breakerOpen
 		b.openedAt = p.now()
-		p.stats.BreakerTrips++
+		p.mx.breakerState.With(host).Set(int64(breakerOpen))
+		p.mx.breakerTrips.Inc()
 	default:
 		b.failures++
 		if b.state == breakerClosed && b.failures >= p.cfg.BreakerThreshold {
 			b.state = breakerOpen
 			b.openedAt = p.now()
-			p.stats.BreakerTrips++
+			p.mx.breakerState.With(host).Set(int64(breakerOpen))
+			p.mx.breakerTrips.Inc()
 		}
 	}
 }

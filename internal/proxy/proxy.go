@@ -20,6 +20,7 @@ import (
 
 	"dynaminer/internal/detector"
 	"dynaminer/internal/httpstream"
+	"dynaminer/internal/obs"
 )
 
 // maxCapturedBody bounds how much response body is buffered for analysis;
@@ -120,9 +121,12 @@ type Proxy struct {
 	sleep     func(time.Duration)
 	engine    *detector.ShardedEngine
 
+	// mx backs every Stats counter with registry metrics shared with the
+	// embedded engine; the atomic counters need no lock.
+	mx *proxyMetrics
+
 	mu       sync.Mutex
 	blocked  map[netip.Addr]time.Time // guarded by mu; client -> block expiry
-	stats    Stats                    // guarded by mu
 	breakers map[string]*breaker      // guarded by mu; upstream host -> circuit
 	rng      *rand.Rand               // guarded by mu; retry-backoff jitter
 }
@@ -161,24 +165,40 @@ func New(cfg Config, model detector.Scorer) *Proxy {
 	if sleep == nil {
 		sleep = time.Sleep
 	}
+	engine := detector.NewSharded(cfg.Detector, model)
 	return &Proxy{
 		cfg:       cfg,
 		transport: transport,
 		now:       now,
 		sleep:     sleep,
-		engine:    detector.NewSharded(cfg.Detector, model),
+		engine:    engine,
+		mx:        newProxyMetrics(engine.Registry()),
 		blocked:   make(map[netip.Addr]time.Time),
 		breakers:  make(map[string]*breaker),
 		rng:       rand.New(rand.NewSource(1)),
 	}
 }
 
-// Stats returns a snapshot of proxy counters.
+// Stats returns a snapshot of proxy counters — a bridged view over the
+// same registry metrics /metrics exports.
 func (p *Proxy) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Requests:        int(p.mx.requests.Value()),
+		Relayed:         int(p.mx.relayed.Value()),
+		BlockedClients:  int(p.mx.blockedClients.Value()),
+		Refused:         int(p.mx.refused.Value()),
+		UpstreamErrors:  int(p.mx.upstreamErrors.Value()),
+		Alerts:          int(p.mx.alerts.Value()),
+		Retries:         int(p.mx.retries.Value()),
+		BadRequests:     int(p.mx.badRequests.Value()),
+		BreakerRejected: int(p.mx.breakerRejected.Value()),
+		BreakerTrips:    int(p.mx.breakerTrips.Value()),
+	}
 }
+
+// Registry returns the observability registry shared by the proxy and
+// its embedded detection engine.
+func (p *Proxy) Registry() *obs.Registry { return p.mx.reg }
 
 // EngineStats returns a snapshot of the embedded detector's counters,
 // aggregated across its shards.
@@ -219,13 +239,13 @@ func (p *Proxy) clientAddr(r *http.Request) netip.Addr {
 
 // ServeHTTP relays one proxied request and runs detection on the exchange.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	p.mu.Lock()
-	p.stats.Requests++
+	p.mx.requests.Inc()
 	client := p.clientAddr(r)
+	p.mu.Lock()
 	if expiry, ok := p.blocked[client]; ok {
 		if p.now().Before(expiry) {
-			p.stats.Refused++
 			p.mu.Unlock()
+			p.mx.refused.Inc()
 			http.Error(w, "session terminated by DynaMiner", http.StatusForbidden)
 			return
 		}
@@ -236,7 +256,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodConnect {
 		// DynaMiner operates on unencrypted HTTP (Section VII); tunneled
 		// TLS cannot be inspected and is refused by this deployment.
-		p.count(func(s *Stats) { s.BadRequests++ })
+		p.mx.badRequests.Inc()
 		http.Error(w, "CONNECT not supported: DynaMiner inspects plain HTTP", http.StatusMethodNotAllowed)
 		return
 	}
@@ -249,13 +269,13 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	out, err := p.buildUpstreamRequest(ctx, r)
 	if err != nil {
-		p.count(func(s *Stats) { s.BadRequests++ })
+		p.mx.badRequests.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	upstreamHost := strings.ToLower(out.URL.Hostname())
 	if !p.breakerAllow(upstreamHost) {
-		p.count(func(s *Stats) { s.BreakerRejected++ })
+		p.mx.breakerRejected.Inc()
 		http.Error(w, "upstream circuit open: "+upstreamHost, http.StatusBadGateway)
 		return
 	}
@@ -264,7 +284,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	resp, err := p.roundTrip(out)
 	if err != nil {
 		p.breakerResult(upstreamHost, false)
-		p.count(func(s *Stats) { s.UpstreamErrors++ })
+		p.mx.upstreamErrors.Inc()
 		code := http.StatusBadGateway
 		if isTimeout(err) {
 			code = http.StatusGatewayTimeout
@@ -279,7 +299,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	prefix, rest, err := bufferPrefix(resp.Body, maxCapturedBody)
 	if err != nil {
 		p.breakerResult(upstreamHost, false)
-		p.count(func(s *Stats) { s.UpstreamErrors++ })
+		p.mx.upstreamErrors.Inc()
 		code := http.StatusBadGateway
 		if isTimeout(err) {
 			code = http.StatusGatewayTimeout
@@ -300,28 +320,22 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// blocklist and counters.
 	tx := p.buildTransaction(r, resp, client, reqTime, respTime, prefix, int(tail)+written)
 	alerts := p.engine.Process(tx)
-	p.mu.Lock()
-	p.stats.Relayed++
-	p.stats.Alerts += len(alerts)
+	p.mx.relayed.Inc()
+	p.mx.relay.Observe(respTime.Sub(reqTime).Seconds())
+	p.mx.alerts.Add(int64(len(alerts)))
 	if len(alerts) > 0 && p.cfg.BlockAfterAlert {
+		p.mu.Lock()
 		if _, already := p.blocked[client]; !already {
-			p.stats.BlockedClients++
+			p.mx.blockedClients.Inc()
 		}
 		p.blocked[client] = p.now().Add(p.cfg.BlockDuration)
+		p.mu.Unlock()
 	}
-	p.mu.Unlock()
 	if p.cfg.OnAlert != nil {
 		for _, a := range alerts {
 			p.cfg.OnAlert(a)
 		}
 	}
-}
-
-// count applies one update to the proxy counters under p.mu.
-func (p *Proxy) count(update func(*Stats)) {
-	p.mu.Lock()
-	update(&p.stats)
-	p.mu.Unlock()
 }
 
 // roundTrip performs the upstream exchange with bounded, jittered
@@ -341,7 +355,7 @@ func (p *Proxy) roundTrip(out *http.Request) (*http.Response, error) {
 		if err == nil || attempt >= retries || !retryable(err) {
 			return resp, err
 		}
-		p.count(func(s *Stats) { s.Retries++ })
+		p.mx.retries.Inc()
 		p.sleep(p.jitter(backoff))
 		backoff *= 2
 		if ctxErr := out.Context().Err(); ctxErr != nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dynaminer/internal/detector"
+	"dynaminer/internal/obs"
 	"dynaminer/internal/proxy"
 )
 
@@ -20,9 +21,15 @@ type Monitor struct {
 	now    func() time.Time
 	ttl    time.Duration
 
-	mu   sync.Mutex
-	stop chan struct{} // non-nil while the janitor is running; guarded by mu
-	done chan struct{} // closed when the janitor goroutine exits; guarded by mu
+	// Janitor telemetry on the engine's registry: background sweeps run
+	// and session clusters they evicted.
+	janitorSweeps    *obs.Counter
+	janitorEvictions *obs.Counter
+
+	mu    sync.Mutex
+	stop  chan struct{} // non-nil while the janitor is running; guarded by mu
+	done  chan struct{} // closed when the janitor goroutine exits; guarded by mu
+	admin *obs.Admin    // non-nil while the admin server runs; guarded by mu
 }
 
 // NewMonitor wraps a trained classifier in a streaming engine.
@@ -38,7 +45,41 @@ func NewMonitor(cfg MonitorConfig, c *Classifier) *Monitor {
 	if ttl == 0 {
 		ttl = time.Hour
 	}
-	return &Monitor{engine: detector.NewSharded(cfg, c.forest), now: now, ttl: ttl}
+	engine := detector.NewSharded(cfg, c.forest)
+	reg := engine.Registry()
+	return &Monitor{
+		engine: engine,
+		now:    now,
+		ttl:    ttl,
+		janitorSweeps: reg.Counter("dynaminer_janitor_sweeps_total",
+			"Background janitor sweeps run."),
+		janitorEvictions: reg.Counter("dynaminer_janitor_evictions_total",
+			"Session clusters evicted by the background janitor."),
+	}
+}
+
+// Registry returns the observability registry the monitor's engine
+// metrics live on — the one MonitorConfig.Metrics supplied, or the
+// monitor's private registry. StartAdmin exposes it over HTTP.
+func (m *Monitor) Registry() *obs.Registry { return m.engine.Registry() }
+
+// StartAdmin serves the observability endpoints — Prometheus /metrics,
+// /healthz, a JSON /snapshot, and /debug/pprof/ — on addr, exposing the
+// monitor's registry plus the process-wide library registry. It returns
+// the bound address (useful with ":0"). Nothing listens unless this is
+// called; Close shuts the server down.
+func (m *Monitor) StartAdmin(addr string) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.admin != nil {
+		return m.admin.Addr(), nil
+	}
+	admin, err := obs.StartAdmin(addr, m.engine.Registry(), obs.Default())
+	if err != nil {
+		return "", err
+	}
+	m.admin = admin
+	return admin.Addr(), nil
 }
 
 // StartJanitor launches a background sweeper that evicts idle session
@@ -71,20 +112,26 @@ func (m *Monitor) StartJanitor(interval time.Duration) {
 			case <-stop:
 				return
 			case <-tick.C:
-				m.engine.EvictIdle(m.now().Add(-m.ttl))
+				n := m.engine.EvictIdle(m.now().Add(-m.ttl))
+				m.janitorSweeps.Inc()
+				m.janitorEvictions.Add(int64(n))
 			}
 		}
 	}()
 }
 
-// Close stops the background janitor, if one is running, and waits for it
-// to exit. It is safe to call multiple times and on monitors that never
-// started one.
+// Close stops the background janitor and the admin server, whichever are
+// running, and waits for them to exit. It is safe to call multiple times
+// and on monitors that never started either.
 func (m *Monitor) Close() {
 	m.mu.Lock()
 	stop, done := m.stop, m.done
-	m.stop, m.done = nil, nil
+	admin := m.admin
+	m.stop, m.done, m.admin = nil, nil, nil
 	m.mu.Unlock()
+	if admin != nil {
+		admin.Close()
+	}
 	if stop == nil {
 		return
 	}

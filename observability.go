@@ -1,0 +1,52 @@
+package dynaminer
+
+import (
+	"io"
+
+	"dynaminer/internal/obs"
+)
+
+// Re-exported observability types (see internal/obs and DESIGN.md §10).
+type (
+	// MetricsRegistry holds named metrics; pass one as
+	// MonitorConfig.Metrics to share a registry across instances, or let
+	// each Monitor own a private one.
+	MetricsRegistry = obs.Registry
+	// MetricSnapshot is one metric's point-in-time value, as served by
+	// the admin /snapshot endpoint.
+	MetricSnapshot = obs.MetricSnapshot
+	// Journal is the append-only JSONL alert provenance sink; pass one as
+	// MonitorConfig.Journal.
+	Journal = obs.Journal
+	// AlertRecord is one journal line: everything the classifier knew
+	// when it raised an alert.
+	AlertRecord = obs.AlertRecord
+	// AdminServer serves the observability endpoints: Prometheus
+	// /metrics, /healthz, a JSON /snapshot, and /debug/pprof/.
+	AdminServer = obs.Admin
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// DefaultMetricsRegistry returns the process-wide registry that owning-
+// instance-free library packages (e.g. the HTTP stream parsers) publish
+// on.
+func DefaultMetricsRegistry() *MetricsRegistry { return obs.Default() }
+
+// StartAdmin serves the observability endpoints for the given registries
+// on addr. Monitor.StartAdmin is the usual entry point; this form suits
+// deployments that compose their own registry set (e.g. a Proxy's
+// registry plus the default). Nothing listens unless this is called.
+func StartAdmin(addr string, regs ...*MetricsRegistry) (*AdminServer, error) {
+	return obs.StartAdmin(addr, regs...)
+}
+
+// NewJournal opens (creating, append-mode) a JSONL alert journal file.
+func NewJournal(path string) (*Journal, error) { return obs.NewJournal(path) }
+
+// ReadJournal decodes a JSONL alert journal stream.
+func ReadJournal(r io.Reader) ([]AlertRecord, error) { return obs.ReadJournal(r) }
+
+// ReadJournalFile decodes a JSONL alert journal by path.
+func ReadJournalFile(path string) ([]AlertRecord, error) { return obs.ReadJournalFile(path) }
