@@ -21,11 +21,12 @@ lint:
 # package that spawns goroutines (the root package covers the monitor
 # janitor, internal/proxy the retry/breaker paths, internal/chaos the
 # fault-injection soak, internal/obs the admin server and sharded
-# counters). Slower; run before touching engine or proxy locking.
+# counters, internal/ml the parallel batch scorer). Slower; run before
+# touching engine or proxy locking.
 tier2:
 	$(GO) vet ./...
 	$(GO) run ./cmd/dynalint -root .
-	$(GO) test -race . ./cmd/dynaminer ./internal/detector ./internal/proxy ./internal/httpstream ./internal/chaos ./internal/obs
+	$(GO) test -race . ./cmd/dynaminer ./internal/detector ./internal/proxy ./internal/httpstream ./internal/chaos ./internal/obs ./internal/ml
 
 # Chaos: the deterministic fault-injection soak (fixed seeds, see
 # internal/chaos and DESIGN.md "Fault tolerance"): seeded synth episodes
@@ -36,13 +37,15 @@ chaos:
 	$(GO) test -race -count 1 -v -run 'TestChaosSoak' ./internal/chaos
 
 # Fuzz smoke: run each httpstream parser fuzz target for FUZZTIME on top
-# of the checked-in seed corpus (testdata/fuzz). Regenerate the synth
-# seeds with DYNAMINER_WRITE_FUZZ_CORPUS=1 go test ./internal/synth.
+# of the checked-in seed corpus (testdata/fuzz), plus the model-file
+# loader differential. Regenerate the synth seeds with
+# DYNAMINER_WRITE_FUZZ_CORPUS=1 go test ./internal/synth.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/httpstream -run '^$$' -fuzz '^FuzzParseRequests$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/httpstream -run '^$$' -fuzz '^FuzzParseResponses$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/httpstream -run '^$$' -fuzz '^FuzzExtractPair$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ml -run '^$$' -fuzz '^FuzzLoadForest$$' -fuzztime $(FUZZTIME)
 
 # Bench: run the benchmark suite and record the parsed results as JSON.
 # BENCH_PATTERN narrows the run (CI smokes just the classify trio);
@@ -52,7 +55,7 @@ fuzz:
 # overhead bar — and fails the target when violated.
 BENCH_PATTERN ?= .
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_5.json
+BENCH_OUT ?= BENCH_6.json
 BENCH_GATE ?=
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCHTIME) -count 1 -benchmem . \

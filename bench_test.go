@@ -496,3 +496,74 @@ func BenchmarkClassifyScratch(b *testing.B) {
 func BenchmarkClassifyInstrumented(b *testing.B) {
 	benchClassifyChain(b, detector.Config{RedirectThreshold: 3, Metrics: obs.NewRegistry()})
 }
+
+// Forest-representation benchmarks: the same trained ensemble scoring the
+// same 37-feature vectors through the pointer-tree representation and the
+// flattened struct-of-arrays slabs, plus the batch kernel that amortizes
+// dispatch across trees. CI gates ForestScoreFlat/ForestScorePointer so
+// the flat path can never regress below the pointer path it replaced.
+
+func forestVectorsForBench(b *testing.B) [][]float64 {
+	b.Helper()
+	ds := datasetForBench(b)
+	n := 256
+	if len(ds.X) < n {
+		n = len(ds.X)
+	}
+	return ds.X[:n]
+}
+
+func BenchmarkForestScorePointer(b *testing.B) {
+	f := classifierForBench(b).forest
+	X := forestVectorsForBench(b)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += f.Score(X[i%len(X)])
+	}
+	if sink < 0 {
+		b.Fatal("impossible score sum")
+	}
+}
+
+func BenchmarkForestScoreFlat(b *testing.B) {
+	ff := classifierForBench(b).forest.Flatten()
+	X := forestVectorsForBench(b)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += ff.Score(X[i%len(X)])
+	}
+	if sink < 0 {
+		b.Fatal("impossible score sum")
+	}
+}
+
+// BenchmarkScoreBatchFlat scores the whole vector block per iteration
+// (tree-outer traversal, zero allocations into a reused dst); the
+// per-sample metric is what compares against the single-vector benches.
+func BenchmarkScoreBatchFlat(b *testing.B) {
+	ff := classifierForBench(b).forest.Flatten()
+	X := forestVectorsForBench(b)
+	dst := make([]float64, len(X))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ff.ScoreBatch(dst, X)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(X)), "ns/sample")
+}
+
+// BenchmarkTrainForest pins training cost — and, via allocs/op, the
+// per-split scratch reuse in feature subsampling (featureSample used to
+// allocate a fresh permutation at every split).
+func BenchmarkTrainForest(b *testing.B) {
+	ds := datasetForBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.TrainForest(ds, ml.ForestConfig{NumTrees: 5, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

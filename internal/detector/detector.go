@@ -19,18 +19,21 @@ import (
 	"dynaminer/internal/features"
 	"dynaminer/internal/graph"
 	"dynaminer/internal/httpstream"
+	"dynaminer/internal/ml"
 	"dynaminer/internal/obs"
 	"dynaminer/internal/wcg"
 )
 
 // Scorer produces the infection probability of a feature vector. The ERF
-// classifier (*ml.Forest) satisfies it.
+// classifier satisfies it in both representations (*ml.Forest and
+// *ml.FlatForest); New upgrades the former to the latter.
 type Scorer interface {
 	Score(x []float64) float64
 }
 
 // VoteScorer is optionally implemented by scorers that can report the
-// per-tree vote tally alongside the ensemble score (*ml.Forest does).
+// per-tree vote tally alongside the ensemble score (*ml.Forest and
+// *ml.FlatForest both do).
 // ScoreWithVotes must accumulate in exactly the same order as Score so
 // the score it returns is bit-identical; the journal uses it to record
 // how contested each alert's verdict was.
@@ -342,9 +345,11 @@ type Engine struct {
 	idBase, idStep int
 	// scratch is the graph workspace shared by every cluster's feature
 	// cache (safe: the engine is serialized); fvec is the reusable
-	// classification vector.
+	// classification vector and subset the reusable rebuild slab
+	// (wcg.FromTransactions copies its input, so reuse is safe).
 	scratch *graph.Scratch
 	fvec    []float64
+	subset  []httpstream.Transaction
 	// now and classifyEWMA drive overload detection: an exponentially
 	// weighted average of classify wall time, compared against
 	// Config.MaxClassifyLatency. timed enables the clock reads: set when
@@ -355,8 +360,16 @@ type Engine struct {
 	classifyEWMA time.Duration
 }
 
-// New returns an Engine using the given trained model.
+// New returns an Engine using the given trained model. A pointer-tree
+// *ml.Forest is upgraded to its flattened struct-of-arrays form here,
+// once, so every classification traverses the contiguous slabs instead of
+// chasing node pointers; the flat representation scores bit-identically
+// (pinned by ml's differential tests), so the upgrade changes latency,
+// never verdicts.
 func New(cfg Config, model Scorer) *Engine {
+	if f, ok := model.(*ml.Forest); ok && f != nil {
+		model = f.Flatten()
+	}
 	cfg = cfg.withDefaults()
 	now := cfg.Now
 	if now == nil {
@@ -631,11 +644,11 @@ func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 		x = v
 	} else {
 		incremental = false
-		subset := make([]httpstream.Transaction, 0, len(c.watch))
+		e.subset = e.subset[:0]
 		for _, i := range c.watch {
-			subset = append(subset, c.txs[i])
+			e.subset = append(e.subset, c.txs[i])
 		}
-		g = wcg.FromTransactions(subset)
+		g = wcg.FromTransactions(e.subset)
 		x = features.Extract(g)
 		e.mx.rebuilds.Inc()
 	}
@@ -1042,7 +1055,9 @@ func (e *Engine) EvictIdle(cutoff time.Time) int {
 	return evicted
 }
 
-// ProcessAll feeds a transaction slice through the engine in order.
+// ProcessAll feeds a transaction slab through the engine in order. (A
+// plain Engine is serialized, so the slab is processed sequentially; the
+// sharded variant fans slabs out across shards.)
 func (e *Engine) ProcessAll(txs []httpstream.Transaction) []Alert {
 	var alerts []Alert
 	for _, tx := range txs {

@@ -2,12 +2,15 @@ package detector
 
 import (
 	"math"
+	"math/rand"
 	"net/netip"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"dynaminer/internal/httpstream"
+	"dynaminer/internal/ml"
 	"dynaminer/internal/synth"
 )
 
@@ -303,5 +306,99 @@ func TestShardProcessRecovers(t *testing.T) {
 	s.Process(mkTx("x.com", "/", "GET", 200, "text/html", 10, "", time.Second))
 	if st := s.Stats(); st.Transactions != 2 {
 		t.Fatalf("shard stopped serving: %+v", st)
+	}
+}
+
+// trainNarrowForest trains a real ERF on deliberately 5-dimensional
+// vectors — a stand-in for a model file from an older feature schema.
+func trainNarrowForest(tb testing.TB) *ml.Forest {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(3))
+	ds := &ml.Dataset{}
+	for i := 0; i < 60; i++ {
+		x := make([]float64, 5)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		y := ml.LabelBenign
+		if i%2 == 0 {
+			x[0] += 3
+			y = ml.LabelInfection
+		}
+		ds.X = append(ds.X, x)
+		ds.Y = append(ds.Y, y)
+	}
+	f, err := ml.TrainForest(ds, ml.ForestConfig{NumTrees: 3, Seed: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return f
+}
+
+// TestMisdimensionedModelQuarantines is the engine-side regression test
+// for the forest dimension guard: a model trained on a different feature
+// schema (5 features) cannot score the engine's 37-feature vectors. The
+// guard turns what used to be an index-out-of-range crash deep inside
+// tree traversal into a named panic that the engine's fault isolation
+// attributes like any other scorer fault: first classification
+// quarantines the cluster, the rebuild's repeat fault evicts it, and the
+// engine keeps serving other clients throughout.
+func TestMisdimensionedModelQuarantines(t *testing.T) {
+	e := New(Config{RedirectThreshold: 3}, trainNarrowForest(t))
+	txs := relatedFollowUp(0)
+
+	for _, tx := range txs[:5] {
+		if got := e.Process(tx); got != nil {
+			t.Fatalf("mis-dimensioned classify returned alerts: %v", got)
+		}
+	}
+	st := e.Stats()
+	if st.Panics != 1 || st.Quarantined != 1 {
+		t.Fatalf("after clue classify: stats %+v, want Panics=1 Quarantined=1", st)
+	}
+
+	if got := e.Process(txs[5]); got != nil {
+		t.Fatalf("rebuild classify returned alerts: %v", got)
+	}
+	st = e.Stats()
+	if st.Panics != 2 || st.Evicted != 1 {
+		t.Fatalf("after rebuild classify: stats %+v, want Panics=2 Evicted=1", st)
+	}
+
+	// The guard's panic is named and self-describing so the fault is
+	// attributable from a stack trace (not just an index-out-of-range).
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "ml: ") || !strings.Contains(msg, "features") {
+			t.Fatalf("guard panic = %v, want a named ml dimension message", r)
+		}
+	}()
+	e.model.Score(make([]float64, 37))
+}
+
+// TestNewUpgradesForestToFlat pins the construction-time upgrade: a
+// pointer-tree *ml.Forest handed to New serves as a *ml.FlatForest, and
+// scorers that are not pointer forests (including a nil model for
+// extraction-only mode) pass through untouched.
+func TestNewUpgradesForestToFlat(t *testing.T) {
+	f := trainNarrowForest(t)
+	e := New(Config{}, f)
+	ff, ok := e.model.(*ml.FlatForest)
+	if !ok {
+		t.Fatalf("engine model is %T, want *ml.FlatForest", e.model)
+	}
+	x := []float64{0.5, -1, 2, 0, 1}
+	if math.Float64bits(f.Score(x)) != math.Float64bits(ff.Score(x)) {
+		t.Fatal("flattened engine model scores differently from the trained forest")
+	}
+	if e := New(Config{}, nil); e.model != nil {
+		t.Fatalf("nil model rewritten to %T", e.model)
+	}
+	if e := New(Config{}, constScorer(0.4)); e.model != (constScorer(0.4)) {
+		t.Fatalf("non-forest scorer rewritten to %T", e.model)
+	}
+	if e := New(Config{}, (*ml.Forest)(nil)); e.model.(*ml.Forest) != nil {
+		t.Fatal("typed-nil forest must pass through, not be flattened")
 	}
 }

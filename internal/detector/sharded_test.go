@@ -205,3 +205,37 @@ func TestShardedEngineRaceStress(t *testing.T) {
 		t.Fatalf("transactions = %d, want %d", got, writers*rounds*5)
 	}
 }
+
+// TestShardedProcessAllMatchesPerTx pins the slab contract directly: on a
+// multi-shard engine, ProcessAll (shard-grouped batches, concurrent
+// shards, order-preserving merge) must emit exactly the alert stream that
+// per-transaction Process calls produce on an identically configured
+// engine.
+func TestShardedProcessAllMatchesPerTx(t *testing.T) {
+	txs := interleavedCorpus(t, 8)
+	serial := NewSharded(Config{RedirectThreshold: 1, Shards: 4}, constScorer(0.9))
+	slab := NewSharded(Config{RedirectThreshold: 1, Shards: 4}, constScorer(0.9))
+
+	var want []Alert
+	for _, tx := range txs {
+		want = append(want, serial.Process(tx)...)
+	}
+	got := slab.ProcessAll(txs)
+	if len(want) == 0 {
+		t.Fatal("no alerts; test is vacuous")
+	}
+	wj, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wj, gj) {
+		t.Fatalf("slab alert stream differs from per-tx stream:\nper-tx = %s\nslab   = %s", wj, gj)
+	}
+	if serial.Stats() != slab.Stats() {
+		t.Fatalf("stats differ: per-tx %+v, slab %+v", serial.Stats(), slab.Stats())
+	}
+}

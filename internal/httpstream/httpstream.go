@@ -15,6 +15,7 @@ import (
 	"net/netip"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"dynaminer/internal/pcap"
@@ -129,16 +130,80 @@ type respMsg struct {
 	bodySize int
 }
 
-// parseRequests parses consecutive HTTP requests from data, recording each
-// request's byte offset. Parsing stops at the first malformed message.
+// streamParser is the reusable parse state one ExtractPair call borrows
+// from parserPool: the byte/counting/bufio reader stack and the
+// reqMsg/respMsg product slices. Before the pool, every conversation
+// allocated all of it afresh — under steady-state ingestion that was the
+// dominant per-stream garbage outside net/http itself. A parser serves one
+// conversation at a time; release zeroes the message slices so pooled
+// parsers never pin request/response objects (or their bodies) across
+// uses.
+type streamParser struct {
+	rd    bytes.Reader
+	cr    countingReader
+	br    *bufio.Reader
+	reqs  []reqMsg
+	resps []respMsg
+}
+
+var parserPool = sync.Pool{
+	New: func() any { return newStreamParser() },
+}
+
+func newStreamParser() *streamParser {
+	p := &streamParser{}
+	p.br = bufio.NewReader(&p.cr)
+	return p
+}
+
+// start aims the reader stack at a new direction's bytes.
+func (p *streamParser) start(data []byte) {
+	p.rd.Reset(data)
+	p.cr = countingReader{r: &p.rd}
+	p.br.Reset(&p.cr)
+}
+
+// release returns the parser to the pool. The message slices are cleared
+// element-wise first: their *http.Request/*http.Response references (and
+// body prefixes) now belong to the extracted Transactions, and a pooled
+// parser must not keep them alive.
+func (p *streamParser) release() {
+	clear(p.reqs)
+	clear(p.resps)
+	p.reqs, p.resps = p.reqs[:0], p.resps[:0]
+	parserPool.Put(p)
+}
+
+// parseRequests parses consecutive HTTP requests from data with a fresh
+// parser (the pooled path goes through ExtractPair; the fuzz targets and
+// tests drive this entry).
 func parseRequests(data []byte) []reqMsg {
-	cr := &countingReader{r: bytes.NewReader(data)}
-	br := bufio.NewReader(cr)
-	var out []reqMsg
+	return newStreamParser().requests(data)
+}
+
+// parseResponses is the fresh-parser counterpart for responses.
+func parseResponses(data []byte, reqs []reqMsg) []respMsg {
+	return newStreamParser().responses(data, reqs)
+}
+
+// requests parses consecutive HTTP requests from data into the parser's
+// reused slice, recording each request's byte offset. Parsing stops at the
+// first malformed message.
+func (p *streamParser) requests(data []byte) []reqMsg {
+	p.start(data)
+	out := p.reqs[:0]
 	for {
-		offset := cr.n - br.Buffered()
-		req, err := http.ReadRequest(br)
+		// ReadRequest allocates its Request before reading the first byte,
+		// so the terminal EOF call of every conversation would produce one
+		// dead Request; a peek keeps exhausted input allocation-free.
+		if _, err := p.br.Peek(1); err != nil {
+			p.reqs = out
+			return out
+		}
+		offset := p.cr.n - p.br.Buffered()
+		req, err := http.ReadRequest(p.br)
 		if err != nil {
+			p.reqs = out
 			return out
 		}
 		// Drain the request body, keeping only its size: uploaded bytes are
@@ -147,29 +212,35 @@ func parseRequests(data []byte) []reqMsg {
 		_ = req.Body.Close()
 		out = append(out, reqMsg{req: req, offset: offset, bodySize: int(n)})
 		if err != nil {
+			p.reqs = out
 			return out
 		}
 	}
 }
 
-// parseResponses parses consecutive HTTP responses from data. Each response
-// is matched positionally against the request list so HEAD and status-only
-// semantics resolve correctly.
-func parseResponses(data []byte, reqs []reqMsg) []respMsg {
-	cr := &countingReader{r: bytes.NewReader(data)}
-	br := bufio.NewReader(cr)
-	var out []respMsg
+// responses parses consecutive HTTP responses from data into the parser's
+// reused slice. Each response is matched positionally against the request
+// list so HEAD and status-only semantics resolve correctly.
+func (p *streamParser) responses(data []byte, reqs []reqMsg) []respMsg {
+	p.start(data)
+	out := p.resps[:0]
+	defer func() { p.resps = out }()
 	for i := 0; ; i++ {
-		offset := cr.n - br.Buffered()
+		// Same dead-allocation avoidance as the request loop: ReadResponse
+		// builds its Response before touching the input.
+		if _, err := p.br.Peek(1); err != nil {
+			return out
+		}
+		offset := p.cr.n - p.br.Buffered()
 		var req *http.Request
 		if i < len(reqs) {
 			req = reqs[i].req
 		}
-		resp, err := http.ReadResponse(br, req)
+		resp, err := http.ReadResponse(p.br, req)
 		if err != nil {
 			return out
 		}
-		bodyStart := cr.n - br.Buffered()
+		bodyStart := p.cr.n - p.br.Buffered()
 		body, bodyErr := io.ReadAll(resp.Body)
 		_ = resp.Body.Close()
 		size := len(body)
@@ -227,16 +298,32 @@ func decodeContent(body []byte, encoding string) []byte {
 // a capture that recorded only requests. Unmatched requests keep a zero
 // StatusCode.
 func ExtractPair(c2s, s2c *pcap.Stream) []Transaction {
+	return ExtractPairInto(nil, c2s, s2c)
+}
+
+// ExtractPairInto appends the conversation's transactions to dst and
+// returns the extended slice. The parse state (reader stack and message
+// slices) comes from a pool, so steady-state ingestion of many
+// conversations stops allocating per-stream scaffolding; bulk extraction
+// (ExtractAll) also reuses one destination slice across conversations.
+func ExtractPairInto(dst []Transaction, c2s, s2c *pcap.Stream) []Transaction {
 	start := parseClock()
+	p := parserPool.Get().(*streamParser)
+	defer p.release()
 	payloadBytes := int64(len(c2s.Data))
-	reqs := parseRequests(c2s.Data)
+	reqs := p.requests(c2s.Data)
 	var resps []respMsg
 	if s2c != nil {
 		payloadBytes += int64(len(s2c.Data))
-		resps = parseResponses(s2c.Data, reqs)
+		resps = p.responses(s2c.Data, reqs)
 	}
 	n := len(resps)
-	out := make([]Transaction, 0, len(reqs))
+	out := dst
+	if rem := len(reqs) - (cap(out) - len(out)); rem > 0 {
+		grown := make([]Transaction, len(out), len(out)+len(reqs))
+		copy(grown, out)
+		out = grown
+	}
 	for i, rm := range reqs {
 		tx := Transaction{
 			ClientIP:    c2s.Key.SrcIP,
@@ -265,7 +352,7 @@ func ExtractPair(c2s, s2c *pcap.Stream) []Transaction {
 	}
 	parseSeconds.Observe(parseClock().Sub(start).Seconds())
 	parseBytes.Add(payloadBytes)
-	parseTransactions.Add(int64(len(out)))
+	parseTransactions.Add(int64(len(reqs)))
 	return out
 }
 
@@ -322,7 +409,7 @@ func ExtractAll(streams []*pcap.Stream) []Transaction {
 		if c2s == nil {
 			continue
 		}
-		all = append(all, ExtractPair(c2s, s2c)...)
+		all = ExtractPairInto(all, c2s, s2c)
 	}
 	sort.SliceStable(all, func(i, j int) bool { return all[i].ReqTime.Before(all[j].ReqTime) })
 	return all

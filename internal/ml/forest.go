@@ -77,9 +77,21 @@ func (f *Forest) NumTrees() int { return len(f.trees) }
 // on (0 for forests loaded from files written before versioned metadata).
 func (f *Forest) NumFeatures() int { return f.nf }
 
+// checkDim guards tree traversal against mis-dimensioned vectors: a short
+// vector would otherwise die as a bare index-out-of-range deep inside
+// PredictProba. The named panic lets the detector's quarantine ladder
+// catch and attribute the fault. Forests loaded from files written before
+// versioned metadata have nf == 0 and stay unguarded.
+func (f *Forest) checkDim(x []float64) {
+	if f.nf > 0 && len(x) != f.nf {
+		panic(fmt.Sprintf("ml: Forest.Score: feature vector has %d features, forest was trained on %d", len(x), f.nf))
+	}
+}
+
 // Score returns the averaged probability that x is an infection: the mean
 // of P(infection) over all trees.
 func (f *Forest) Score(x []float64) float64 {
+	f.checkDim(x)
 	sum := 0.0
 	for _, t := range f.trees {
 		sum += t.PredictProba(x)[LabelInfection]
@@ -93,6 +105,7 @@ func (f *Forest) Score(x []float64) float64 {
 // Score, so the two are bit-identical — the detector's alert journal
 // relies on that to record the precise decision value.
 func (f *Forest) ScoreWithVotes(x []float64) (score float64, votes, trees int) {
+	f.checkDim(x)
 	sum := 0.0
 	for _, t := range f.trees {
 		p := t.PredictProba(x)[LabelInfection]
@@ -116,6 +129,7 @@ func (f *Forest) Predict(x []float64) int {
 // forest rule the paper's ERF deliberately replaces. Kept for the voting
 // ablation experiment.
 func (f *Forest) PredictVote(x []float64) int {
+	f.checkDim(x)
 	votes := 0
 	for _, t := range f.trees {
 		if t.Predict(x) == LabelInfection {

@@ -1,0 +1,71 @@
+package ml
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadForest throws arbitrary bytes at both loaders. The invariants:
+// neither loader may panic; both must agree on accepting or rejecting the
+// input; and any model that loads must score without panicking, with
+// bit-identical results from the pointer and flat representations — i.e.
+// load-time validation is strong enough that nothing semantically broken
+// reaches the serve path.
+func FuzzLoadForest(f *testing.F) {
+	rng := rand.New(rand.NewSource(12))
+	ds := gaussDataset(80, 5, 2, 1.5, rng)
+	trained, err := TrainForest(ds, ForestConfig{NumTrees: 3, Seed: 6})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := trained.Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(`{"version":1,"features":2,"trees":[{"nodes":[{"leaf":true,"p1":1}]}]}`))
+	f.Add([]byte(`{"version":1,"features":2,"trees":[{"nodes":[{"f":9,"t":1},{"leaf":true},{"leaf":true}]}]}`))
+	f.Add([]byte(`{"version":1,"trees":[{"nodes":[{"f":0,"t":1}]}]}`))
+	f.Add([]byte(`{"version":1,"features":1,"trees":[{"nodes":[{"leaf":true,"p0":2,"p1":-1}]}]}`))
+	f.Add([]byte(strings.Repeat(`{"f":0,"t":0.5},`, 64)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ptr, perr := LoadForest(bytes.NewReader(data))
+		flat, ferr := LoadFlatForest(bytes.NewReader(data))
+		if (perr == nil) != (ferr == nil) {
+			t.Fatalf("loaders disagree: pointer err %v, flat err %v", perr, ferr)
+		}
+		if perr != nil {
+			return
+		}
+		// Any accepted model must serve: probe with the declared
+		// dimensionality, or (legacy files with no feature count) the
+		// widest feature index any node references.
+		dim := flat.NumFeatures()
+		if dim == 0 {
+			for _, fi := range flat.feature {
+				if int(fi)+1 > dim {
+					dim = int(fi) + 1
+				}
+			}
+			if dim == 0 {
+				dim = 1
+			}
+		}
+		x := make([]float64, dim)
+		for i := range x {
+			x[i] = float64(i%7) - 3
+		}
+		ps := ptr.Score(x)
+		fs := flat.Score(x)
+		if math.Float64bits(ps) != math.Float64bits(fs) {
+			t.Fatalf("loaded representations score differently: %v vs %v", ps, fs)
+		}
+		if math.IsNaN(ps) || ps < 0 || ps > 1 {
+			t.Fatalf("validated model scored %v, outside [0, 1]", ps)
+		}
+	})
+}

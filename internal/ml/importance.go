@@ -15,21 +15,21 @@ func trainTreeWithImportance(ds *Dataset, cfg TreeConfig, rng *rand.Rand, imp []
 	for i := range idx {
 		idx[i] = i
 	}
-	t.root = growTracked(ds, idx, cfg, rng, 0, imp, ds.Len())
+	t.root = growTracked(ds, idx, cfg, rng, 0, imp, ds.Len(), newTrainScratch(ds))
 	return t
 }
 
-// growTracked mirrors grow but records impurity decreases. The two are
-// kept separate so the hot training path stays allocation-lean when
-// importances are not requested.
-func growTracked(ds *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand, depth int, imp []float64, rootN int) *treeNode {
+// growTracked grows the subtree over the sample indices idx, recording
+// impurity decreases into imp when non-nil. sc is the per-training
+// scratch every split borrows its buffers from.
+func growTracked(ds *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand, depth int, imp []float64, rootN int, sc *trainScratch) *treeNode {
 	counts := classCounts(ds, idx)
 	total := len(idx)
 	pure := counts[0] == total || counts[1] == total
 	if pure || total < 2*cfg.MinSamplesLeaf || (cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) {
 		return makeLeaf(counts, total)
 	}
-	feature, threshold, gain := bestSplit(ds, idx, counts, cfg, rng)
+	feature, threshold, gain := bestSplit(ds, idx, counts, cfg, rng, sc)
 	if feature < 0 {
 		return makeLeaf(counts, total)
 	}
@@ -50,27 +50,29 @@ func growTracked(ds *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand, depth i
 	return &treeNode{
 		feature:   feature,
 		threshold: threshold,
-		left:      growTracked(ds, left, cfg, rng, depth+1, imp, rootN),
-		right:     growTracked(ds, right, cfg, rng, depth+1, imp, rootN),
+		left:      growTracked(ds, left, cfg, rng, depth+1, imp, rootN, sc),
+		right:     growTracked(ds, right, cfg, rng, depth+1, imp, rootN, sc),
 	}
 }
 
 // bestSplit finds the Gini-optimal (feature, threshold) over a feature
-// subsample; it returns feature -1 when no split improves purity.
-func bestSplit(ds *Dataset, idx []int, counts [numClasses]int, cfg TreeConfig, rng *rand.Rand) (feature int, threshold, gain float64) {
+// subsample; it returns feature -1 when no split improves purity. The
+// candidate list and the value/label buffer come out of the training
+// scratch; both are fully consumed before bestSplit returns, so the
+// recursion into child splits can reuse them.
+func bestSplit(ds *Dataset, idx []int, counts [numClasses]int, cfg TreeConfig, rng *rand.Rand, sc *trainScratch) (feature int, threshold, gain float64) {
 	total := len(idx)
 	parentGini := gini(counts, total)
-	candidates := featureSample(ds.NumFeatures(), cfg.MaxFeatures, rng)
+	candidates := featureSample(sc, ds.NumFeatures(), cfg.MaxFeatures, rng)
 	feature = -1
 
-	type vl struct {
-		v float64
-		y int
+	if cap(sc.buf) < total {
+		sc.buf = make([]valueLabel, total)
 	}
-	buf := make([]vl, total)
+	buf := sc.buf[:total]
 	for _, f := range candidates {
 		for i, j := range idx {
-			buf[i] = vl{v: ds.X[j][f], y: ds.Y[j]}
+			buf[i] = valueLabel{v: ds.X[j][f], y: ds.Y[j]}
 		}
 		sort.Slice(buf, func(a, b int) bool { return buf[a].v < buf[b].v })
 		var leftCounts [numClasses]int

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Wire formats for persisting a trained forest. Node is flattened into a
-// preorder array so the JSON stays compact and version-checkable.
+// preorder array so the JSON stays compact and version-checkable — and so
+// the same format loads directly into the contiguous FlatForest slabs.
 type forestWire struct {
 	Version  int          `json:"version"`
 	Features int          `json:"features"`
@@ -29,6 +31,81 @@ type nodeWire struct {
 
 const forestWireVersion = 1
 
+// maxLegacyFeature bounds node feature indices in files that predate the
+// features count (features == 0): real models have a few dozen features,
+// and an absurd index would otherwise make every consumer that sizes a
+// vector off the model allocate gigabytes.
+const maxLegacyFeature = 1 << 16
+
+// maxModelDepth bounds the tree depth any loader accepts. Trained CART
+// trees peel at worst one sample per level, so real depth stays well under
+// the training-set size; an adversarial node stream, by contrast, could
+// nest millions of internal nodes and blow the goroutine stack in the
+// recursive unflattener before this bound existed.
+const maxModelDepth = 4096
+
+// writeForestWire encodes one wire record (shared by both Save paths so
+// the two representations serialize byte-identically).
+func writeForestWire(w io.Writer, wire forestWire) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(wire); err != nil {
+		return fmt.Errorf("ml: save forest: %w", err)
+	}
+	return nil
+}
+
+// readForestWire decodes and structurally screens one wire record (shared
+// by both loaders).
+func readForestWire(r io.Reader) (forestWire, error) {
+	var wire forestWire
+	if err := json.NewDecoder(r).Decode(&wire); err != nil {
+		return wire, fmt.Errorf("ml: load forest: %w", err)
+	}
+	if wire.Version != forestWireVersion {
+		return wire, fmt.Errorf("ml: unsupported forest version %d", wire.Version)
+	}
+	if len(wire.Trees) == 0 {
+		return wire, fmt.Errorf("ml: forest file has no trees")
+	}
+	if wire.Features < 0 {
+		return wire, fmt.Errorf("ml: negative feature count %d", wire.Features)
+	}
+	return wire, nil
+}
+
+// validateNode screens one wire node before it joins a model. A bad node
+// that loads silently fails much later — a Feature beyond the trained
+// dimensionality indexes out of range in the middle of PredictProba at
+// serve time, a NaN threshold mis-routes every traversal (NaN compares
+// false), out-of-range leaf probabilities corrupt the ensemble average —
+// so every bound is enforced here, at load, with a clear error.
+func validateNode(nw nodeWire, features, depth int) error {
+	if depth > maxModelDepth {
+		return fmt.Errorf("exceeds max depth %d", maxModelDepth)
+	}
+	if nw.Leaf {
+		for _, p := range [2]float64{nw.P0, nw.P1} {
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				return fmt.Errorf("leaf probability %v outside [0, 1]", p)
+			}
+		}
+		return nil
+	}
+	if nw.Feature < 0 {
+		return fmt.Errorf("negative feature index %d", nw.Feature)
+	}
+	if features > 0 && nw.Feature >= features {
+		return fmt.Errorf("feature index %d out of range for %d-feature model", nw.Feature, features)
+	}
+	if features <= 0 && nw.Feature >= maxLegacyFeature {
+		return fmt.Errorf("feature index %d implausible for a model with no feature count", nw.Feature)
+	}
+	if math.IsNaN(nw.Threshold) || math.IsInf(nw.Threshold, 0) {
+		return fmt.Errorf("non-finite threshold %v", nw.Threshold)
+	}
+	return nil
+}
+
 // Save serializes the trained forest as JSON.
 func (f *Forest) Save(w io.Writer) error {
 	wire := forestWire{Version: forestWireVersion, Features: f.nf, Config: f.cfg}
@@ -37,11 +114,7 @@ func (f *Forest) Save(w io.Writer) error {
 		flattenTree(t.root, &tw.Nodes)
 		wire.Trees = append(wire.Trees, tw)
 	}
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(wire); err != nil {
-		return fmt.Errorf("ml: save forest: %w", err)
-	}
-	return nil
+	return writeForestWire(w, wire)
 }
 
 func flattenTree(n *treeNode, out *[]nodeWire) {
@@ -54,22 +127,21 @@ func flattenTree(n *treeNode, out *[]nodeWire) {
 	flattenTree(n.right, out)
 }
 
-// LoadForest deserializes a forest previously written by Save.
+// LoadForest deserializes a forest previously written by Save (or by
+// FlatForest.Save — the wire format is shared). Node streams are validated
+// semantically: feature bounds against the trained dimensionality, finite
+// thresholds, leaf probabilities in [0, 1], and bounded depth, so a
+// corrupt or adversarial model file is rejected here instead of panicking
+// deep inside PredictProba at serve time.
 func LoadForest(r io.Reader) (*Forest, error) {
-	var wire forestWire
-	if err := json.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("ml: load forest: %w", err)
-	}
-	if wire.Version != forestWireVersion {
-		return nil, fmt.Errorf("ml: unsupported forest version %d", wire.Version)
-	}
-	if len(wire.Trees) == 0 {
-		return nil, fmt.Errorf("ml: forest file has no trees")
+	wire, err := readForestWire(r)
+	if err != nil {
+		return nil, err
 	}
 	f := &Forest{cfg: wire.Config, nf: wire.Features}
 	for ti, tw := range wire.Trees {
 		pos := 0
-		root, err := unflattenTree(tw.Nodes, &pos)
+		root, err := unflattenTree(tw.Nodes, &pos, wire.Features, 0)
 		if err != nil {
 			return nil, fmt.Errorf("ml: tree %d: %w", ti, err)
 		}
@@ -81,22 +153,25 @@ func LoadForest(r io.Reader) (*Forest, error) {
 	return f, nil
 }
 
-func unflattenTree(nodes []nodeWire, pos *int) (*treeNode, error) {
+func unflattenTree(nodes []nodeWire, pos *int, features, depth int) (*treeNode, error) {
 	if *pos >= len(nodes) {
 		return nil, fmt.Errorf("truncated node stream at %d", *pos)
 	}
 	nw := nodes[*pos]
+	if err := validateNode(nw, features, depth); err != nil {
+		return nil, fmt.Errorf("node %d: %w", *pos, err)
+	}
 	*pos++
 	if nw.Leaf {
 		n := &treeNode{leaf: true}
 		n.probs[0], n.probs[1] = nw.P0, nw.P1
 		return n, nil
 	}
-	left, err := unflattenTree(nodes, pos)
+	left, err := unflattenTree(nodes, pos, features, depth+1)
 	if err != nil {
 		return nil, err
 	}
-	right, err := unflattenTree(nodes, pos)
+	right, err := unflattenTree(nodes, pos, features, depth+1)
 	if err != nil {
 		return nil, err
 	}

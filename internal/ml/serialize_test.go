@@ -2,6 +2,7 @@ package ml
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -54,6 +55,92 @@ func TestLoadForestErrors(t *testing.T) {
 	trailing := `{"version":1,"trees":[{"nodes":[{"leaf":true,"p0":1},{"leaf":true,"p1":1}]}]}`
 	if _, err := LoadForest(strings.NewReader(trailing)); err == nil {
 		t.Fatal("trailing nodes must error")
+	}
+}
+
+// loadBoth runs both loaders over the same document and asserts they agree
+// on rejection; it returns the pointer loader's error.
+func loadBoth(t *testing.T, doc string) error {
+	t.Helper()
+	_, perr := LoadForest(strings.NewReader(doc))
+	_, ferr := LoadFlatForest(strings.NewReader(doc))
+	if (perr == nil) != (ferr == nil) {
+		t.Fatalf("loaders disagree on %q: pointer %v, flat %v", doc, perr, ferr)
+	}
+	return perr
+}
+
+// TestLoadForestSemanticValidation pins the load-time screens added after
+// semantically broken models were found to load fine and fail at serve
+// time: a feature index past the trained dimensionality panicked inside
+// PredictProba, and out-of-range leaf probabilities silently mis-scored.
+// Every case here loaded without error before the fix.
+func TestLoadForestSemanticValidation(t *testing.T) {
+	cases := map[string]string{
+		"feature out of range": `{"version":1,"features":2,"trees":[{"nodes":[` +
+			`{"f":5,"t":1},{"leaf":true,"p1":1},{"leaf":true,"p0":1}]}]}`,
+		"negative feature": `{"version":1,"features":2,"trees":[{"nodes":[` +
+			`{"f":-1,"t":1},{"leaf":true,"p1":1},{"leaf":true,"p0":1}]}]}`,
+		"leaf prob above 1": `{"version":1,"features":1,"trees":[{"nodes":[` +
+			`{"leaf":true,"p0":0.5,"p1":1.5}]}]}`,
+		"negative leaf prob": `{"version":1,"features":1,"trees":[{"nodes":[` +
+			`{"leaf":true,"p0":-0.25,"p1":0.25}]}]}`,
+		"negative feature count": `{"version":1,"features":-3,"trees":[{"nodes":[` +
+			`{"leaf":true,"p1":1}]}]}`,
+	}
+	for name, doc := range cases {
+		if err := loadBoth(t, doc); err == nil {
+			t.Errorf("%s: loaded without error", name)
+		}
+	}
+	// Control: a well-formed single-leaf model still loads.
+	if err := loadBoth(t, `{"version":1,"features":1,"trees":[{"nodes":[{"leaf":true,"p1":1}]}]}`); err != nil {
+		t.Fatalf("well-formed model rejected: %v", err)
+	}
+}
+
+// TestLoadForestNonFiniteThreshold exercises validateNode directly: JSON
+// cannot carry NaN/Inf literals, but the screen guards any future binary
+// format and documents the invariant.
+func TestLoadForestNonFiniteThreshold(t *testing.T) {
+	if err := validateNode(nodeWire{Feature: 0, Threshold: math.NaN()}, 1, 0); err == nil {
+		t.Fatal("NaN threshold passed validation")
+	}
+	if err := validateNode(nodeWire{Feature: 0, Threshold: math.Inf(1)}, 1, 0); err == nil {
+		t.Fatal("+Inf threshold passed validation")
+	}
+	if err := validateNode(nodeWire{Leaf: true, P1: math.NaN()}, 1, 0); err == nil {
+		t.Fatal("NaN leaf probability passed validation")
+	}
+}
+
+// TestLoadForestDepthBound feeds both loaders an adversarially deep
+// left-linear chain. Before the bound, the recursive unflattener would
+// recurse once per node — a large enough stream could exhaust the
+// goroutine stack; now anything past maxModelDepth is rejected with a
+// clear error.
+func TestLoadForestDepthBound(t *testing.T) {
+	deepChain := func(depth int) string {
+		var sb strings.Builder
+		sb.WriteString(`{"version":1,"features":1,"trees":[{"nodes":[`)
+		for i := 0; i < depth; i++ {
+			sb.WriteString(`{"f":0,"t":0.5},`)
+		}
+		sb.WriteString(`{"leaf":true,"p1":1}`) // deepest left leaf
+		for i := 0; i < depth; i++ {
+			sb.WriteString(`,{"leaf":true,"p0":1}`) // right leaves on the way up
+		}
+		sb.WriteString(`]}]}`)
+		return sb.String()
+	}
+	if err := loadBoth(t, deepChain(maxModelDepth+10)); err == nil {
+		t.Fatal("over-deep model loaded without error")
+	}
+	if !strings.Contains(loadBoth(t, deepChain(maxModelDepth+10)).Error(), "depth") {
+		t.Fatal("depth violation error does not mention depth")
+	}
+	if err := loadBoth(t, deepChain(64)); err != nil {
+		t.Fatalf("reasonable depth rejected: %v", err)
 	}
 }
 

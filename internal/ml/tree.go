@@ -49,7 +49,7 @@ func TrainTree(ds *Dataset, cfg TreeConfig, rng *rand.Rand) *Tree {
 	for i := range idx {
 		idx[i] = i
 	}
-	t.root = grow(ds, idx, cfg, rng, 0)
+	t.root = growTracked(ds, idx, cfg, rng, 0, nil, len(idx), newTrainScratch(ds))
 	return t
 }
 
@@ -83,15 +83,39 @@ func makeLeaf(counts [numClasses]int, total int) *treeNode {
 	return n
 }
 
-// grow recursively builds the subtree over the sample indices idx.
-func grow(ds *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand, depth int) *treeNode {
-	return growTracked(ds, idx, cfg, rng, depth, nil, len(idx))
+// trainScratch holds per-training reusable buffers: the feature
+// permutation featureSample re-deals at every split, and the sorted
+// value/label pairs bestSplit scans per candidate feature. Before the
+// scratch existed, both were freshly allocated at every split and
+// dominated training allocations. One scratch serves a whole tree (and a
+// whole forest): splits consume their candidate list fully before any
+// recursion, so reuse never aliases live data.
+type trainScratch struct {
+	perm []int
+	buf  []valueLabel
 }
 
-// featureSample picks m distinct feature indices (all when m <= 0 or
-// m >= nf, or when rng is nil).
-func featureSample(nf, m int, rng *rand.Rand) []int {
-	all := make([]int, nf)
+type valueLabel struct {
+	v float64
+	y int
+}
+
+func newTrainScratch(ds *Dataset) *trainScratch {
+	return &trainScratch{
+		perm: make([]int, ds.NumFeatures()),
+		buf:  make([]valueLabel, ds.Len()),
+	}
+}
+
+// featureSample deals m distinct feature indices into the scratch
+// permutation (all when m <= 0 or m >= nf, or when rng is nil). The RNG
+// consumption is identical to the pre-scratch allocation per call, so
+// training stays seed-for-seed deterministic.
+func featureSample(sc *trainScratch, nf, m int, rng *rand.Rand) []int {
+	if cap(sc.perm) < nf {
+		sc.perm = make([]int, nf)
+	}
+	all := sc.perm[:nf]
 	for i := range all {
 		all[i] = i
 	}

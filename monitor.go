@@ -148,7 +148,10 @@ func (m *Monitor) EvictIdle(cutoff time.Time) int { return m.engine.EvictIdle(cu
 // Process ingests one transaction and returns any alerts it triggers.
 func (m *Monitor) Process(tx Transaction) []Alert { return m.engine.Process(tx) }
 
-// ProcessAll feeds a transaction slice through the engine in order.
+// ProcessAll moves a transaction slab through the engine: each shard
+// processes its share of the slab under one lock acquisition, shards run
+// concurrently, and alerts come back in input order — bit-identical to
+// calling Process per transaction, just cheaper per transaction.
 func (m *Monitor) ProcessAll(txs []Transaction) []Alert { return m.engine.ProcessAll(txs) }
 
 // ProcessPCAP replays a capture through the engine, as in the forensic
