@@ -12,8 +12,11 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-# Project-invariant static analysis (see DESIGN.md "Enforced invariants").
-# Exits non-zero when any analyzer reports a finding.
+# Project-invariant static analysis (see DESIGN.md "Enforced invariants"
+# and "Type-aware lint"). Type-checks every package against gc export
+# data and runs all ten analyzers; exits non-zero when any analyzer
+# reports a finding. Degradation to syntactic analysis prints a warning
+# on stderr.
 lint:
 	$(GO) run ./cmd/dynalint -root .
 

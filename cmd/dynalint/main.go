@@ -1,12 +1,21 @@
 // Command dynalint runs the project's invariant analyzers (see
 // internal/analysis) over the module tree and reports every violation in
-// "file:line: analyzer: message" form. It exits 0 when the tree is
-// clean, 1 when it has findings, and 2 on usage or parse errors, so it
-// slots into make lint and CI gates.
+// "file:line: analyzer: message" form (or one JSON object per finding
+// with -json). It exits 0 when the tree is clean, 1 when it has
+// findings, and 2 on usage or parse errors, so it slots into make lint
+// and CI gates.
 //
 // Usage:
 //
-//	dynalint [-root dir] [-skip list] [-tests] [-list]
+//	dynalint [-root dir] [-skip list] [-tests] [-list] [-json] [-workers n]
+//
+// The driver type-checks each package with go/types, resolving imports
+// through `go list -export` data, and threads the result through the
+// analyzers; a package that fails to type-check (or a tree without a
+// go.mod) is analyzed syntactically instead, with a warning on stderr —
+// type information sharpens the analyzers but its absence never fails
+// the run. Packages are analyzed in parallel (-workers, default
+// GOMAXPROCS); output order is independent of worker count.
 //
 // -skip is a comma-separated list of path fragments; any file or
 // directory whose module-relative path contains one of them is excluded.
@@ -17,6 +26,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/ast"
@@ -26,8 +37,10 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"dynaminer/internal/analysis"
 )
@@ -44,28 +57,66 @@ func run(args []string, stdout, stderr io.Writer) int {
 	skip := fl.String("skip", "testdata,vendor,.git", "comma-separated path fragments to exclude")
 	tests := fl.Bool("tests", false, "also analyze _test.go files")
 	list := fl.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fl.Bool("json", false, "emit findings as JSON, one object per line")
+	workers := fl.Int("workers", runtime.GOMAXPROCS(0), "packages analyzed concurrently (1 = serial)")
 	if err := fl.Parse(args); err != nil {
 		return 2
 	}
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Fprintf(stdout, "%-10s %s\n", a.Name(), a.Doc())
+			fmt.Fprintf(stdout, "%-11s %s\n", a.Name(), a.Doc())
 		}
 		return 0
 	}
-	findings, err := lintTree(*root, splitSkips(*skip), *tests)
+	findings, err := lintTree(*root, splitSkips(*skip), *tests, *workers, stderr)
 	if err != nil {
 		fmt.Fprintf(stderr, "dynalint: %v\n", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f.String())
+	if *jsonOut {
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "dynalint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "dynalint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the machine-readable finding shape. Field names are a
+// stable contract for CI tooling; add fields, never rename them.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits one JSON object per finding, newline-delimited.
+func writeJSON(w io.Writer, findings []analysis.Finding) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, f := range findings {
+		jf := jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		}
+		if err := enc.Encode(jf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 // splitSkips normalizes the -skip list.
@@ -90,9 +141,36 @@ func skipped(rel string, skips []string) bool {
 	return false
 }
 
-// lintTree walks root, parses every kept package, and runs the full
-// analyzer suite, returning findings with root-relative filenames.
-func lintTree(root string, skips []string, tests bool) ([]analysis.Finding, error) {
+// pkgJob is one package to analyze: its module-relative directory,
+// declared name, and parsed files (all on the shared FileSet).
+type pkgJob struct {
+	dir     string
+	pkgName string
+	files   []*ast.File
+}
+
+// moduleName extracts the module path from root/go.mod, or "" when the
+// tree has none (syntactic-only mode).
+func moduleName(root string) string {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// lintTree walks root, parses every kept package onto one shared
+// FileSet, type-checks what it can, and runs the full analyzer suite —
+// packages in parallel across `workers` goroutines, results stitched
+// back in deterministic (dir, package) order. Findings carry
+// root-relative filenames; degraded packages warn on stderr.
+func lintTree(root string, skips []string, tests bool, workers int, stderr io.Writer) ([]analysis.Finding, error) {
 	byDir := map[string][]string{}
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -128,10 +206,12 @@ func lintTree(root string, skips []string, tests bool) ([]analysis.Finding, erro
 	}
 	sort.Strings(dirs)
 
-	var all []analysis.Finding
+	// One FileSet for the whole run: the type checker's import cache and
+	// every Pass must agree on positions.
+	fset := token.NewFileSet()
+	var jobs []pkgJob
 	for _, dir := range dirs {
 		sort.Strings(byDir[dir])
-		fset := token.NewFileSet()
 		// A directory can hold more than one package (e.g. an external
 		// test package); analyze each separately.
 		byPkg := map[string][]*ast.File{}
@@ -142,25 +222,83 @@ func lintTree(root string, skips []string, tests bool) ([]analysis.Finding, erro
 			}
 			byPkg[f.Name.Name] = append(byPkg[f.Name.Name], f)
 		}
-		pkgPath := dir
-		if pkgPath == "." {
-			pkgPath = ""
-		}
 		pkgNames := make([]string, 0, len(byPkg))
 		for name := range byPkg {
 			pkgNames = append(pkgNames, name)
 		}
 		sort.Strings(pkgNames)
 		for _, name := range pkgNames {
-			pass := analysis.NewPass(fset, pkgPath, byPkg[name])
-			findings := analysis.Run(pass, analysis.All())
-			for i := range findings {
-				if rel, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil {
-					findings[i].Pos.Filename = filepath.ToSlash(rel)
-				}
-			}
-			all = append(all, findings...)
+			jobs = append(jobs, pkgJob{dir: dir, pkgName: name, files: byPkg[name]})
 		}
 	}
+
+	modPath := moduleName(root)
+	var checker *analysis.Checker
+	if modPath == "" {
+		fmt.Fprintf(stderr, "dynalint: warning: no go.mod under %s; running syntactic-only analysis\n", root)
+	} else {
+		checker = analysis.NewChecker(fset, root)
+		checker.Tests = tests
+	}
+
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([][]analysis.Finding, len(jobs))
+	warnings := make([]string, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], warnings[i] = lintPackage(fset, modPath, checker, jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var all []analysis.Finding
+	for i := range jobs {
+		if warnings[i] != "" {
+			fmt.Fprintf(stderr, "dynalint: warning: %s\n", warnings[i])
+		}
+		findings := results[i]
+		for j := range findings {
+			if rel, err := filepath.Rel(root, findings[j].Pos.Filename); err == nil {
+				findings[j].Pos.Filename = filepath.ToSlash(rel)
+			}
+		}
+		all = append(all, findings...)
+	}
 	return all, nil
+}
+
+// lintPackage analyzes one package, typed when the checker succeeds and
+// syntactic otherwise. The returned warning is non-empty on degradation.
+func lintPackage(fset *token.FileSet, modPath string, checker *analysis.Checker, job pkgJob) ([]analysis.Finding, string) {
+	pkgPath := job.dir
+	if pkgPath == "." {
+		pkgPath = ""
+	}
+	pass := analysis.NewPass(fset, pkgPath, job.files)
+	warning := ""
+	if checker != nil {
+		importPath := modPath
+		if pkgPath != "" {
+			importPath += "/" + pkgPath
+		}
+		info, pkg, err := checker.Check(importPath, job.files)
+		if err != nil {
+			warning = fmt.Sprintf("%s: type checking failed (%v); falling back to syntactic analysis", importPath, err)
+		} else {
+			pass.Info, pass.Pkg = info, pkg
+		}
+	}
+	return analysis.Run(pass, analysis.All()), warning
 }

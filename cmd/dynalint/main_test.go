@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -128,5 +129,120 @@ func TestRepoIsClean(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-root", "../.."}, &stdout, &stderr); code != 0 {
 		t.Fatalf("dynalint over the repo exited %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// --- dynalint v2: typed driver behavior ---
+
+// TestDriverDegradesWithoutGoMod: a tree without go.mod cannot be
+// type-checked, so the driver warns once on stderr and still reports the
+// syntactic findings with the usual exit code.
+func TestDriverDegradesWithoutGoMod(t *testing.T) {
+	root := writeTree(t, map[string]string{"internal/a/a.go": dirtyFile})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", root}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "syntactic-only") {
+		t.Fatalf("missing degradation warning on stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "internal/a/a.go:5: hostfold:") {
+		t.Fatalf("degraded run lost the finding:\n%s", stdout.String())
+	}
+}
+
+// TestDriverTypeCheckFailureDegrades: with a go.mod present but a
+// package that references an unresolvable import, the driver warns that
+// type checking failed for that package and falls back to syntactic
+// analysis instead of crashing or going silent.
+func TestDriverTypeCheckFailureDegrades(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.com/degrade\n\ngo 1.22\n",
+		"internal/a/a.go": `package p
+
+import "example.com/degrade/internal/missing"
+
+type req struct{ Host string }
+
+func cmp(r req, s string) bool { return r.Host == missing.Name }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-root", root}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "falling back to syntactic analysis") {
+		t.Fatalf("missing per-package degradation warning:\n%s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "hostfold:") {
+		t.Fatalf("degraded package lost its syntactic finding:\n%s", stdout.String())
+	}
+}
+
+// TestDriverJSONOutput: -json emits NDJSON, one object per finding with
+// stable field names, and nothing else on stdout.
+func TestDriverJSONOutput(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/a/a.go": dirtyFile,
+		"internal/b/b.go": cleanFile,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", root, "-json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly 1 NDJSON line, got %d:\n%s", len(lines), stdout.String())
+	}
+	var f jsonFinding
+	if err := json.Unmarshal([]byte(lines[0]), &f); err != nil {
+		t.Fatalf("unmarshal %q: %v", lines[0], err)
+	}
+	if f.File != "internal/a/a.go" || f.Line != 5 || f.Col == 0 || f.Analyzer != "hostfold" || f.Message == "" {
+		t.Fatalf("unexpected finding fields: %+v", f)
+	}
+	for _, key := range []string{`"file"`, `"line"`, `"col"`, `"analyzer"`, `"message"`} {
+		if !strings.Contains(lines[0], key) {
+			t.Errorf("NDJSON line missing %s field: %s", key, lines[0])
+		}
+	}
+}
+
+// TestDriverJSONCleanTree: -json on a clean tree writes nothing and
+// exits zero, so `dynalint -json | jq` pipelines see an empty stream.
+func TestDriverJSONCleanTree(t *testing.T) {
+	root := writeTree(t, map[string]string{"lib/ok.go": cleanFile})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", root, "-json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; out: %s%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("clean -json run wrote to stdout: %q", stdout.String())
+	}
+}
+
+// TestDriverParallelDeterminism: output must not depend on the worker
+// count — findings are stitched back in package order, so one worker and
+// eight workers produce byte-identical stdout.
+func TestDriverParallelDeterminism(t *testing.T) {
+	files := map[string]string{"go.mod": "module example.com/par\n\ngo 1.22\n"}
+	for _, pkg := range []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"} {
+		files["internal/"+pkg+"/"+pkg+".go"] = dirtyFile
+	}
+	root := writeTree(t, files)
+	runWith := func(workers string) string {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-root", root, "-workers", workers}, &stdout, &stderr); code != 1 {
+			t.Fatalf("-workers %s exit code = %d, want 1; stderr: %s", workers, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	serial, parallel := runWith("1"), runWith("8")
+	if serial != parallel {
+		t.Fatalf("worker count changed output.\n-workers 1:\n%s\n-workers 8:\n%s", serial, parallel)
+	}
+	if got := strings.Count(serial, "hostfold:"); got != 6 {
+		t.Fatalf("want 6 findings, got %d:\n%s", got, serial)
 	}
 }

@@ -44,18 +44,18 @@ func runSummarize(args []string) error {
 		s.DownloadedExploits, s.PostDownloadEdges, s.HasCallback)
 
 	if len(s.PayloadCounts) > 0 {
-		var classes []string
-		for c := range s.PayloadCounts {
-			classes = append(classes, c.String())
+		counts := make(map[string]int, len(s.PayloadCounts))
+		for c, n := range s.PayloadCounts {
+			counts[c.String()] = n
+		}
+		classes := make([]string, 0, len(counts))
+		for name := range counts {
+			classes = append(classes, name)
 		}
 		sort.Strings(classes)
 		var parts []string
 		for _, name := range classes {
-			for c, n := range s.PayloadCounts {
-				if c.String() == name {
-					parts = append(parts, fmt.Sprintf("%s=%d", name, n))
-				}
-			}
+			parts = append(parts, fmt.Sprintf("%s=%d", name, counts[name]))
 		}
 		fmt.Printf("payloads: %s\n", strings.Join(parts, " "))
 	}

@@ -42,11 +42,18 @@ func main() {
 			i+1, features.Name(i), features.GroupOf(i), novel, infV[i], benV[i])
 	}
 
-	for name, w := range map[string]*dynaminer.WCG{"infection.dot": infWCG, "benign.dot": benWCG} {
-		if err := os.WriteFile(name, []byte(w.DOT(name)), 0o644); err != nil {
+	outputs := []struct {
+		name string
+		w    *dynaminer.WCG
+	}{
+		{"infection.dot", infWCG},
+		{"benign.dot", benWCG},
+	}
+	for _, o := range outputs {
+		if err := os.WriteFile(o.name, []byte(o.w.DOT(o.name)), 0o644); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nwrote %s (%d nodes, %d edges)", name, w.Order(), w.Size())
+		fmt.Printf("\nwrote %s (%d nodes, %d edges)", o.name, o.w.Order(), o.w.Size())
 	}
 	fmt.Println()
 }

@@ -1,8 +1,15 @@
 // Package analysis is dynalint's analyzer suite: project-specific static
-// checks that fossilize the invariants PR 1 restored by hand, so the bug
-// classes it fixed cannot be reintroduced silently. The suite is
-// dependency-free — stdlib go/parser, go/ast and go/token only — because
-// the build environment cannot fetch golang.org/x/tools.
+// checks that fossilize the invariants earlier PRs restored by hand, so
+// the bug classes they fixed cannot be reintroduced silently. The suite
+// is dependency-free — stdlib go/parser, go/ast, go/token and go/types
+// only — because the build environment cannot fetch golang.org/x/tools.
+//
+// Since dynalint v2 the driver type-checks every package it can (see
+// Checker) and threads the *types.Info through the Pass. Analyzers that
+// need type identity (maporder, hotalloc, the typed lockscope rules)
+// consult it; every analyzer still degrades to its syntactic heuristics
+// when Pass.Info is nil, so a package that fails type checking is linted
+// best-effort instead of crashing the run.
 //
 // The analyzers and the invariant each one enforces:
 //
@@ -15,7 +22,10 @@
 //     zero-timestamp alert bug).
 //   - lockscope: struct fields annotated "guarded by <mu>" are only
 //     touched by functions that lock that mutex on the same receiver (the
-//     engine/proxy lock-discipline rule).
+//     engine/proxy lock-discipline rule); with type information the
+//     receiver and mutex are matched by object identity, one level of
+//     pointer aliasing is resolved, and locking a mutex through a value
+//     receiver (a copy) is reported.
 //   - floatsafe: divisions flowing into feature-vector slots carry a
 //     zero-denominator guard, keeping the 37-feature vector finite as the
 //     ERF requires.
@@ -31,16 +41,31 @@
 //     names with a unit suffix (_seconds/_bytes/_total) and are unique
 //     per package, keeping the PR-5 metric inventory greppable and
 //     Prometheus-legal.
+//   - maporder:  a for-range over a map whose body feeds an
+//     order-sensitive sink (slice append, counter-indexed slot write,
+//     float accumulation, serialization) without a deterministic order
+//     is flagged — exactly the class that silently breaks bit-identical
+//     re-scoring.
+//   - hotalloc:  functions annotated "//dynalint:hotpath" must contain
+//     no allocation sites (make/new, unamortized append, string
+//     concat/conversion, interface boxing, escaping closures) — the
+//     PR 5/6 alloc-count tests as line-level findings.
+//   - panicmsg:  every panic in internal/ml and internal/detector
+//     carries the named "pkg: ..." prefix the detector's quarantine
+//     ladder attributes faults on.
 //
 // A finding on a specific line can be suppressed with a
 // "//dynalint:ignore <analyzer> <reason>" comment on the same line or the
 // line above; the reason is mandatory by convention, not by the parser.
+// A directive above a multi-line statement suppresses the analyzer on
+// every line the statement spans.
 package analysis
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -69,8 +94,40 @@ type Pass struct {
 	PkgName string
 	Files   []*ast.File
 
+	// Info holds the go/types result for the package, or nil when the
+	// driver could not type-check it and the pass degraded to
+	// syntactic-only analysis. Analyzers must treat nil as "no type
+	// information", never as an error.
+	Info *types.Info
+	// Pkg is the type-checked package object paired with Info.
+	Pkg *types.Package
+
 	// ignores maps filename -> line -> analyzers suppressed on that line.
 	ignores map[string]map[int]map[string]bool
+	// above maps filename -> line -> analyzers suppressed by a directive
+	// on the previous line; a statement starting on that line extends the
+	// suppression over every line it spans.
+	above map[string]map[int]map[string]bool
+}
+
+// Typed reports whether the pass carries type information.
+func (p *Pass) Typed() bool { return p.Info != nil }
+
+// TypeOf returns the type of e, or nil when the pass is untyped or the
+// expression was not reached by the checker.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf returns the object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.ObjectOf(id)
 }
 
 // Analyzer is one dynalint check.
@@ -86,14 +143,24 @@ type Analyzer interface {
 
 // All returns the full suite in reporting order.
 func All() []Analyzer {
-	return []Analyzer{Hostfold{}, Zerotime{}, Lockscope{}, Floatsafe{}, Scratchsafe{}, Goguard{}, Metricname{}}
+	return []Analyzer{
+		Hostfold{}, Zerotime{}, Lockscope{}, Floatsafe{}, Scratchsafe{},
+		Goguard{}, Metricname{}, Maporder{}, Hotalloc{}, Panicmsg{},
+	}
 }
 
 // NewPass assembles a Pass and indexes its ignore directives. Files must
 // all belong to the same package and have been parsed with
-// parser.ParseComments.
+// parser.ParseComments. Attach type information by setting Info and Pkg
+// before Run.
 func NewPass(fset *token.FileSet, pkgPath string, files []*ast.File) *Pass {
-	p := &Pass{Fset: fset, PkgPath: pkgPath, Files: files, ignores: map[string]map[int]map[string]bool{}}
+	p := &Pass{
+		Fset:    fset,
+		PkgPath: pkgPath,
+		Files:   files,
+		ignores: map[string]map[int]map[string]bool{},
+		above:   map[string]map[int]map[string]bool{},
+	}
 	for _, f := range files {
 		if p.PkgName == "" && f.Name != nil {
 			p.PkgName = f.Name.Name
@@ -104,12 +171,31 @@ func NewPass(fset *token.FileSet, pkgPath string, files []*ast.File) *Pass {
 			}
 		}
 	}
+	for _, f := range files {
+		p.extendIgnores(f)
+	}
 	return p
+}
+
+// addIgnore suppresses one analyzer on one line.
+func addTo(m map[string]map[int]map[string]bool, file string, line int, name string) {
+	byLine := m[file]
+	if byLine == nil {
+		byLine = map[int]map[string]bool{}
+		m[file] = byLine
+	}
+	set := byLine[line]
+	if set == nil {
+		set = map[string]bool{}
+		byLine[line] = set
+	}
+	set[name] = true
 }
 
 // indexIgnore records a "//dynalint:ignore name [reason]" directive. The
 // directive suppresses the named analyzer on its own line (trailing
-// comment) and on the following line (comment-above form).
+// comment) and on the following line (comment-above form); extendIgnores
+// later widens the comment-above form over multi-line statements.
 func (p *Pass) indexIgnore(c *ast.Comment) {
 	text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
 	text = strings.TrimSpace(text)
@@ -121,19 +207,36 @@ func (p *Pass) indexIgnore(c *ast.Comment) {
 		return
 	}
 	pos := p.Fset.Position(c.Pos())
-	byLine := p.ignores[pos.Filename]
-	if byLine == nil {
-		byLine = map[int]map[string]bool{}
-		p.ignores[pos.Filename] = byLine
-	}
-	for _, line := range []int{pos.Line, pos.Line + 1} {
-		set := byLine[line]
-		if set == nil {
-			set = map[string]bool{}
-			byLine[line] = set
+	addTo(p.ignores, pos.Filename, pos.Line, fields[0])
+	addTo(p.ignores, pos.Filename, pos.Line+1, fields[0])
+	addTo(p.above, pos.Filename, pos.Line+1, fields[0])
+}
+
+// extendIgnores widens the comment-above directive form: a directive on
+// the line above a statement or declaration that spans several lines
+// suppresses the analyzer on every line the node spans, so findings
+// reported against the statement's later lines (a wrapped call argument,
+// a multi-line composite literal) are still covered.
+func (p *Pass) extendIgnores(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl:
+		default:
+			return true
 		}
-		set[fields[0]] = true
-	}
+		start := p.Fset.Position(n.Pos())
+		end := p.Fset.Position(n.End())
+		if end.Line <= start.Line {
+			return true
+		}
+		set := p.above[start.Filename][start.Line]
+		for name := range set {
+			for line := start.Line + 1; line <= end.Line; line++ {
+				addTo(p.ignores, start.Filename, line, name)
+			}
+		}
+		return true
+	})
 }
 
 // ignored reports whether the named analyzer is suppressed at pos.

@@ -10,6 +10,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -74,13 +75,97 @@ func expectations(t *testing.T, dir string) map[string]map[int]string {
 	return out
 }
 
+// typed fixture support: one FileSet+Checker pair shared by every typed
+// fixture test, rooted at the module directory so `go list -export`
+// resolves the full stdlib dependency closure once.
+var (
+	typedOnce    sync.Once
+	typedFset    *token.FileSet
+	typedChecker *Checker
+)
+
+func fixtureChecker() (*token.FileSet, *Checker) {
+	typedOnce.Do(func() {
+		typedFset = token.NewFileSet()
+		typedChecker = NewChecker(typedFset, filepath.Join("..", ".."))
+	})
+	return typedFset, typedChecker
+}
+
+// parsePassTyped parses every .go file in dir into one Pass and
+// type-checks it under a synthetic import path; fixtures for typed
+// analyzers must type-check.
+func parsePassTyped(t *testing.T, dir, pkgPath string) *Pass {
+	t.Helper()
+	fset, checker := fixtureChecker()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixtures in %s", dir)
+	}
+	pass := NewPass(fset, pkgPath, files)
+	importPath := "dynaminer/fixture/" + filepath.ToSlash(dir)
+	info, pkg, err := checker.Check(importPath, files)
+	if err != nil {
+		t.Fatalf("type-check fixtures in %s: %v", dir, err)
+	}
+	pass.Info, pass.Pkg = info, pkg
+	return pass
+}
+
+// parseSrcTyped parses one in-memory file into a typed Pass.
+func parseSrcTyped(t *testing.T, pkgPath, name, src string) *Pass {
+	t.Helper()
+	fset, checker := fixtureChecker()
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	pass := NewPass(fset, pkgPath, []*ast.File{f})
+	info, pkg, err := checker.Check("dynaminer/fixture/src/"+name, []*ast.File{f})
+	if err != nil {
+		t.Fatalf("type-check %s: %v", name, err)
+	}
+	pass.Info, pass.Pkg = info, pkg
+	return pass
+}
+
 // runFixture analyzes testdata/<analyzer> and checks the findings
 // against the `// want` golden comments: one finding per want line with
 // a matching message, zero findings anywhere else (no false positives).
 func runFixture(t *testing.T, a Analyzer, pkgPath string) {
 	t.Helper()
 	dir := filepath.Join("testdata", a.Name())
-	pass := parsePass(t, dir, pkgPath)
+	checkFixture(t, a, parsePass(t, dir, pkgPath), dir)
+}
+
+// runTypedFixture is runFixture over a type-checked pass, with the
+// fixture directory named explicitly (the typed lockscope fixtures live
+// apart from the syntactic ones).
+func runTypedFixture(t *testing.T, a Analyzer, dir, pkgPath string) {
+	t.Helper()
+	d := filepath.Join("testdata", dir)
+	checkFixture(t, a, parsePassTyped(t, d, pkgPath), d)
+}
+
+// checkFixture verifies the findings of one analyzer over one fixture
+// pass against the `// want` golden comments.
+func checkFixture(t *testing.T, a Analyzer, pass *Pass, dir string) {
+	t.Helper()
 	findings := Run(pass, []Analyzer{a})
 	want := expectations(t, dir)
 
@@ -252,9 +337,191 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 		names[a.Name()] = true
 	}
-	for _, want := range []string{"hostfold", "zerotime", "lockscope", "floatsafe", "scratchsafe", "goguard", "metricname"} {
+	for _, want := range []string{
+		"hostfold", "zerotime", "lockscope", "floatsafe", "scratchsafe",
+		"goguard", "metricname", "maporder", "hotalloc", "panicmsg",
+	} {
 		if !names[want] {
 			t.Errorf("analyzer %s missing from All()", want)
 		}
+	}
+	if len(names) != 10 {
+		t.Errorf("suite has %d analyzers, want 10: %v", len(names), names)
+	}
+}
+
+// --- dynalint v2: typed analyzers ---
+
+func TestMaporderFixtures(t *testing.T) {
+	runTypedFixture(t, Maporder{}, "maporder", "internal/analysis/testdata")
+}
+
+func TestHotallocFixtures(t *testing.T) {
+	runTypedFixture(t, Hotalloc{}, "hotalloc", "internal/analysis/testdata")
+}
+
+// Panicmsg only runs over internal/ml and internal/detector, so its
+// fixture is analyzed under internal/ml.
+func TestPanicmsgFixtures(t *testing.T) {
+	runTypedFixture(t, Panicmsg{}, "panicmsg", "internal/ml")
+}
+
+func TestLockscopeTypedFixtures(t *testing.T) {
+	runTypedFixture(t, Lockscope{}, "lockscope_typed", "internal/analysis/testdata")
+}
+
+// TestPanicmsgScoped runs the bad panicmsg fixture under a package path
+// outside ml/detector: the quarantine ladder only attributes panics
+// crossing those boundaries, so nothing may be flagged.
+func TestPanicmsgScoped(t *testing.T) {
+	pass := parsePassTyped(t, filepath.Join("testdata", "panicmsg"), "internal/wcg")
+	if findings := Run(pass, []Analyzer{Panicmsg{}}); len(findings) != 0 {
+		t.Fatalf("panicmsg fired outside internal/ml and internal/detector: %v", findings)
+	}
+}
+
+// TestMaporderSyntacticFallback: without type information maporder still
+// catches ranges over locally-provable maps — the degraded mode the
+// driver falls back to when a package fails type checking.
+func TestMaporderSyntacticFallback(t *testing.T) {
+	const src = `package p
+
+func collect() []string {
+	m := make(map[string]string)
+	m["a"] = "b"
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	pass := parseSrc(t, "p", "fallback.go", src)
+	findings := Run(pass, []Analyzer{Maporder{}})
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "append inside map iteration") {
+		t.Fatalf("syntactic maporder findings = %v, want the unsorted append flagged", findings)
+	}
+}
+
+// TestIgnoreDirectiveMultiLineStatement is the regression test for the
+// directive edge case: an ignore on the line above a statement that
+// spans several lines must suppress findings reported on the
+// statement's later lines (here the append three lines below the
+// directive). Before the extendIgnores fix only the statement's first
+// line was covered and this test failed.
+func TestIgnoreDirectiveMultiLineStatement(t *testing.T) {
+	const src = `package p
+
+func collect() []string {
+	m := make(map[string]string)
+	m["a"] = "b"
+	var out []string
+	//dynalint:ignore maporder deliberate order-free collection
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	pass := parseSrc(t, "p", "multiline.go", src)
+	if findings := Run(pass, []Analyzer{Maporder{}}); len(findings) != 0 {
+		t.Fatalf("directive above a multi-line statement failed to suppress: %v", findings)
+	}
+}
+
+// TestMaporderFlagsPreV2SummarizeBug re-creates the pre-v2 cmd/dynaminer
+// payload summary: an inner map iteration appending the rendered parts.
+// The append order happened to be pinned by the equality guard, but the
+// shape is exactly the nondeterministic-collection bug class, and the
+// rewrite (index the map by rendered name, then walk sorted names) is
+// both deterministic by construction and no longer quadratic.
+func TestMaporderFlagsPreV2SummarizeBug(t *testing.T) {
+	const preV2 = `package main
+
+import "fmt"
+
+func payloadSummary(counts map[string]int, classes []string) []string {
+	var parts []string
+	for _, name := range classes {
+		for c, n := range counts {
+			if c == name {
+				parts = append(parts, fmt.Sprintf("%s=%d", name, n))
+			}
+		}
+	}
+	return parts
+}
+`
+	pass := parseSrcTyped(t, "cmd/dynaminer", "pre_v2_summarize.go", preV2)
+	findings := Run(pass, []Analyzer{Maporder{}})
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "append inside map iteration") {
+		t.Fatalf("maporder findings = %v, want the inner-loop append flagged", findings)
+	}
+}
+
+// TestMaporderFlagsPreV2FeaturereportBug re-creates the pre-v2
+// examples/featurereport output loop: ranging over a two-entry map
+// literal to write files and print, so the report lines swapped order
+// from run to run.
+func TestMaporderFlagsPreV2FeaturereportBug(t *testing.T) {
+	const preV2 = `package main
+
+import "fmt"
+
+func report(a, b int) {
+	for name, v := range map[string]int{"infection.dot": a, "benign.dot": b} {
+		fmt.Printf("wrote %s (%d)\n", name, v)
+	}
+}
+`
+	pass := parseSrc(t, "examples/featurereport", "pre_v2_report.go", preV2)
+	findings := Run(pass, []Analyzer{Maporder{}})
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "Printf inside map iteration") {
+		t.Fatalf("maporder findings = %v, want the Printf flagged", findings)
+	}
+}
+
+// TestLockscopeSyntacticFallbackStillRuns pins the degraded path: on an
+// untyped pass the pre-typed matcher still reports the plain unlocked
+// access (the lockscope fixture suite runs untyped for exactly this
+// reason).
+func TestLockscopeSyntacticFallbackStillRuns(t *testing.T) {
+	const src = `package p
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	// guarded by mu
+	n int
+}
+
+func bump(b *box) {
+	b.n++
+}
+`
+	pass := parseSrc(t, "p", "fallback_lock.go", src)
+	findings := Run(pass, []Analyzer{Lockscope{}})
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "never locks") {
+		t.Fatalf("syntactic lockscope findings = %v, want the unlocked access flagged", findings)
+	}
+}
+
+// TestHotallocQuietWithoutAnnotation: hotalloc binds only to annotated
+// functions, so an allocation-heavy unannotated package yields nothing.
+func TestHotallocQuietWithoutAnnotation(t *testing.T) {
+	const src = `package p
+
+func alloc(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+`
+	pass := parseSrc(t, "p", "quiet.go", src)
+	if findings := Run(pass, []Analyzer{Hotalloc{}}); len(findings) != 0 {
+		t.Fatalf("hotalloc fired without a hotpath annotation: %v", findings)
 	}
 }

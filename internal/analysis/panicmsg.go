@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// Panicmsg enforces the panic-attribution convention the detector's
+// quarantine ladder depends on: a panic that escapes a scoring call is
+// classified by its message prefix ("ml: ..." quarantines the model,
+// anything else indicts the caller), so every panic raised inside
+// internal/ml and internal/detector must carry the `"<pkg>: "` prefix.
+// PR 6 established the convention; this analyzer fossilizes it.
+//
+// A panic argument is accepted when it is:
+//
+//   - a string literal starting with the package prefix;
+//   - fmt.Sprintf / fmt.Errorf / errors.New whose first argument is a
+//     string literal starting with the prefix;
+//   - a re-panic of a recovered value (the enclosing function calls
+//     recover(); it is propagating someone else's panic, not minting
+//     its own).
+//
+// Everything else — a bare value, an unprefixed literal, a message
+// built where the analyzer cannot see the prefix — is flagged.
+type Panicmsg struct{}
+
+// Name implements Analyzer.
+func (Panicmsg) Name() string { return "panicmsg" }
+
+// Doc implements Analyzer.
+func (Panicmsg) Doc() string {
+	return `panics in internal/ml and internal/detector without the "pkg: ..." prefix the quarantine ladder attributes on`
+}
+
+// panicmsgScoped reports whether the analyzer applies to the package:
+// the quarantine ladder only attributes panics crossing the ml/detector
+// boundary.
+func panicmsgScoped(pkgPath string) bool {
+	base := pkgBase(pkgPath)
+	return base == "ml" || base == "detector"
+}
+
+// pkgBase returns the last path element of an import path.
+func pkgBase(pkgPath string) string {
+	if i := strings.LastIndexByte(pkgPath, '/'); i >= 0 {
+		return pkgPath[i+1:]
+	}
+	return pkgPath
+}
+
+// litHasPrefix reports whether e is a string literal whose value starts
+// with prefix.
+func litHasPrefix(e ast.Expr, prefix string) bool {
+	lit, ok := unparen(e).(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	val, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return false
+	}
+	return strings.HasPrefix(val, prefix)
+}
+
+// prefixedArg reports whether the panic argument provably carries the
+// package prefix: a prefixed literal, or a message-constructing call
+// (fmt.Sprintf, fmt.Errorf, errors.New) whose format/first argument is
+// a prefixed literal.
+func prefixedArg(arg ast.Expr, prefix string) bool {
+	arg = unparen(arg)
+	if litHasPrefix(arg, prefix) {
+		return true
+	}
+	call, ok := arg.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	switch {
+	case pkg.Name == "fmt" && (sel.Sel.Name == "Sprintf" || sel.Sel.Name == "Errorf"):
+		return litHasPrefix(call.Args[0], prefix)
+	case pkg.Name == "errors" && sel.Sel.Name == "New":
+		return litHasPrefix(call.Args[0], prefix)
+	}
+	return false
+}
+
+// callsRecover reports whether the function body calls recover()
+// anywhere — such functions re-panic values they did not mint.
+func callsRecover(fn ast.Node) bool {
+	body := funcBody(fn)
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// Run implements Analyzer.
+func (p Panicmsg) Run(pass *Pass) []Finding {
+	if !panicmsgScoped(pass.PkgPath) {
+		return nil
+	}
+	prefix := pkgBase(pass.PkgPath) + ": "
+	var out []Finding
+	for _, f := range pass.Files {
+		walkStack(f, func(stack []ast.Node) {
+			call, ok := stack[len(stack)-1].(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			id, ok := unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" || len(call.Args) != 1 {
+				return
+			}
+			if prefixedArg(call.Args[0], prefix) {
+				return
+			}
+			if callsRecover(enclosingFunc(stack)) {
+				return // re-panicking a recovered value
+			}
+			out = append(out, pass.finding(p.Name(), call.Pos(),
+				"panic message must start with %q so the quarantine ladder can attribute it; use panic(fmt.Sprintf(%q, ...))",
+				prefix, prefix+"..."))
+		})
+	}
+	return out
+}

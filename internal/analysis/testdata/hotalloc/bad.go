@@ -1,0 +1,46 @@
+// Fixture: every line marked `want` must be flagged by hotalloc.
+package fixtures
+
+import "fmt"
+
+//dynalint:hotpath
+func makeEveryCall(n int) []float64 {
+	buf := make([]float64, n) // want "make in a hotpath function"
+	return buf
+}
+
+//dynalint:hotpath
+func appendGrows(dst []int, xs []int) []int {
+	for _, x := range xs {
+		dst = append(dst, x) // want "append in a hotpath function"
+	}
+	return dst
+}
+
+//dynalint:hotpath
+func concat(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+//dynalint:hotpath
+func convert(b []byte) string {
+	return string(b) // want "string conversion"
+}
+
+//dynalint:hotpath
+func boxed(x int) {
+	sink(x) // want "boxed into an interface parameter"
+}
+
+func sink(v any) { _ = v }
+
+//dynalint:hotpath
+func closure(xs []int) func() int {
+	f := func() int { return len(xs) } // want "closure in a hotpath function"
+	return f
+}
+
+//dynalint:hotpath
+func sprintfBoxes(n int) string {
+	return fmt.Sprintf("n=%d", n) // want "boxed into an interface parameter"
+}

@@ -1,0 +1,72 @@
+// Fixture: nothing in this file may be flagged — every allocation is
+// cold (cap-guarded or on a panic path), amortized into reused capacity,
+// pointer-shaped, or outside an annotated function.
+package fixtures
+
+//dynalint:hotpath
+func capGuardedGrow(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	return dst
+}
+
+//dynalint:hotpath
+func capGuardedInit(dst []int, xs []int) []int {
+	if rem := len(xs) - (cap(dst) - len(dst)); rem > 0 {
+		grown := make([]int, len(dst), len(dst)+len(xs))
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, x := range xs {
+		dst = append(dst, x) //dynalint:ignore hotalloc capacity ensured by the grow block above
+	}
+	return dst
+}
+
+//dynalint:hotpath
+func panicPathIsCold(x []float64, nf int) {
+	if len(x) != nf {
+		msg := make([]byte, 0, 64) // the diagnostic branch never runs hot
+		panic(string(append(msg, "fixtures: bad dimension"...)))
+	}
+}
+
+//dynalint:hotpath
+func reuseAppend(q []int, adj [][]int, src int) []int {
+	q = q[:0]
+	q = append(q, src)
+	for head := 0; head < len(q); head++ {
+		for _, v := range adj[q[head]] {
+			q = append(q, v)
+		}
+	}
+	return q
+}
+
+//dynalint:hotpath
+func arenaCarve(und [][]int, arena []int, deg []int, pairs []uint64) {
+	off := 0
+	for u := range und {
+		und[u] = arena[off : off : off+deg[u]]
+		off += deg[u]
+	}
+	for _, p := range pairs {
+		a, b := int(p>>32), int(p&0xffffffff)
+		und[a] = append(und[a], b)
+		und[b] = append(und[b], a)
+	}
+}
+
+//dynalint:hotpath
+func pointerShapedArg(p *int) {
+	sink2(p) // a pointer fits the interface data word without allocating
+}
+
+func sink2(v any) { _ = v }
+
+// unannotated functions allocate freely.
+func unannotated(n int) []int {
+	return make([]int, n)
+}

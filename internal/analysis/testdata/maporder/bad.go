@@ -1,0 +1,60 @@
+// Fixture: every line marked `want` must be flagged by maporder.
+package fixtures
+
+import "fmt"
+
+// appendNoSort collects map keys with no deterministic order anywhere.
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append inside map iteration"
+	}
+	return out
+}
+
+// floatAccum sums float values in map order; float addition is not
+// associative, so the accumulated bits depend on iteration order.
+func floatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "floating-point accumulation"
+	}
+	return total
+}
+
+// selfAssignAccum is the x = x + v spelling of the accumulator.
+func selfAssignAccum(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // want "floating-point accumulation"
+	}
+	return sum
+}
+
+// counterSlot writes vector slots indexed by a loop counter: the slot an
+// element lands in depends on iteration order.
+func counterSlot(m map[string]float64, dst []float64) {
+	i := 0
+	for _, v := range m {
+		dst[i] = v // want "counter-indexed slot write"
+		i++
+	}
+}
+
+// serialize emits bytes in map order.
+func serialize(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "Printf inside map iteration"
+	}
+}
+
+// sortRemoved re-creates the removed-sort regression: this collect loop
+// was once followed by sort.Strings(out); with the sort deleted the
+// append must be flagged again.
+func sortRemoved(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k) // want "append inside map iteration"
+	}
+	return out
+}

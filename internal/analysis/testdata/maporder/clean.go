@@ -1,0 +1,73 @@
+// Fixture: nothing in this file may be flagged — every site either has a
+// deterministic order or feeds an order-insensitive sink.
+package fixtures
+
+import (
+	"fmt"
+	"sort"
+)
+
+// collectThenSort is the sanctioned idiom: gather, then sort.
+func collectThenSort(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// intAccum accumulates integers; integer addition is associative, so map
+// order cannot change the sum.
+func intAccum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// keyedWrites give every key its own slot: a key-indexed slice write and
+// a keyed map-element accumulator are order-insensitive slot-wise.
+func keyedWrites(m map[int]float64, dst []float64, acc map[int]float64) {
+	for k, v := range m {
+		dst[k] = v
+		acc[k] += v
+	}
+}
+
+// loopLocalAppend rebuilds each value list into a slice declared inside
+// the loop body; map order cannot influence any single rebuilt list.
+func loopLocalAppend(m map[string][]int) map[string][]int {
+	for k, list := range m {
+		kept := list[:0]
+		for _, v := range list {
+			if v >= 0 {
+				kept = append(kept, v)
+			}
+		}
+		m[k] = kept
+	}
+	return m
+}
+
+// sortedIteration serializes over sorted keys.
+func sortedIteration(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// sliceRange is not a map range at all.
+func sliceRange(xs []float64) float64 {
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}

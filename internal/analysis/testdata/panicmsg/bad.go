@@ -1,0 +1,33 @@
+// Fixture: every line marked `want` must be flagged by panicmsg. The
+// fixture is analyzed under package path internal/ml, so the required
+// prefix is "ml: ".
+package fixtures
+
+import (
+	"errors"
+	"fmt"
+)
+
+func barePanic(n int) {
+	if n < 0 {
+		panic("negative size") // want "must start with"
+	}
+}
+
+func sprintfNoPrefix(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad dimension %d", n)) // want "must start with"
+	}
+}
+
+func errNoPrefix() {
+	panic(errors.New("model not loaded")) // want "must start with"
+}
+
+func wrongPrefix() {
+	panic("detector: wrong package prefix") // want "must start with"
+}
+
+func nonLiteral(msg string) {
+	panic(msg) // want "must start with"
+}

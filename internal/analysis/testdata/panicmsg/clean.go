@@ -1,0 +1,34 @@
+// Fixture: nothing in this file may be flagged — every panic carries the
+// "ml: " prefix the quarantine ladder attributes on, or re-raises a
+// recovered value it did not mint.
+package fixtures
+
+import (
+	"errors"
+	"fmt"
+)
+
+func literalPrefixed(n int) {
+	if n < 0 {
+		panic("ml: negative size")
+	}
+}
+
+func sprintfPrefixed(nf, n int) {
+	if n != nf {
+		panic(fmt.Sprintf("ml: feature vector has %d features, forest was trained on %d", n, nf))
+	}
+}
+
+func errPrefixed() {
+	panic(errors.New("ml: model not loaded"))
+}
+
+func repanic(f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			panic(r)
+		}
+	}()
+	f()
+}

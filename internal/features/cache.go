@@ -65,6 +65,8 @@ func (c *Cache) Features() []float64 {
 
 // FeaturesInto syncs the cache with the WCG and writes the 37 features
 // into dst (grown if needed), returning it.
+//
+//dynalint:hotpath
 func (c *Cache) FeaturesInto(dst []float64) []float64 {
 	c.sync()
 	if cap(dst) < NumFeatures {
@@ -78,6 +80,8 @@ func (c *Cache) FeaturesInto(dst []float64) []float64 {
 // sync folds the edges appended since the last call into the running
 // aggregates, reassembles the O(1) slots, and recomputes the topology
 // slots when the structural projection changed.
+//
+//dynalint:hotpath
 func (c *Cache) sync() {
 	w := c.w
 	g := w.Graph() // materialized once, then grown in place by the builder
@@ -212,6 +216,8 @@ func (c *Cache) sync() {
 
 // recomputeTopology refreshes the GF slots that depend on the simple
 // structural projection, through the reusable scratch workspace.
+//
+//dynalint:hotpath
 func (c *Cache) recomputeTopology(g *graph.Digraph) {
 	s := c.scratch
 	c.v[11] = float64(g.DiameterS(s))

@@ -83,6 +83,7 @@ type passWS struct {
 // NewScratch returns an empty workspace.
 func NewScratch() *Scratch { return &Scratch{} }
 
+//dynalint:hotpath
 func growInts(s []int, n int) []int {
 	if cap(s) < n {
 		return make([]int, n)
@@ -90,6 +91,7 @@ func growInts(s []int, n int) []int {
 	return s[:n]
 }
 
+//dynalint:hotpath
 func growFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
@@ -129,6 +131,8 @@ func (w *passWS) size(n int) {
 // undirected returns the cached undirected simple projection of g,
 // rebuilding it (into reused storage) when the graph mutated. Adjacency
 // lists are sorted ascending, matching Digraph.undirectedSimple.
+//
+//dynalint:hotpath
 func (s *Scratch) undirected(g *Digraph) [][]int {
 	if s.undG == g && s.undV == g.version {
 		return s.und
@@ -181,6 +185,8 @@ func (s *Scratch) undirected(g *Digraph) [][]int {
 
 // directed returns the cached directed simple projection (distinct
 // successors, self-loops removed, sorted ascending).
+//
+//dynalint:hotpath
 func (s *Scratch) directed(g *Digraph) [][]int {
 	if s.dirG == g && s.dirV == g.version {
 		return s.dir
@@ -222,6 +228,8 @@ func (s *Scratch) directed(g *Digraph) [][]int {
 
 // bfsInto fills dist with BFS distances from src (-1 unreachable), reusing
 // queue as the frontier. It returns the queue in visit order.
+//
+//dynalint:hotpath
 func bfsInto(adj [][]int, src int, dist []int, queue []int) []int {
 	for i := range dist {
 		dist[i] = -1
@@ -349,6 +357,8 @@ func (s *Scratch) fanOutOrdered(n int, source func(src int, ws *passWS, buf []fl
 }
 
 // DiameterS is Diameter using scratch storage.
+//
+//dynalint:hotpath
 func (g *Digraph) DiameterS(s *Scratch) int {
 	adj := s.undirected(g)
 	s.ws0.size(len(adj))
@@ -366,6 +376,8 @@ func (g *Digraph) DiameterS(s *Scratch) int {
 
 // DegreeCentralityInto writes DegreeCentrality into dst (resized as
 // needed) and returns it.
+//
+//dynalint:hotpath
 func (g *Digraph) DegreeCentralityInto(dst []float64, s *Scratch) []float64 {
 	adj := s.undirected(g)
 	n := len(adj)
@@ -384,6 +396,8 @@ func (g *Digraph) DegreeCentralityInto(dst []float64, s *Scratch) []float64 {
 // ClosenessCentralityInto writes ClosenessCentrality into dst and returns
 // it. Each node's value is independent of the others, so the parallel
 // fan-out is bit-identical to the sequential pass.
+//
+//dynalint:hotpath
 func (g *Digraph) ClosenessCentralityInto(dst []float64, s *Scratch) []float64 {
 	adj := s.undirected(g)
 	n := len(adj)
@@ -393,6 +407,7 @@ func (g *Digraph) ClosenessCentralityInto(dst []float64, s *Scratch) []float64 {
 		return dst
 	}
 	if s.parallel(n) {
+		//dynalint:ignore hotalloc the fan-out closure is allocated once per call and amortized over >= cutoff sources
 		s.fanOutIndependent(n, func(u int, ws *passWS) {
 			closenessSource(adj, u, ws, dst)
 		})
@@ -407,6 +422,8 @@ func (g *Digraph) ClosenessCentralityInto(dst []float64, s *Scratch) []float64 {
 
 // closenessSource computes one node's Wasserman–Faust closeness and writes
 // it to dst[u]; no other slot is touched, so concurrent sources are safe.
+//
+//dynalint:hotpath
 func closenessSource(adj [][]int, u int, ws *passWS, dst []float64) {
 	n := len(adj)
 	ws.queue = bfsInto(adj, u, ws.dist, ws.queue)
@@ -425,6 +442,8 @@ func closenessSource(adj [][]int, u int, ws *passWS, dst []float64) {
 
 // brandesSource runs one Brandes accumulation from src, adding each node's
 // dependency into acc (the source itself excluded).
+//
+//dynalint:hotpath
 func brandesSource(adj [][]int, src int, ws *passWS, acc []float64) {
 	n := len(adj)
 	ws.stack = ws.stack[:0]
@@ -466,6 +485,8 @@ func brandesSource(adj [][]int, src int, ws *passWS, acc []float64) {
 // BetweennessCentralityInto writes BetweennessCentrality into dst and
 // returns it, fanning the per-source Brandes passes over the worker pool
 // for graphs at or above the parallel cutoff.
+//
+//dynalint:hotpath
 func (g *Digraph) BetweennessCentralityInto(dst []float64, s *Scratch) []float64 {
 	adj := s.undirected(g)
 	n := len(adj)
@@ -478,6 +499,7 @@ func (g *Digraph) BetweennessCentralityInto(dst []float64, s *Scratch) []float64
 		// Each source adds at most once into each slot of its private
 		// buffer, so the ordered merge reproduces the sequential
 		// summation exactly.
+		//dynalint:ignore hotalloc the fan-out closures are allocated once per call and amortized over >= cutoff sources
 		s.fanOutOrdered(n,
 			func(src int, ws *passWS, buf []float64) { brandesSource(adj, src, ws, buf) },
 			func(buf []float64) {
@@ -500,6 +522,8 @@ func (g *Digraph) BetweennessCentralityInto(dst []float64, s *Scratch) []float64
 
 // loadSource routes one unit of commodity from src to every reachable node
 // along shortest paths (Goh load), accumulating the transit load into acc.
+//
+//dynalint:hotpath
 func loadSource(adj [][]int, src int, ws *passWS, acc []float64) {
 	ws.queue = bfsInto(adj, src, ws.dist, ws.queue)
 	dist := ws.dist
@@ -546,6 +570,8 @@ func loadSource(adj [][]int, src int, ws *passWS, acc []float64) {
 // accumulator slot many times during one pass, so a buffered parallel
 // merge could not reproduce the sequential summation order bit-for-bit —
 // and bit-identity with the plain implementation is the contract here.
+//
+//dynalint:hotpath
 func (g *Digraph) LoadCentralityInto(dst []float64, s *Scratch) []float64 {
 	adj := s.undirected(g)
 	n := len(adj)
@@ -633,6 +659,7 @@ func (g *Digraph) NodeConnectivityS(s *Scratch) int {
 	return best
 }
 
+//dynalint:hotpath
 func growBools(s []bool, n int) []bool {
 	if cap(s) < n {
 		return make([]bool, n)
@@ -643,6 +670,8 @@ func growBools(s []bool, n int) []bool {
 // AvgClusteringCoefficientS is AvgClusteringCoefficient using scratch
 // storage; the mean is accumulated in node order, matching
 // Mean(ClusteringCoefficients()).
+//
+//dynalint:hotpath
 func (g *Digraph) AvgClusteringCoefficientS(s *Scratch) float64 {
 	adj := s.undirected(g)
 	n := len(adj)
@@ -679,6 +708,8 @@ func (g *Digraph) AvgClusteringCoefficientS(s *Scratch) float64 {
 }
 
 // AvgNeighborDegreesInto writes AvgNeighborDegrees into dst and returns it.
+//
+//dynalint:hotpath
 func (g *Digraph) AvgNeighborDegreesInto(dst []float64, s *Scratch) []float64 {
 	adj := s.undirected(g)
 	dst = growFloats(dst, len(adj))
@@ -699,6 +730,8 @@ func (g *Digraph) AvgNeighborDegreesInto(dst []float64, s *Scratch) []float64 {
 // AvgDegreeConnectivityS is AvgDegreeConnectivity using scratch storage:
 // per-degree sums in slice buckets, combined in ascending-degree order —
 // the same deterministic order the map-based implementation sorts into.
+//
+//dynalint:hotpath
 func (g *Digraph) AvgDegreeConnectivityS(s *Scratch) float64 {
 	adj := s.undirected(g)
 	maxDeg := 0
@@ -741,6 +774,8 @@ func (g *Digraph) AvgDegreeConnectivityS(s *Scratch) float64 {
 }
 
 // AvgNodesWithinKS is AvgNodesWithinK using scratch storage.
+//
+//dynalint:hotpath
 func (g *Digraph) AvgNodesWithinKS(k int, s *Scratch) float64 {
 	adj := s.undirected(g)
 	n := len(adj)
@@ -762,6 +797,8 @@ func (g *Digraph) AvgNodesWithinKS(k int, s *Scratch) float64 {
 
 // PageRankInto writes PageRank into dst and returns it, using scratch
 // storage for the directed projection and the iteration vectors.
+//
+//dynalint:hotpath
 func (g *Digraph) PageRankInto(dst []float64, s *Scratch, d float64, iters int, tol float64) []float64 {
 	adj := s.directed(g)
 	n := len(adj)
@@ -819,6 +856,8 @@ func (g *Digraph) PageRankInto(dst []float64, s *Scratch, d float64, iters int, 
 }
 
 // CoreNumbersInto writes CoreNumbers into dst and returns it.
+//
+//dynalint:hotpath
 func (g *Digraph) CoreNumbersInto(dst []int, s *Scratch) []int {
 	adj := s.undirected(g)
 	n := len(adj)

@@ -157,6 +157,8 @@ func newStreamParser() *streamParser {
 }
 
 // start aims the reader stack at a new direction's bytes.
+//
+//dynalint:hotpath
 func (p *streamParser) start(data []byte) {
 	p.rd.Reset(data)
 	p.cr = countingReader{r: &p.rd}
@@ -167,6 +169,8 @@ func (p *streamParser) start(data []byte) {
 // element-wise first: their *http.Request/*http.Response references (and
 // body prefixes) now belong to the extracted Transactions, and a pooled
 // parser must not keep them alive.
+//
+//dynalint:hotpath
 func (p *streamParser) release() {
 	clear(p.reqs)
 	clear(p.resps)
@@ -189,6 +193,8 @@ func parseResponses(data []byte, reqs []reqMsg) []respMsg {
 // requests parses consecutive HTTP requests from data into the parser's
 // reused slice, recording each request's byte offset. Parsing stops at the
 // first malformed message.
+//
+//dynalint:hotpath
 func (p *streamParser) requests(data []byte) []reqMsg {
 	p.start(data)
 	out := p.reqs[:0]
@@ -221,14 +227,16 @@ func (p *streamParser) requests(data []byte) []reqMsg {
 // responses parses consecutive HTTP responses from data into the parser's
 // reused slice. Each response is matched positionally against the request
 // list so HEAD and status-only semantics resolve correctly.
+//
+//dynalint:hotpath
 func (p *streamParser) responses(data []byte, reqs []reqMsg) []respMsg {
 	p.start(data)
 	out := p.resps[:0]
-	defer func() { p.resps = out }()
 	for i := 0; ; i++ {
 		// Same dead-allocation avoidance as the request loop: ReadResponse
 		// builds its Response before touching the input.
 		if _, err := p.br.Peek(1); err != nil {
+			p.resps = out
 			return out
 		}
 		offset := p.cr.n - p.br.Buffered()
@@ -238,6 +246,7 @@ func (p *streamParser) responses(data []byte, reqs []reqMsg) []respMsg {
 		}
 		resp, err := http.ReadResponse(p.br, req)
 		if err != nil {
+			p.resps = out
 			return out
 		}
 		bodyStart := p.cr.n - p.br.Buffered()
@@ -259,6 +268,7 @@ func (p *streamParser) responses(data []byte, reqs []reqMsg) []respMsg {
 		out = append(out, respMsg{resp: resp, offset: offset, body: body, bodySize: size})
 		if bodyErr != nil {
 			// Truncated body (capture cut mid-transfer): keep the prefix, stop.
+			p.resps = out
 			return out
 		}
 	}
@@ -306,6 +316,8 @@ func ExtractPair(c2s, s2c *pcap.Stream) []Transaction {
 // slices) comes from a pool, so steady-state ingestion of many
 // conversations stops allocating per-stream scaffolding; bulk extraction
 // (ExtractAll) also reuses one destination slice across conversations.
+//
+//dynalint:hotpath
 func ExtractPairInto(dst []Transaction, c2s, s2c *pcap.Stream) []Transaction {
 	start := parseClock()
 	p := parserPool.Get().(*streamParser)
@@ -348,7 +360,7 @@ func ExtractPairInto(dst []Transaction, c2s, s2c *pcap.Stream) []Transaction {
 		} else {
 			tx.RespHdr = http.Header{}
 		}
-		out = append(out, tx)
+		out = append(out, tx) //dynalint:ignore hotalloc capacity for every request is ensured by the grow block above
 	}
 	parseSeconds.Observe(parseClock().Sub(start).Seconds())
 	parseBytes.Add(payloadBytes)

@@ -105,6 +105,8 @@ func (ff *FlatForest) checkDim(x []float64) {
 }
 
 // leafFor walks one tree to the leaf x lands in and returns its slab index.
+//
+//dynalint:hotpath
 func (ff *FlatForest) leafFor(t int, x []float64) int32 {
 	feats, thr, right := ff.feature, ff.threshold, ff.right
 	i := ff.treeStart[t]
@@ -123,6 +125,8 @@ func (ff *FlatForest) leafFor(t int, x []float64) int32 {
 
 // Score returns the averaged probability that x is an infection —
 // bit-identical to Forest.Score.
+//
+//dynalint:hotpath
 func (ff *FlatForest) Score(x []float64) float64 {
 	ff.checkDim(x)
 	sum := 0.0
@@ -137,6 +141,8 @@ func (ff *FlatForest) Score(x []float64) float64 {
 // accumulating in exactly the same order as Score (and as the pointer
 // forest), so the score is bit-identical — the detector's alert journal
 // relies on that.
+//
+//dynalint:hotpath
 func (ff *FlatForest) ScoreWithVotes(x []float64) (score float64, votes, trees int) {
 	ff.checkDim(x)
 	sum := 0.0
@@ -152,6 +158,8 @@ func (ff *FlatForest) ScoreWithVotes(x []float64) (score float64, votes, trees i
 }
 
 // Predict classifies x by probability averaging with a 0.5 threshold.
+//
+//dynalint:hotpath
 func (ff *FlatForest) Predict(x []float64) int {
 	if ff.Score(x) > 0.5 {
 		return LabelInfection
@@ -164,6 +172,8 @@ func (ff *FlatForest) Predict(x []float64) int {
 // the per-tree dispatch across the batch. Per sample the leaf
 // probabilities still accumulate in tree order with one final divide, so
 // every dst[i] is bit-identical to Score(X[i]).
+//
+//dynalint:hotpath
 func (ff *FlatForest) scoreBatchKernel(dst []float64, X [][]float64) {
 	for i := range dst {
 		dst[i] = 0
@@ -184,6 +194,8 @@ func (ff *FlatForest) scoreBatchKernel(dst []float64, X [][]float64) {
 // into dst[i]. dst is grown only when its capacity is insufficient; the
 // (possibly reallocated) slice is returned, and nothing allocates when
 // dst has room.
+//
+//dynalint:hotpath
 func (ff *FlatForest) ScoreBatch(dst []float64, X [][]float64) []float64 {
 	for _, x := range X {
 		ff.checkDim(x)
