@@ -49,6 +49,7 @@ fuzz:
 	$(GO) test ./internal/httpstream -run '^$$' -fuzz '^FuzzParseResponses$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/httpstream -run '^$$' -fuzz '^FuzzExtractPair$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ml -run '^$$' -fuzz '^FuzzLoadForest$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ml -run '^$$' -fuzz '^FuzzLoadFlatBlob$$' -fuzztime $(FUZZTIME)
 
 # Bench: run the benchmark suite and record the parsed results as JSON.
 # BENCH_PATTERN narrows the run (CI smokes just the classify trio);
@@ -58,7 +59,7 @@ fuzz:
 # overhead bar — and fails the target when violated.
 BENCH_PATTERN ?= .
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_8.json
 BENCH_GATE ?=
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCHTIME) -count 1 -benchmem . \

@@ -7,6 +7,7 @@ package dynaminer
 // DESIGN.md §4 maps each benchmark to the paper artifact it regenerates.
 
 import (
+	"bytes"
 	"net/http"
 	"net/netip"
 	"sync"
@@ -16,6 +17,7 @@ import (
 
 	"dynaminer/internal/detector"
 	"dynaminer/internal/experiments"
+	"dynaminer/internal/features"
 	"dynaminer/internal/ml"
 	"dynaminer/internal/obs"
 	"dynaminer/internal/synth"
@@ -563,6 +565,120 @@ func BenchmarkTrainForest(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ml.TrainForest(ds, ml.ForestConfig{NumTrees: 5, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Extraction-path benchmarks: the same 64 chain-prefix WCGs featurized by
+// per-episode Extract (fresh cache and scratch per vector — the old
+// dataset-builder loop) and by the batched slab path every dataset builder
+// and experiment driver now uses. CI gates ExtractBatch/ExtractPerEpisode
+// so the batch path stays materially faster per vector.
+
+// benchExtractionWCGs caches the chain-prefix episode WCGs.
+var benchExtractionWCGs []*WCG
+
+func extractionWCGsForBench(b *testing.B) []*WCG {
+	b.Helper()
+	if benchExtractionWCGs == nil {
+		txs := chainTxsForBench(b)
+		for n := 10; n <= len(txs) && len(benchExtractionWCGs) < 64; n += 3 {
+			benchExtractionWCGs = append(benchExtractionWCGs, BuildWCG(txs[:n]))
+		}
+	}
+	return benchExtractionWCGs
+}
+
+func BenchmarkExtractPerEpisode(b *testing.B) {
+	ws := extractionWCGsForBench(b)
+	features.Extract(ws[0]) // warm caches so 1-iteration records are steady-state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range ws {
+			if v := features.Extract(w); len(v) != NumFeatures {
+				b.Fatal("bad vector")
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(ws)), "ns/vector")
+}
+
+func BenchmarkExtractBatch(b *testing.B) {
+	ws := extractionWCGsForBench(b)
+	features.ExtractBatch(ws[:1]) // warm caches so 1-iteration records are steady-state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vs := features.ExtractBatch(ws); len(vs) != len(ws) {
+			b.Fatal("lost vectors")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(ws)), "ns/vector")
+}
+
+// Model-artifact benchmarks: the same trained ensemble deserialized from
+// its JSON wire form (full parse + node-stream rebuild) and from the flat
+// blob (header decode + checksum sweep + slab validation, no parse). CI
+// gates LoadFlatBlob/LoadForestJSON at a hard multiple.
+
+func modelArtifactsForBench(b *testing.B) (jsonBytes, blobBytes []byte) {
+	b.Helper()
+	clf := classifierForBench(b)
+	var jb bytes.Buffer
+	if err := clf.Save(&jb); err != nil {
+		b.Fatal(err)
+	}
+	return jb.Bytes(), clf.FlatForest().AppendFlatBlob(nil)
+}
+
+func BenchmarkLoadForestJSON(b *testing.B) {
+	jsonBytes, _ := modelArtifactsForBench(b)
+	// Warm encoding/json's lazily built type caches so 1-iteration
+	// records measure steady-state load cost, not first-call setup.
+	if _, err := ml.LoadForest(bytes.NewReader(jsonBytes)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(jsonBytes)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.LoadForest(bytes.NewReader(jsonBytes)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadFlatBlob(b *testing.B) {
+	_, blob := modelArtifactsForBench(b)
+	// Warm hash/crc32's lazily built slicing-by-8 table so 1-iteration
+	// records measure steady-state load cost, not first-call setup.
+	if _, err := ml.LoadFlatBlob(bytes.NewReader(blob)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.LoadFlatBlob(bytes.NewReader(blob)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadFlatBlobMapped measures the zero-copy path over an
+// already-resident buffer — what serving off an mmap-ed model file costs.
+func BenchmarkLoadFlatBlobMapped(b *testing.B) {
+	_, blob := modelArtifactsForBench(b)
+	if _, err := ml.LoadFlatBlobMapped(blob); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.LoadFlatBlobMapped(blob); err != nil {
 			b.Fatal(err)
 		}
 	}

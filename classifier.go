@@ -1,11 +1,13 @@
 package dynaminer
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"os"
 
 	"dynaminer/internal/core"
+	"dynaminer/internal/detector"
 	"dynaminer/internal/features"
 	"dynaminer/internal/ml"
 )
@@ -21,9 +23,19 @@ type TrainConfig struct {
 	Seed int64
 }
 
-// Classifier is a trained ERF model over the 37 WCG features.
+// Classifier is a trained ERF model over the 37 WCG features. It always
+// carries the flattened struct-of-arrays form (the one the detector and
+// every scoring method traverse); the pointer forest is retained when the
+// model was trained or JSON-loaded in this process and is nil for models
+// loaded from a flat blob, whose artifact is already the flat layout.
 type Classifier struct {
-	forest *ml.Forest
+	forest *ml.Forest     // nil when loaded from a flat blob
+	flat   *ml.FlatForest // never nil
+}
+
+// fromForest wraps a pointer forest, flattening once up front.
+func fromForest(f *ml.Forest) *Classifier {
+	return &Classifier{forest: f, flat: f.Flatten()}
 }
 
 // conversations adapts a corpus to the core training pipelines.
@@ -42,7 +54,7 @@ func Train(episodes []Episode, cfg TrainConfig) (*Classifier, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Classifier{forest: forest}, nil
+	return fromForest(forest), nil
 }
 
 // TrainForMonitoring fits an ERF on the corpus as the on-the-wire stage
@@ -56,7 +68,7 @@ func TrainForMonitoring(episodes []Episode, cfg TrainConfig) (*Classifier, error
 	if err != nil {
 		return nil, err
 	}
-	return &Classifier{forest: forest}, nil
+	return fromForest(forest), nil
 }
 
 // EpisodeDataset converts a labeled corpus into a feature matrix.
@@ -67,20 +79,30 @@ func EpisodeDataset(episodes []Episode) *ml.Dataset {
 // Score returns the ensemble-averaged probability that the WCG is a
 // malware infection.
 func (c *Classifier) Score(w *WCG) float64 {
-	return c.forest.Score(features.Extract(w))
+	return c.flat.Score(features.Extract(w))
 }
 
 // IsInfection classifies the WCG with the standard 0.5 threshold.
 func (c *Classifier) IsInfection(w *WCG) bool { return c.Score(w) > 0.5 }
 
 // ScoreFeatures scores a precomputed feature vector (the detector's path).
-func (c *Classifier) ScoreFeatures(x []float64) float64 { return c.forest.Score(x) }
+func (c *Classifier) ScoreFeatures(x []float64) float64 { return c.flat.Score(x) }
 
-// Forest exposes the underlying ensemble for evaluation tooling.
+// Forest exposes the underlying pointer ensemble for evaluation tooling.
+// It is nil for classifiers loaded from a flat blob, which carry only the
+// flattened form; FlatForest is always available and scores identically.
 func (c *Classifier) Forest() *ml.Forest { return c.forest }
 
-// Save persists the trained model as JSON.
-func (c *Classifier) Save(w io.Writer) error { return c.forest.Save(w) }
+// FlatForest exposes the flattened ensemble every scoring path uses.
+func (c *Classifier) FlatForest() *ml.FlatForest { return c.flat }
+
+// scorer is the model handed to detector engines: always the flat form,
+// so engine construction never re-flattens.
+func (c *Classifier) scorer() detector.Scorer { return c.flat }
+
+// Save persists the trained model as JSON — byte-identical whether the
+// classifier was trained, JSON-loaded, or blob-loaded.
+func (c *Classifier) Save(w io.Writer) error { return c.flat.Save(w) }
 
 // SaveFile persists the trained model to a file path.
 func (c *Classifier) SaveFile(path string) error {
@@ -92,13 +114,38 @@ func (c *Classifier) SaveFile(path string) error {
 	return c.Save(f)
 }
 
-// Load reads a model previously written by Save.
+// SaveBlob persists the trained model as the flat binary blob — the
+// zero-parse artifact Load reads back without JSON decoding (and
+// ml.LoadFlatBlobMapped can alias straight off a mapped file).
+func (c *Classifier) SaveBlob(w io.Writer) error { return c.flat.SaveFlatBlob(w) }
+
+// SaveBlobFile persists the flat binary blob to a file path.
+func (c *Classifier) SaveBlobFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("save model blob: %w", err)
+	}
+	defer f.Close()
+	return c.SaveBlob(f)
+}
+
+// Load reads a model previously written by Save or SaveBlob, sniffing the
+// format from the leading bytes: the flat-blob magic selects the binary
+// loader, anything else is parsed as JSON.
 func Load(r io.Reader) (*Classifier, error) {
-	forest, err := ml.LoadForest(r)
+	br := bufio.NewReader(r)
+	if prefix, err := br.Peek(4); err == nil && ml.IsFlatBlob(prefix) {
+		flat, err := ml.LoadFlatBlob(br)
+		if err != nil {
+			return nil, err
+		}
+		return &Classifier{flat: flat}, nil
+	}
+	forest, err := ml.LoadForest(br)
 	if err != nil {
 		return nil, err
 	}
-	return &Classifier{forest: forest}, nil
+	return fromForest(forest), nil
 }
 
 // LoadFile reads a model from a file path.
@@ -109,4 +156,22 @@ func LoadFile(path string) (*Classifier, error) {
 	}
 	defer f.Close()
 	return Load(f)
+}
+
+// ModelInfo summarizes a trained model's shape and configuration.
+type ModelInfo struct {
+	Trees    int
+	Nodes    int
+	Features int
+	Config   ml.ForestConfig
+}
+
+// Info reports the model's shape and training configuration.
+func (c *Classifier) Info() ModelInfo {
+	return ModelInfo{
+		Trees:    c.flat.NumTrees(),
+		Nodes:    c.flat.NumNodes(),
+		Features: c.flat.NumFeatures(),
+		Config:   c.flat.Config(),
+	}
 }

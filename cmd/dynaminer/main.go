@@ -10,6 +10,8 @@
 //	dynaminer proxy -model model.json -listen 127.0.0.1:8080
 //	dynaminer journal alerts.jsonl
 //	dynaminer metrics -addr 127.0.0.1:9090
+//	dynaminer model convert -in model.json -out model.dmfb -format blob
+//	dynaminer model info model.dmfb
 //
 // "stream" and "proxy" take -admin-addr to serve the observability
 // endpoints (Prometheus /metrics, /healthz, JSON /snapshot, /debug/pprof/)
@@ -48,9 +50,11 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: dynaminer <train|classify|stream|features|summarize|dataset|verify|proxy|journal|metrics> [flags]")
+		return fmt.Errorf("usage: dynaminer <train|classify|stream|features|summarize|dataset|verify|proxy|journal|metrics|model> [flags]")
 	}
 	switch args[0] {
+	case "model":
+		return runModel(args[1:])
 	case "train":
 		return runTrain(args[1:])
 	case "classify":

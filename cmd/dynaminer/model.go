@@ -1,0 +1,110 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dynaminer"
+	"dynaminer/internal/ml"
+)
+
+// runModel dispatches the model artifact tooling: converting between the
+// JSON and flat-blob serializations and inspecting a saved model.
+func runModel(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: dynaminer model <convert|info> [flags]")
+	}
+	switch args[0] {
+	case "convert":
+		return runModelConvert(args[1:])
+	case "info":
+		return runModelInfo(args[1:])
+	default:
+		return fmt.Errorf("unknown model subcommand %q", args[0])
+	}
+}
+
+// runModelConvert rewrites a model in the requested serialization. Both
+// loaders and both writers preserve scores bit-for-bit, so converting is
+// always verdict-safe; JSON -> blob -> JSON round trips byte-identically.
+func runModelConvert(args []string) error {
+	fs := flag.NewFlagSet("model convert", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "", "input model path (JSON or flat blob; format is sniffed)")
+		out    = fs.String("out", "", "output model path")
+		format = fs.String("format", "blob", "output format: blob (zero-parse binary) or json")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("model convert: -in and -out are required")
+	}
+	clf, err := dynaminer.LoadFile(*in)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "blob":
+		err = clf.SaveBlobFile(*out)
+	case "json":
+		err = clf.SaveFile(*out)
+	default:
+		return fmt.Errorf("model convert: unknown -format %q (want blob or json)", *format)
+	}
+	if err != nil {
+		return err
+	}
+	fi, statErr := os.Stat(*out)
+	if statErr != nil {
+		return statErr
+	}
+	fmt.Printf("wrote %s model to %s (%d bytes)\n", *format, *out, fi.Size())
+	return nil
+}
+
+// runModelInfo prints a saved model's format, shape, and configuration.
+func runModelInfo(args []string) error {
+	fs := flag.NewFlagSet("model info", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: dynaminer model info <model-path>")
+	}
+	path := fs.Arg(0)
+	format, err := sniffModelFormat(path)
+	if err != nil {
+		return err
+	}
+	clf, err := dynaminer.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	info := clf.Info()
+	fmt.Printf("path:       %s\n", path)
+	fmt.Printf("format:     %s\n", format)
+	fmt.Printf("trees:      %d\n", info.Trees)
+	fmt.Printf("nodes:      %d\n", info.Nodes)
+	fmt.Printf("features:   %d\n", info.Features)
+	fmt.Printf("config:     trees=%d max-features=%d min-samples-leaf=%d max-depth=%d seed=%d\n",
+		info.Config.NumTrees, info.Config.MaxFeatures, info.Config.MinSamplesLeaf,
+		info.Config.MaxDepth, info.Config.Seed)
+	return nil
+}
+
+// sniffModelFormat reports "blob" or "json" from a model file's magic.
+func sniffModelFormat(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	prefix := make([]byte, 4)
+	if _, err := io.ReadFull(f, prefix); err == nil && ml.IsFlatBlob(prefix) {
+		return "blob", nil
+	}
+	return "json", nil
+}

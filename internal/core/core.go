@@ -49,16 +49,18 @@ func label(infection bool) int {
 }
 
 // OfflineDataset featurizes whole conversations (Stage 1: one WCG per
-// recorded trace).
+// recorded trace). Vectors come from the batched extractor, so the whole
+// dataset lands in one slab and the featurization scaffolding is built
+// once instead of per conversation; each vector is bit-identical to
+// features.Extract on the same WCG.
 func OfflineDataset(convs []LabeledConversation) *ml.Dataset {
-	ds := &ml.Dataset{
-		X: make([][]float64, 0, len(convs)),
-		Y: make([]int, 0, len(convs)),
-	}
+	ws := make([]*wcg.WCG, len(convs))
+	ds := &ml.Dataset{Y: make([]int, 0, len(convs))}
 	for i := range convs {
-		ds.X = append(ds.X, features.Extract(wcg.FromTransactions(convs[i].Txs)))
+		ws[i] = wcg.FromTransactions(convs[i].Txs)
 		ds.Y = append(ds.Y, label(convs[i].Infection))
 	}
+	ds.X = features.ExtractBatch(ws)
 	return ds
 }
 
@@ -76,18 +78,20 @@ var monitorExtraction = detector.Config{RedirectThreshold: 1}
 // representations.
 func MonitorDataset(convs []LabeledConversation) *ml.Dataset {
 	ds := &ml.Dataset{}
+	var ws []*wcg.WCG
 	for i := range convs {
 		y := label(convs[i].Infection)
 		subs := detector.ClueSubsets(monitorExtraction, convs[i].Txs)
 		for _, sub := range subs {
-			ds.X = append(ds.X, features.Extract(wcg.FromTransactions(sub)))
+			ws = append(ws, wcg.FromTransactions(sub))
 			ds.Y = append(ds.Y, y)
 		}
 		if len(subs) == 0 || !convs[i].Infection {
-			ds.X = append(ds.X, features.Extract(wcg.FromTransactions(convs[i].Txs)))
+			ws = append(ws, wcg.FromTransactions(convs[i].Txs))
 			ds.Y = append(ds.Y, y)
 		}
 	}
+	ds.X = features.ExtractBatch(ws)
 	return ds
 }
 

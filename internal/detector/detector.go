@@ -350,6 +350,12 @@ type Engine struct {
 	scratch *graph.Scratch
 	fvec    []float64
 	subset  []httpstream.Transaction
+	// rebuild is the reusable feature cache for the from-scratch classify
+	// fallback: Reset against each rebuilt WCG, it derives the vector with
+	// the engine's shared scratch instead of allocating fresh featurization
+	// state per rebuild. Bit-identical to features.Extract by the Reset
+	// contract.
+	rebuild features.Cache
 	// now and classifyEWMA drive overload detection: an exponentially
 	// weighted average of classify wall time, compared against
 	// Config.MaxClassifyLatency. timed enables the clock reads: set when
@@ -649,7 +655,9 @@ func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 			e.subset = append(e.subset, c.txs[i])
 		}
 		g = wcg.FromTransactions(e.subset)
-		x = features.Extract(g)
+		e.rebuild.Reset(g, e.scratch)
+		e.fvec = e.rebuild.FeaturesInto(e.fvec)
+		x = e.fvec
 		e.mx.rebuilds.Inc()
 	}
 	score := e.scoreVector(x)

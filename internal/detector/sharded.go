@@ -23,6 +23,16 @@ import (
 // ShardedEngine is safe for concurrent use.
 type ShardedEngine struct {
 	shards []*engineShard
+	// slabs pools ProcessAll's per-call scratch (the per-transaction result
+	// table and per-shard index groups), so steady-state slab ingestion
+	// stops allocating scaffolding proportional to the slab size.
+	slabs sync.Pool
+}
+
+// slabScratch is ProcessAll's pooled working state.
+type slabScratch struct {
+	results [][]Alert
+	groups  [][]int
 }
 
 type engineShard struct {
@@ -144,11 +154,27 @@ func (s *ShardedEngine) ProcessAll(txs []httpstream.Transaction) []Alert {
 	if len(txs) == 0 {
 		return nil
 	}
-	results := make([][]Alert, len(txs))
+	ws, _ := s.slabs.Get().(*slabScratch)
+	if ws == nil {
+		ws = &slabScratch{}
+	}
+	if cap(ws.results) < len(txs) {
+		ws.results = make([][]Alert, len(txs))
+	}
+	results := ws.results[:len(txs)]
+	for i := range results {
+		results[i] = nil
+	}
 	if len(s.shards) == 1 {
 		s.shards[0].processSlab(txs, nil, results)
 	} else {
-		groups := make([][]int, len(s.shards))
+		if cap(ws.groups) < len(s.shards) {
+			ws.groups = make([][]int, len(s.shards))
+		}
+		groups := ws.groups[:len(s.shards)]
+		for i := range groups {
+			groups[i] = groups[i][:0]
+		}
 		for i := range txs {
 			si := s.shardIndex(txs[i].ClientIP)
 			groups[si] = append(groups[si], i)
@@ -182,13 +208,17 @@ func (s *ShardedEngine) ProcessAll(txs []httpstream.Transaction) []Alert {
 	for _, a := range results {
 		n += len(a)
 	}
-	if n == 0 {
-		return nil
+	var alerts []Alert
+	if n > 0 {
+		alerts = make([]Alert, 0, n)
+		for _, a := range results {
+			alerts = append(alerts, a...)
+		}
 	}
-	alerts := make([]Alert, 0, n)
-	for _, a := range results {
-		alerts = append(alerts, a...)
+	for i := range results {
+		results[i] = nil // release alert references before pooling
 	}
+	s.slabs.Put(ws)
 	return alerts
 }
 

@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"dynaminer/internal/features"
+	"dynaminer/internal/httpstream"
 	"dynaminer/internal/synth"
-	"dynaminer/internal/wcg"
 )
 
 // CrossFamilyRow measures recall on one family when the classifier never
@@ -48,10 +47,15 @@ func CrossFamily(o Options, perFamily int) (CrossFamilyResult, error) {
 		if err != nil {
 			return CrossFamilyResult{}, fmt.Errorf("cross-family %s: %w", fam.Name, err)
 		}
-		detected := 0
+		// Generate first (preserving RNG order), then featurize and score
+		// the whole family as one batch.
+		txss := make([][]httpstream.Transaction, perFamily)
 		for i := 0; i < perFamily; i++ {
-			ep := synth.GenerateInfection(fam.Name, corpusEpoch, rng)
-			if forest.Score(features.Extract(wcg.FromTransactions(ep.Txs))) > 0.5 {
+			txss[i] = synth.GenerateInfection(fam.Name, corpusEpoch, rng).Txs
+		}
+		detected := 0
+		for _, s := range batchScores(forest, txss) {
+			if s > 0.5 {
 				detected++
 			}
 		}

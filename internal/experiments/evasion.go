@@ -5,9 +5,8 @@ import (
 	"strings"
 
 	"dynaminer/internal/detector"
-	"dynaminer/internal/features"
+	"dynaminer/internal/httpstream"
 	"dynaminer/internal/synth"
-	"dynaminer/internal/wcg"
 )
 
 // EvasionRow measures DynaMiner against one Section VII evasion strategy.
@@ -48,18 +47,27 @@ func Evasion(o Options, perMode int) (EvasionResult, error) {
 	rng := newRNG(o, 600)
 	var res EvasionResult
 	for _, mode := range synth.EvasionModes {
-		offlineHits, wireHits, clues := 0, 0, 0
+		// Generate every episode first (RNG order unchanged — only
+		// generation consumes it), then score the offline path as one
+		// batch before replaying the wire engines.
+		txss := make([][]httpstream.Transaction, perMode)
 		for i := 0; i < perMode; i++ {
 			fam := synth.Families[i%len(synth.Families)].Name
 			ep, err := synth.GenerateEvasiveInfection(mode, fam, corpusEpoch, rng)
 			if err != nil {
 				return EvasionResult{}, err
 			}
-			if offline.Score(features.Extract(wcg.FromTransactions(ep.Txs))) > 0.5 {
+			txss[i] = ep.Txs
+		}
+		offlineHits, wireHits, clues := 0, 0, 0
+		for _, s := range batchScores(offline, txss) {
+			if s > 0.5 {
 				offlineHits++
 			}
+		}
+		for i := 0; i < perMode; i++ {
 			eng := detector.New(detector.Config{RedirectThreshold: 2}, monitor)
-			if len(eng.ProcessAll(ep.Txs)) > 0 {
+			if len(eng.ProcessAll(txss[i])) > 0 {
 				wireHits++
 			}
 			clues += eng.Stats().CluesFired

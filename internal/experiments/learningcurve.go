@@ -35,16 +35,19 @@ func LearningCurve(o Options) (LearningCurveResult, error) {
 		Infections: o.TrainInfections / 2,
 		Benign:     o.TrainBenign / 2,
 	})
-	testX := make([][]float64, 0, len(holdout))
+	// Featurize the fixed holdout as one batch; the slab-backed vectors are
+	// retained across every training fraction.
+	ws := make([]*wcg.WCG, len(holdout))
 	testY := make([]int, 0, len(holdout))
 	for i := range holdout {
-		testX = append(testX, features.Extract(wcg.FromTransactions(holdout[i].Txs)))
+		ws[i] = wcg.FromTransactions(holdout[i].Txs)
 		label := ml.LabelBenign
 		if holdout[i].Infection {
 			label = ml.LabelInfection
 		}
 		testY = append(testY, label)
 	}
+	testX := features.ExtractBatch(ws)
 
 	var res LearningCurveResult
 	for _, frac := range []float64{0.05, 0.1, 0.25, 0.5, 1.0} {

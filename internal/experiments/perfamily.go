@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"dynaminer/internal/features"
+	"dynaminer/internal/httpstream"
 	"dynaminer/internal/synth"
-	"dynaminer/internal/wcg"
 )
 
 // FamilyRow is one family's detection measurement.
@@ -38,10 +37,15 @@ func PerFamily(o Options, perFamily int) (PerFamilyResult, error) {
 	rng := newRNG(o, 700)
 	var res PerFamilyResult
 	for _, fam := range synth.Families {
-		detected := 0
+		// Generate first (preserving RNG order), then featurize and score
+		// the whole family as one batch.
+		txss := make([][]httpstream.Transaction, perFamily)
 		for i := 0; i < perFamily; i++ {
-			ep := synth.GenerateInfection(fam.Name, corpusEpoch, rng)
-			if forest.Score(features.Extract(wcg.FromTransactions(ep.Txs))) > 0.5 {
+			txss[i] = synth.GenerateInfection(fam.Name, corpusEpoch, rng).Txs
+		}
+		detected := 0
+		for _, s := range batchScores(forest, txss) {
+			if s > 0.5 {
 				detected++
 			}
 		}

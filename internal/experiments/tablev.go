@@ -6,9 +6,8 @@ import (
 	"strings"
 	"time"
 
-	"dynaminer/internal/features"
+	"dynaminer/internal/httpstream"
 	"dynaminer/internal/vtsim"
-	"dynaminer/internal/wcg"
 )
 
 // TableVRow is one system's row of the independent-validation comparison.
@@ -45,12 +44,18 @@ func TableV(o Options) (TableVResult, error) {
 	av := vtsim.Default()
 	scanTime := time.Date(2016, 8, 1, 0, 0, 0, 0, time.UTC)
 
+	// Featurize and score the whole validation set as one batch.
+	txss := make([][]httpstream.Transaction, len(val))
+	for i := range val {
+		txss[i] = val[i].Txs
+	}
+	scores := batchScores(forest, txss)
+
 	dm := TableVRow{System: "DynaMiner"}
 	vt := TableVRow{System: "VirusTotal(sim)"}
 	for i := range val {
 		ep := &val[i]
-		x := features.Extract(wcg.FromTransactions(ep.Txs))
-		pred := forest.Score(x) > 0.5
+		pred := scores[i] > 0.5
 
 		id := fmt.Sprintf("val-%s-%d", ep.Family, i)
 		// Deterministic per-sample in-the-wild age in [0, 90) days.

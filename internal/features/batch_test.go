@@ -1,0 +1,101 @@
+package features
+
+import (
+	"testing"
+
+	"dynaminer/internal/synth"
+	"dynaminer/internal/wcg"
+)
+
+func batchWCGs(seed int64) []*wcg.WCG {
+	episodes := synth.GenerateCorpus(synth.Config{Seed: seed, Infections: 6, Benign: 6})
+	ws := make([]*wcg.WCG, len(episodes))
+	for i := range episodes {
+		ws[i] = wcg.FromTransactions(episodes[i].Txs)
+	}
+	return ws
+}
+
+// TestExtractBatchMatchesExtract pins that the batched slab path is
+// bit-identical to per-episode Extract on every vector.
+func TestExtractBatchMatchesExtract(t *testing.T) {
+	ws := batchWCGs(53)
+	got := ExtractBatch(ws)
+	if len(got) != len(ws) {
+		t.Fatalf("vectors = %d, want %d", len(got), len(ws))
+	}
+	for i, w := range ws {
+		requireSameVector(t, "one-shot", got[i], Extract(w))
+	}
+
+	be := NewBatchExtractor()
+	for round := 0; round < 3; round++ { // reuse across rounds must not leak state
+		views := be.Extract(ws)
+		for i, w := range ws {
+			requireSameVector(t, "extractor", views[i], Extract(w))
+		}
+	}
+}
+
+// TestExtractBatchSlabLayout pins the caller contract: vectors are
+// stride-NumFeatures views over one contiguous backing array.
+func TestExtractBatchSlabLayout(t *testing.T) {
+	ws := batchWCGs(59)
+	be := NewBatchExtractor()
+	views := be.Extract(ws)
+	slab := be.Slab()
+	if len(slab) != len(ws)*NumFeatures {
+		t.Fatalf("slab len = %d, want %d", len(slab), len(ws)*NumFeatures)
+	}
+	for i, v := range views {
+		if len(v) != NumFeatures {
+			t.Fatalf("vector %d len = %d", i, len(v))
+		}
+		if &v[0] != &slab[i*NumFeatures] {
+			t.Fatalf("vector %d is not a view over the slab", i)
+		}
+	}
+}
+
+// TestExtractBatchEmpty covers the zero-episode edge.
+func TestExtractBatchEmpty(t *testing.T) {
+	if got := ExtractBatch(nil); len(got) != 0 {
+		t.Fatalf("ExtractBatch(nil) = %d vectors", len(got))
+	}
+	if got := NewBatchExtractor().Extract(nil); len(got) != 0 {
+		t.Fatalf("Extract(nil) = %d vectors", len(got))
+	}
+}
+
+// TestCacheResetMatchesFreshCache pins that Reset is equivalent to a
+// brand-new cache for every WCG it is pointed at, in any order.
+func TestCacheResetMatchesFreshCache(t *testing.T) {
+	ws := batchWCGs(61)
+	var c Cache
+	var buf []float64
+	for pass := 0; pass < 2; pass++ {
+		for i := len(ws) - 1; i >= 0; i-- { // reverse order: no hidden cursor reuse
+			c.Reset(ws[i], nil)
+			buf = c.FeaturesInto(buf)
+			requireSameVector(t, "reset", buf, Extract(ws[i]))
+		}
+	}
+}
+
+// TestExtractBatchAllocs pins the steady-state zero-alloc contract of the
+// batched extraction path: once the extractor's slab, views, cache buffer,
+// and scratch arenas are warm (and each WCG has materialized its graph),
+// re-featurizing a whole batch allocates nothing.
+func TestExtractBatchAllocs(t *testing.T) {
+	ws := batchWCGs(67)
+	be := NewBatchExtractor()
+	run := func() {
+		if views := be.Extract(ws); len(views) != len(ws) {
+			panic("batch extract lost vectors")
+		}
+	}
+	run() // warm slab, views, scratch, and per-WCG graph materialization
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Fatalf("batched extraction allocates %.1f times per batch in steady state, want 0", allocs)
+	}
+}

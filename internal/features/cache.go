@@ -58,6 +58,23 @@ func NewCache(w *wcg.WCG, s *graph.Scratch) *Cache {
 	return &Cache{w: w, scratch: s}
 }
 
+// Reset rebinds the cache to w, zeroing the sync cursor and every running
+// aggregate so the next FeaturesInto recomputes from scratch — bit-identical
+// to a fresh NewCache(w, s) — while retaining the reusable mean buffer. A
+// nil s keeps the cache's current scratch (allocating one only if the cache
+// never had any), which is what lets one cache+scratch pair sweep a whole
+// batch of WCGs without per-episode allocation.
+func (c *Cache) Reset(w *wcg.WCG, s *graph.Scratch) {
+	if s == nil {
+		s = c.scratch
+	}
+	if s == nil {
+		s = graph.NewScratch()
+	}
+	buf := c.buf
+	*c = Cache{w: w, scratch: s, buf: buf}
+}
+
 // Features returns a freshly allocated feature vector, syncing first.
 func (c *Cache) Features() []float64 {
 	return c.FeaturesInto(make([]float64, NumFeatures))

@@ -51,15 +51,19 @@ type Scratch struct {
 	deg    []int
 
 	// Single-pass temporaries.
-	ws0   passWS
-	dist2 []int
-	fsum  []float64
-	fcnt  []int
-	marks []bool
-	bins  []int
-	pos   []int
-	vert  []int
-	next  []float64
+	ws0    passWS
+	dist2  []int
+	fsum   []float64
+	fcnt   []int
+	marks  []bool
+	marks2 []bool
+	bins   []int
+	pos    []int
+	vert   []int
+	next   []float64
+
+	// Max-flow workspace for NodeConnectivityS.
+	flow flowWS
 
 	// Parallel fan-out state.
 	pool []*passWS
@@ -591,9 +595,12 @@ func (g *Digraph) LoadCentralityInto(dst []float64, s *Scratch) []float64 {
 	return dst
 }
 
-// NodeConnectivityS is NodeConnectivity reusing the scratch projection and
-// BFS buffers for the connectivity pre-checks. The inner max-flow still
-// allocates its arc lists; it only runs when the topology changed.
+// NodeConnectivityS is NodeConnectivity reusing the scratch projection,
+// the BFS buffers for the connectivity pre-checks, and the scratch's
+// max-flow workspace for the inner vertex-split Dinic runs, so a warm
+// scratch computes connectivity without allocating.
+//
+//dynalint:hotpath
 func (g *Digraph) NodeConnectivityS(s *Scratch) int {
 	adj := s.undirected(g)
 	n := len(adj)
@@ -635,22 +642,28 @@ func (g *Digraph) NodeConnectivityS(s *Scratch) int {
 		if t == st || s.marks[t] {
 			continue
 		}
-		if k := localNodeConnectivity(adj, st, t); k < best {
+		if k := localNodeConnectivityS(adj, st, t, &s.flow); k < best {
 			best = k
 		}
 	}
+	s.marks2 = growBools(s.marks2, n)
+	for i := range s.marks2 {
+		s.marks2[i] = false
+	}
 	for _, v := range adj[st] {
-		vNbr := make(map[int]bool, len(adj[v]))
 		for _, w := range adj[v] {
-			vNbr[w] = true
+			s.marks2[w] = true
 		}
 		for t := 0; t < n; t++ {
-			if t == v || t == st || vNbr[t] {
+			if t == v || t == st || s.marks2[t] {
 				continue
 			}
-			if k := localNodeConnectivity(adj, v, t); k < best {
+			if k := localNodeConnectivityS(adj, v, t, &s.flow); k < best {
 				best = k
 			}
+		}
+		for _, w := range adj[v] {
+			s.marks2[w] = false
 		}
 	}
 	if best == n {

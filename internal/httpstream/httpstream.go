@@ -253,6 +253,7 @@ func (p *streamParser) responses(data []byte, reqs []reqMsg) []respMsg {
 		body, bodyErr := io.ReadAll(resp.Body)
 		_ = resp.Body.Close()
 		size := len(body)
+		aliased := false
 		if bodyErr != nil && size == 0 && bodyStart < len(data) {
 			// The framing was unusable from the first body byte (e.g. a
 			// garbage chunk-size line): degrade to the raw stream remainder
@@ -260,10 +261,17 @@ func (p *streamParser) responses(data []byte, reqs []reqMsg) []respMsg {
 			// reporting an empty body.
 			body = data[bodyStart:]
 			size = len(body)
+			aliased = true
 		}
 		body = decodeContent(body, resp.Header.Get("Content-Encoding"))
 		if len(body) > maxRetainedBody {
 			body = body[:maxRetainedBody]
+		}
+		if aliased {
+			// The degraded body still points into the stream buffer, which
+			// may belong to a pooled assembler arena; detach the retained
+			// (truncation-bounded) prefix so the Transaction outlives it.
+			body = detachBody(body)
 		}
 		out = append(out, respMsg{resp: resp, offset: offset, body: body, bodySize: size})
 		if bodyErr != nil {
@@ -272,6 +280,19 @@ func (p *streamParser) responses(data []byte, reqs []reqMsg) []respMsg {
 			return out
 		}
 	}
+}
+
+// detachBody copies a degraded body out of the stream buffer. Every other
+// body path allocates fresh bytes (io.ReadAll, content decoding); this one
+// is the rare malformed-framing fallback, so the copy is cold and bounded
+// by the maxRetainedBody truncation applied before the call.
+func detachBody(body []byte) []byte {
+	if len(body) == 0 {
+		return nil
+	}
+	out := make([]byte, len(body))
+	copy(out, body)
+	return out
 }
 
 // decodeContent undoes gzip/deflate content encodings so redirect sniffing
@@ -442,5 +463,7 @@ func looksLikeRequest(data []byte) bool {
 // FromPackets is the end-to-end convenience: decode packets, reassemble
 // TCP, and extract every HTTP transaction in the capture.
 func FromPackets(pkts []pcap.Packet) []Transaction {
-	return ExtractAll(pcap.AssembleStreams(pkts))
+	streams, asm := pcap.AssembleStreamsInto(nil, pkts)
+	defer asm.Release()
+	return ExtractAll(streams)
 }

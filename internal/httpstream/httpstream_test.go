@@ -66,6 +66,26 @@ func buildConv(reqData, respData string) (c2s, s2c *pcap.Stream) {
 	return c2s, s2c
 }
 
+// buildConvPackets renders one request/response exchange into raw capture
+// packets (for paths, like FromPackets, that own the reassembly step).
+func buildConvPackets(t *testing.T, reqData, respData string) []pcap.Packet {
+	t.Helper()
+	pkts, err := pcap.BuildConversation(pcap.Conversation{
+		ClientIP:   clientIP,
+		ServerIP:   serverIP,
+		ClientPort: 49200,
+		ServerPort: 80,
+		Exchanges: []pcap.Exchange{
+			{ClientToServer: true, Payload: []byte(reqData), Timestamp: baseTime},
+			{ClientToServer: false, Payload: []byte(respData), Timestamp: baseTime.Add(40 * time.Millisecond)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkts
+}
+
 const simpleGet = "GET /index.html HTTP/1.1\r\n" +
 	"Host: example.com\r\n" +
 	"Referer: http://bing.com/search?q=x\r\n" +

@@ -1,0 +1,392 @@
+package ml
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"unsafe"
+)
+
+// Flat model blob: a versioned little-endian binary artifact for
+// FlatForest. Unlike the JSON wire format, which costs a full parse and a
+// node-stream rebuild, the blob *is* the in-memory representation: six raw
+// slab sections behind a fixed header, so loading is O(header) parsing plus
+// one checksum sweep, and LoadFlatBlobMapped aliases the slabs directly
+// over the caller's (possibly mmap-ed) buffer without copying at all.
+//
+// Layout (all integers little-endian; sections 8-byte aligned, packed in
+// order, no gaps — the section table is validated against this canonical
+// layout, so v1 blobs are byte-reproducible from their contents):
+//
+//	off   0  magic "DMFB"
+//	off   4  format version  uint32 (= 1)
+//	off   8  crc32 (IEEE)    uint32 over bytes [16:len)
+//	off  12  reserved        uint32 (= 0)
+//	off  16  features        int32
+//	off  20  tree count      int32
+//	off  24  node count      int64
+//	off  32  ForestConfig    5 × int64 (NumTrees, MaxFeatures,
+//	         MinSamplesLeaf, MaxDepth, Seed)
+//	off  72  section table   6 × {offset uint64, count uint64}
+//	off 168  sections: treeStart int32[nTrees+1], feature int32[nNodes],
+//	         right int32[nNodes], threshold float64[nNodes],
+//	         p0 float64[nNodes], p1 float64[nNodes]
+//
+// Every blob accepted by the loaders passes the same semantic screens as
+// LoadForest (feature bounds, finite thresholds, leaf probabilities in
+// [0, 1], preorder tree shape, depth cap) plus canonical-payload checks
+// (leaves carry -1/0/0, internals carry zero probabilities, right indices
+// match the preorder structure), so a loaded blob scores
+// math.Float64bits-identical to the JSON-loaded forest and re-serializes
+// to byte-identical JSON and blob forms.
+const (
+	flatBlobMagic      = "DMFB"
+	flatBlobVersion    = 1
+	flatBlobHeaderSize = 168
+	flatBlobSections   = 6
+)
+
+// flatBlobMaxNodes bounds node counts so slab indices (int32) cannot
+// overflow; the canonical-size check against len(data) rejects absurd
+// counts long before any allocation.
+const flatBlobMaxNodes = math.MaxInt32 - 1
+
+// hostLittleEndian reports whether the running machine stores integers
+// little-endian — the blob's on-disk order. On such hosts slab encoding
+// and decoding are single memmoves (or, for LoadFlatBlobMapped, free);
+// big-endian hosts take the per-element fallback and stay correct.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// IsFlatBlob reports whether data begins with the flat-blob magic; callers
+// use it to sniff model files before choosing a loader.
+func IsFlatBlob(data []byte) bool {
+	return len(data) >= len(flatBlobMagic) && string(data[:len(flatBlobMagic)]) == flatBlobMagic
+}
+
+// Config returns the training configuration the forest was built with.
+func (ff *FlatForest) Config() ForestConfig { return ff.cfg }
+
+// Config returns the training configuration the forest was built with.
+func (f *Forest) Config() ForestConfig { return f.cfg }
+
+// NumNodes returns the total node count across all trees.
+func (f *Forest) NumNodes() int {
+	n := 0
+	for _, t := range f.trees {
+		n += t.NodeCount()
+	}
+	return n
+}
+
+// blobLayout computes the canonical section offsets for a blob with the
+// given tree and node counts, returning the six {offset, count} pairs in
+// section-table order and the total blob size.
+func blobLayout(nTrees, nNodes int64) (offs [flatBlobSections][2]uint64, total int64) {
+	align8 := func(x int64) int64 { return (x + 7) &^ 7 }
+	counts := [flatBlobSections]int64{nTrees + 1, nNodes, nNodes, nNodes, nNodes, nNodes}
+	sizes := [flatBlobSections]int64{4, 4, 4, 8, 8, 8}
+	off := int64(flatBlobHeaderSize)
+	for i := 0; i < flatBlobSections; i++ {
+		offs[i][0] = uint64(off)
+		offs[i][1] = uint64(counts[i])
+		off = align8(off + counts[i]*sizes[i])
+	}
+	return offs, off
+}
+
+// appendI32LE appends the int32 slab in little-endian order, padding to 8
+// bytes; on little-endian hosts the body is one copy.
+func appendI32LE(dst []byte, s []int32) []byte {
+	if hostLittleEndian && len(s) > 0 {
+		dst = append(dst, unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 4*len(s))...)
+	} else {
+		for _, v := range s {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+		}
+	}
+	for len(dst)%8 != 0 {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// appendF64LE appends the float64 slab bit-exactly in little-endian order.
+func appendF64LE(dst []byte, s []float64) []byte {
+	if hostLittleEndian && len(s) > 0 {
+		return append(dst, unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 8*len(s))...)
+	}
+	for _, v := range s {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// AppendFlatBlob appends the forest's blob encoding to dst and returns it.
+func (ff *FlatForest) AppendFlatBlob(dst []byte) []byte {
+	nTrees := int64(ff.NumTrees())
+	nNodes := int64(ff.NumNodes())
+	offs, total := blobLayout(nTrees, nNodes)
+
+	start := len(dst)
+	if cap(dst)-start < int(total) {
+		grown := make([]byte, start, start+int(total))
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = append(dst, flatBlobMagic...)
+	dst = binary.LittleEndian.AppendUint32(dst, flatBlobVersion)
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // crc32, patched below
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // reserved
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(ff.nf)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(nTrees)))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(nNodes))
+	for _, v := range [5]int64{
+		int64(ff.cfg.NumTrees), int64(ff.cfg.MaxFeatures),
+		int64(ff.cfg.MinSamplesLeaf), int64(ff.cfg.MaxDepth), ff.cfg.Seed,
+	} {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	for _, s := range offs {
+		dst = binary.LittleEndian.AppendUint64(dst, s[0])
+		dst = binary.LittleEndian.AppendUint64(dst, s[1])
+	}
+	dst = appendI32LE(dst, ff.treeStart)
+	dst = appendI32LE(dst, ff.feature)
+	dst = appendI32LE(dst, ff.right)
+	dst = appendF64LE(dst, ff.threshold)
+	dst = appendF64LE(dst, ff.p0)
+	dst = appendF64LE(dst, ff.p1)
+	if int64(len(dst)-start) != total {
+		panic("ml: flat blob encoder produced a non-canonical layout")
+	}
+	crc := crc32.ChecksumIEEE(dst[start+16:])
+	binary.LittleEndian.PutUint32(dst[start+8:], crc)
+	return dst
+}
+
+// SaveFlatBlob writes the forest's binary blob artifact to w.
+func (ff *FlatForest) SaveFlatBlob(w io.Writer) error {
+	if _, err := w.Write(ff.AppendFlatBlob(nil)); err != nil {
+		return fmt.Errorf("ml: save flat blob: %w", err)
+	}
+	return nil
+}
+
+// i32Section returns section i of data as an []int32, aliasing the buffer
+// when the host representation permits and copying otherwise.
+func i32Section(data []byte, off, count uint64, alias bool) []int32 {
+	raw := data[off : off+4*count]
+	if count == 0 {
+		return []int32{}
+	}
+	if alias && hostLittleEndian && uintptr(unsafe.Pointer(&raw[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&raw[0])), count)
+	}
+	out := make([]int32, count)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out
+}
+
+// f64Section returns section i of data as a []float64, aliasing when
+// possible (see i32Section) and copying bit-exactly otherwise.
+func f64Section(data []byte, off, count uint64, alias bool) []float64 {
+	raw := data[off : off+8*count]
+	if count == 0 {
+		return []float64{}
+	}
+	if alias && hostLittleEndian && uintptr(unsafe.Pointer(&raw[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&raw[0])), count)
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}
+
+// LoadFlatBlob reads a blob from r and returns the decoded forest. The
+// slabs alias the private read buffer, so the load is zero-parse: O(header)
+// decoding plus the checksum sweep.
+func LoadFlatBlob(r io.Reader) (*FlatForest, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ml: load flat blob: %w", err)
+	}
+	return parseFlatBlob(data, true)
+}
+
+// LoadFlatBlobMapped decodes a blob directly over data — typically an
+// mmap-ed model file — without copying the slabs: the returned forest
+// aliases data, which must stay live and unmodified for the forest's
+// lifetime. On hosts whose memory representation does not match the wire
+// format (big-endian, misaligned buffer) the slabs are copied instead;
+// scoring is identical either way.
+func LoadFlatBlobMapped(data []byte) (*FlatForest, error) {
+	return parseFlatBlob(data, true)
+}
+
+// parseFlatBlob validates the header, checksum, canonical layout, and
+// node-stream semantics, then materializes the forest (aliasing data when
+// alias is set and the host representation allows).
+func parseFlatBlob(data []byte, alias bool) (*FlatForest, error) {
+	if len(data) < flatBlobHeaderSize {
+		return nil, fmt.Errorf("ml: flat blob truncated: %d bytes, header is %d", len(data), flatBlobHeaderSize)
+	}
+	if !IsFlatBlob(data) {
+		return nil, fmt.Errorf("ml: bad flat blob magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != flatBlobVersion {
+		return nil, fmt.Errorf("ml: unsupported flat blob version %d", v)
+	}
+	wantCRC := binary.LittleEndian.Uint32(data[8:])
+	if got := crc32.ChecksumIEEE(data[16:]); got != wantCRC {
+		return nil, fmt.Errorf("ml: flat blob checksum mismatch: file says %#x, contents hash to %#x", wantCRC, got)
+	}
+	if rsv := binary.LittleEndian.Uint32(data[12:]); rsv != 0 {
+		return nil, fmt.Errorf("ml: flat blob reserved field is %#x, want 0", rsv)
+	}
+	features := int32(binary.LittleEndian.Uint32(data[16:]))
+	nTrees := int64(int32(binary.LittleEndian.Uint32(data[20:])))
+	nNodes := int64(binary.LittleEndian.Uint64(data[24:]))
+	if features < 0 {
+		return nil, fmt.Errorf("ml: negative feature count %d", features)
+	}
+	if nTrees <= 0 {
+		return nil, fmt.Errorf("ml: forest file has no trees")
+	}
+	if nNodes < nTrees || nNodes > flatBlobMaxNodes {
+		return nil, fmt.Errorf("ml: implausible node count %d for %d trees", nNodes, nTrees)
+	}
+	var cfgRaw [5]int64
+	for i := range cfgRaw {
+		cfgRaw[i] = int64(binary.LittleEndian.Uint64(data[32+8*i:]))
+	}
+	wantOffs, total := blobLayout(nTrees, nNodes)
+	if int64(len(data)) != total {
+		return nil, fmt.Errorf("ml: flat blob is %d bytes, canonical layout needs %d", len(data), total)
+	}
+	sizes := [flatBlobSections]uint64{4, 4, 4, 8, 8, 8}
+	for i := 0; i < flatBlobSections; i++ {
+		off := binary.LittleEndian.Uint64(data[72+16*i:])
+		cnt := binary.LittleEndian.Uint64(data[72+16*i+8:])
+		if off != wantOffs[i][0] || cnt != wantOffs[i][1] {
+			return nil, fmt.Errorf("ml: section %d at {%d,%d}, canonical layout is {%d,%d}", i, off, cnt, wantOffs[i][0], wantOffs[i][1])
+		}
+		// Alignment padding after the int32 sections must be zero, so an
+		// accepted blob always re-encodes byte-identically.
+		padEnd := int64(total)
+		if i+1 < flatBlobSections {
+			padEnd = int64(wantOffs[i+1][0])
+		}
+		for p := int64(off + cnt*sizes[i]); p < padEnd; p++ {
+			if data[p] != 0 {
+				return nil, fmt.Errorf("ml: non-zero padding byte at offset %d", p)
+			}
+		}
+	}
+	ff := &FlatForest{
+		treeStart: i32Section(data, wantOffs[0][0], wantOffs[0][1], alias),
+		feature:   i32Section(data, wantOffs[1][0], wantOffs[1][1], alias),
+		right:     i32Section(data, wantOffs[2][0], wantOffs[2][1], alias),
+		threshold: f64Section(data, wantOffs[3][0], wantOffs[3][1], alias),
+		p0:        f64Section(data, wantOffs[4][0], wantOffs[4][1], alias),
+		p1:        f64Section(data, wantOffs[5][0], wantOffs[5][1], alias),
+		cfg: ForestConfig{
+			NumTrees:       int(cfgRaw[0]),
+			MaxFeatures:    int(cfgRaw[1]),
+			MinSamplesLeaf: int(cfgRaw[2]),
+			MaxDepth:       int(cfgRaw[3]),
+			Seed:           cfgRaw[4],
+		},
+		nf: int(features),
+	}
+	if err := ff.validateSlabs(); err != nil {
+		return nil, err
+	}
+	return ff, nil
+}
+
+// validateSlabs runs the LoadForest semantic screens over the decoded
+// slabs: every tree must be a canonical preorder node stream with in-range
+// features, finite thresholds, leaf probabilities in [0, 1], depth under
+// maxModelDepth, and right-child indices exactly matching the preorder
+// structure. Canonical zero payloads (leaf threshold/right, internal
+// probabilities) are enforced too, which is what makes blob→JSON→blob
+// round trips byte-identical.
+func (ff *FlatForest) validateSlabs() error {
+	nt := ff.NumTrees()
+	nn := int32(len(ff.feature))
+	if ff.treeStart[0] != 0 || ff.treeStart[nt] != nn {
+		return fmt.Errorf("ml: tree index spans [%d, %d), want [0, %d)", ff.treeStart[0], ff.treeStart[nt], nn)
+	}
+	for t := 0; t < nt; t++ {
+		if ff.treeStart[t] >= ff.treeStart[t+1] {
+			return fmt.Errorf("ml: tree %d: empty or non-monotone node range [%d, %d)", t, ff.treeStart[t], ff.treeStart[t+1])
+		}
+		if err := ff.validateTreeSlab(ff.treeStart[t], ff.treeStart[t+1]); err != nil {
+			return fmt.Errorf("ml: tree %d: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// validateTreeSlab checks one tree's nodes [base, end) with the same
+// explicit stack walk as appendTree, verifying instead of patching the
+// right-child indices.
+func (ff *FlatForest) validateTreeSlab(base, end int32) error {
+	type frame struct {
+		idx     int32
+		inRight bool
+	}
+	var stack []frame
+	for i := base; i < end; i++ {
+		var nw nodeWire
+		leaf := ff.feature[i] < 0
+		if leaf {
+			if ff.feature[i] != -1 {
+				return fmt.Errorf("node %d: non-canonical leaf marker %d", i-base, ff.feature[i])
+			}
+			if math.Float64bits(ff.threshold[i]) != 0 || ff.right[i] != 0 {
+				return fmt.Errorf("node %d: leaf carries non-zero threshold/right payload", i-base)
+			}
+			nw = nodeWire{Leaf: true, P0: ff.p0[i], P1: ff.p1[i]}
+		} else {
+			if math.Float64bits(ff.p0[i]) != 0 || math.Float64bits(ff.p1[i]) != 0 {
+				return fmt.Errorf("node %d: internal node carries non-zero probabilities", i-base)
+			}
+			nw = nodeWire{Feature: int(ff.feature[i]), Threshold: ff.threshold[i]}
+		}
+		if err := validateNode(nw, ff.nf, len(stack)); err != nil {
+			return fmt.Errorf("node %d: %w", i-base, err)
+		}
+		if !leaf {
+			stack = append(stack, frame{idx: i})
+			continue
+		}
+		for {
+			if len(stack) == 0 {
+				if i != end-1 {
+					return fmt.Errorf("%d trailing nodes", end-1-i)
+				}
+				return nil
+			}
+			top := &stack[len(stack)-1]
+			if !top.inRight {
+				top.inRight = true
+				if ff.right[top.idx] != i+1 {
+					return fmt.Errorf("node %d: right child %d does not match preorder position %d", top.idx-base, ff.right[top.idx], i+1)
+				}
+				break
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return fmt.Errorf("truncated node stream at %d", end-base)
+}

@@ -187,41 +187,53 @@ func encodeFrame6(f *Frame) ([]byte, error) {
 // that do not carry TCP over IP over Ethernet yield an error; callers
 // typically skip them. The returned payload aliases data.
 func DecodeFrame(data []byte) (*Frame, error) {
-	if len(data) < ethernetHeaderLen+ipv4HeaderLen+tcpHeaderLen {
-		return nil, fmt.Errorf("pcap: frame too short (%d bytes)", len(data))
-	}
 	f := &Frame{}
+	if err := DecodeFrameInto(f, data); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DecodeFrameInto is the allocation-free form of DecodeFrame: it resets f
+// and parses the wire bytes into it, so a caller can reuse one Frame across
+// a whole capture. The decoded payload aliases data.
+func DecodeFrameInto(f *Frame, data []byte) error {
+	*f = Frame{}
+	if len(data) < ethernetHeaderLen+ipv4HeaderLen+tcpHeaderLen {
+		return fmt.Errorf("pcap: frame too short (%d bytes)", len(data))
+	}
 	copy(f.DstMAC[:], data[0:6])
 	copy(f.SrcMAC[:], data[6:12])
 	switch binary.BigEndian.Uint16(data[12:]) {
 	case etherTypeIPv4:
 	case etherTypeIPv6:
-		return decodeFrame6(f, data[ethernetHeaderLen:])
+		_, err := decodeFrame6(f, data[ethernetHeaderLen:])
+		return err
 	default:
-		return nil, fmt.Errorf("pcap: not IP (ethertype %#x)", binary.BigEndian.Uint16(data[12:]))
+		return fmt.Errorf("pcap: not IP (ethertype %#x)", binary.BigEndian.Uint16(data[12:]))
 	}
 	ip := data[ethernetHeaderLen:]
 	ihl := int(ip[0]&0x0f) * 4
 	if ip[0]>>4 != 4 || ihl < ipv4HeaderLen || len(ip) < ihl {
-		return nil, fmt.Errorf("pcap: bad IPv4 header")
+		return fmt.Errorf("pcap: bad IPv4 header")
 	}
 	if ip[9] != protoTCP {
-		return nil, fmt.Errorf("pcap: not TCP (proto %d)", ip[9])
+		return fmt.Errorf("pcap: not TCP (proto %d)", ip[9])
 	}
 	ipLen := int(binary.BigEndian.Uint16(ip[2:]))
 	if ipLen > len(ip) || ipLen < ihl+tcpHeaderLen {
-		return nil, fmt.Errorf("pcap: bad IPv4 total length %d", ipLen)
+		return fmt.Errorf("pcap: bad IPv4 total length %d", ipLen)
 	}
 	f.SrcIP = netip.AddrFrom4([4]byte(ip[12:16]))
 	f.DstIP = netip.AddrFrom4([4]byte(ip[16:20]))
 
 	tcp := ip[ihl:ipLen]
 	if len(tcp) < tcpHeaderLen {
-		return nil, fmt.Errorf("pcap: truncated TCP header")
+		return fmt.Errorf("pcap: truncated TCP header")
 	}
 	dataOff := int(tcp[12]>>4) * 4
 	if dataOff < tcpHeaderLen || dataOff > len(tcp) {
-		return nil, fmt.Errorf("pcap: bad TCP data offset %d", dataOff)
+		return fmt.Errorf("pcap: bad TCP data offset %d", dataOff)
 	}
 	f.SrcPort = binary.BigEndian.Uint16(tcp[0:])
 	f.DstPort = binary.BigEndian.Uint16(tcp[2:])
@@ -229,7 +241,7 @@ func DecodeFrame(data []byte) (*Frame, error) {
 	f.Ack = binary.BigEndian.Uint32(tcp[8:])
 	f.Flags = tcp[13]
 	f.Payload = tcp[dataOff:]
-	return f, nil
+	return nil
 }
 
 // decodeFrame6 parses the IPv6 portion of a frame, walking any leading

@@ -45,7 +45,7 @@ func NewMonitor(cfg MonitorConfig, c *Classifier) *Monitor {
 	if ttl == 0 {
 		ttl = time.Hour
 	}
-	engine := detector.NewSharded(cfg, c.forest)
+	engine := detector.NewSharded(cfg, c.scorer())
 	reg := engine.Registry()
 	return &Monitor{
 		engine: engine,
@@ -189,5 +189,5 @@ func NewProxy(cfg ProxyConfig, c *Classifier) *Proxy {
 	if cfg.Detector.TrustedVendors == nil {
 		cfg.Detector.TrustedVendors = detector.DefaultTrustedVendors
 	}
-	return proxy.New(cfg, c.forest)
+	return proxy.New(cfg, c.scorer())
 }
