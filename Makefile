@@ -56,11 +56,18 @@ fuzz:
 # BENCH_OUT names the committed record for this PR. BENCH_GATE, when
 # set, is a benchjson ns/op ratio assertion such as
 # 'ClassifyInstrumented/ClassifyIncremental<=1.05' — the observability
-# overhead bar — and fails the target when violated.
+# overhead bar — and fails the target when violated. BENCH_BASELINE +
+# BENCH_BASELINE_GATE gate one benchmark's ns/op against a committed
+# prior record (e.g. 'ClassifyIncremental<=1.05' vs BENCH_8.json).
 BENCH_PATTERN ?= .
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_8.json
+BENCH_OUT ?= BENCH_9.json
 BENCH_GATE ?=
+BENCH_BASELINE ?=
+BENCH_BASELINE_GATE ?=
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCHTIME) -count 1 -benchmem . \
-		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCH_OUT) $(if $(BENCH_GATE),-gate '$(BENCH_GATE)')
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCH_OUT) \
+		$(if $(BENCH_GATE),-gate '$(BENCH_GATE)') \
+		$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) \
+		$(if $(BENCH_BASELINE_GATE),-baseline-gate '$(BENCH_BASELINE_GATE)')

@@ -10,6 +10,12 @@
 // regressions (e.g. the observability layer's classify cost):
 //
 //	... | go run ./cmd/benchjson -gate 'ClassifyInstrumented/ClassifyIncremental<=1.05'
+//
+// -baseline compares the current run against a committed prior record,
+// gating the cross-PR ratio of one benchmark's ns/op:
+//
+//	... | go run ./cmd/benchjson -o BENCH_9.json \
+//	      -baseline BENCH_8.json -baseline-gate 'ClassifyIncremental<=1.05'
 package main
 
 import (
@@ -73,8 +79,23 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
-// parse consumes the whole benchmark output stream.
+// parse consumes the input stream: either raw `go test -bench` text, or
+// an already-parsed BENCH_*.json record (detected by a leading '{'), so
+// committed records can be re-gated without re-running the benchmarks.
 func parse(r io.Reader) (Record, error) {
+	br := bufio.NewReader(r)
+	if lead, err := br.Peek(1); err == nil && lead[0] == '{' {
+		var rec Record
+		if err := json.NewDecoder(br).Decode(&rec); err != nil {
+			return Record{}, fmt.Errorf("record JSON: %v", err)
+		}
+		return rec, nil
+	}
+	return parseBenchText(br)
+}
+
+// parseBenchText consumes raw `go test -bench` output.
+func parseBenchText(r io.Reader) (Record, error) {
 	var rec Record
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -153,9 +174,57 @@ func checkGate(rec Record, spec string) error {
 	return nil
 }
 
+// loadRecord reads a previously committed BENCH_*.json record.
+func loadRecord(path string) (Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Record{}, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return Record{}, fmt.Errorf("%s: %v", path, err)
+	}
+	return rec, nil
+}
+
+// checkBaselineGate enforces a "Name<=Limit" cross-run ns/op ratio: the
+// current run's Name must be at most Limit times the baseline record's.
+func checkBaselineGate(cur, base Record, basePath, spec string) error {
+	name, limitStr, ok := strings.Cut(spec, "<=")
+	if !ok {
+		return fmt.Errorf("baseline gate %q: want 'Name<=Limit'", spec)
+	}
+	name = strings.TrimSpace(name)
+	limit, err := strconv.ParseFloat(strings.TrimSpace(limitStr), 64)
+	if err != nil {
+		return fmt.Errorf("baseline gate %q: bad limit: %v", spec, err)
+	}
+	curNs, err := nsPerOp(cur, name)
+	if err != nil {
+		return fmt.Errorf("current run: %v", err)
+	}
+	baseNs, err := nsPerOp(base, name)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %v", basePath, err)
+	}
+	if baseNs == 0 {
+		return fmt.Errorf("baseline gate %q: baseline ran in 0 ns/op", spec)
+	}
+	ratio := curNs / baseNs
+	fmt.Fprintf(os.Stderr, "benchjson: baseline gate %s = %.3f vs %s (limit %g)\n",
+		name, ratio, basePath, limit)
+	if ratio > limit {
+		return fmt.Errorf("baseline gate violated: %s = %.0f ns/op, %.3fx the %s baseline %.0f ns/op (limit %g)",
+			name, curNs, ratio, basePath, baseNs, limit)
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	gate := flag.String("gate", "", "assert an ns/op ratio 'Num/Den<=Limit' and exit non-zero when violated")
+	baseline := flag.String("baseline", "", "prior BENCH_*.json record to gate the current run against")
+	baselineGate := flag.String("baseline-gate", "", "assert a cross-run ns/op ratio 'Name<=Limit' against -baseline")
 	flag.Parse()
 
 	rec, err := parse(os.Stdin)
@@ -189,6 +258,21 @@ func main() {
 	}
 	if *gate != "" {
 		if err := checkGate(rec, *gate); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	if *baselineGate != "" {
+		if *baseline == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -baseline-gate needs -baseline")
+			os.Exit(1)
+		}
+		base, err := loadRecord(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if err := checkBaselineGate(rec, base, *baseline, *baselineGate); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}

@@ -87,3 +87,32 @@ func TestParseRejectsNonBenchLines(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckBaselineGate(t *testing.T) {
+	cur := Record{Benchmarks: []Benchmark{
+		{Name: "ClassifyIncremental-8", Metrics: map[string]float64{"ns/op": 1040}},
+	}}
+	base := Record{Benchmarks: []Benchmark{
+		{Name: "ClassifyIncremental-8", Metrics: map[string]float64{"ns/op": 1000}},
+	}}
+	cases := []struct {
+		spec string
+		ok   bool
+	}{
+		{"ClassifyIncremental<=1.05", true},
+		{"ClassifyIncremental<=1.01", false}, // ratio is 1.04
+		{" ClassifyIncremental <= 1.05 ", true},
+		{"Missing<=1.05", false},
+		{"no-separator", false},
+		{"ClassifyIncremental<=tight", false},
+	}
+	for _, c := range cases {
+		err := checkBaselineGate(cur, base, "BENCH_X.json", c.spec)
+		if c.ok && err != nil {
+			t.Errorf("checkBaselineGate(%q) = %v, want pass", c.spec, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("checkBaselineGate(%q) passed, want failure", c.spec)
+		}
+	}
+}

@@ -9,15 +9,24 @@
 //	dynaminer dataset -corpus dir/ -out features.csv
 //	dynaminer proxy -model model.json -listen 127.0.0.1:8080
 //	dynaminer journal alerts.jsonl
+//	dynaminer checkpoint state.dmcp
 //	dynaminer metrics -addr 127.0.0.1:9090
 //	dynaminer model convert -in model.json -out model.dmfb -format blob
 //	dynaminer model info model.dmfb
 //
 // "stream" and "proxy" take -admin-addr to serve the observability
-// endpoints (Prometheus /metrics, /healthz, JSON /snapshot, /debug/pprof/)
-// and -journal to append one provenance record per alert to a JSONL file;
-// "journal" renders such a file, and "metrics" fetches and renders a live
-// admin server's /snapshot.
+// endpoints (Prometheus /metrics, /healthz, JSON /snapshot, /debug/pprof/,
+// and the POST /reload and /rollback model-lifecycle controls) and
+// -journal to append one provenance record per alert to a JSONL file, with
+// -journal-fsync-every / -journal-fsync-interval / -journal-max-bytes
+// tuning its durability and rotation; "journal" renders such a file, and
+// "metrics" fetches and renders a live admin server's /snapshot.
+//
+// Both long-running modes drain gracefully on SIGINT/SIGTERM (intake
+// stops, the journal is flushed, a final checkpoint is written when
+// -checkpoint is set) and hot-swap the model in place on SIGHUP;
+// -checkpoint also recovers watch state on start, and the "checkpoint"
+// subcommand summarizes such an artifact.
 //
 // "train -corpus" expects a directory produced by tracegen (pcap files and
 // a manifest.csv); "-synthetic" trains directly on a generated corpus
@@ -50,7 +59,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: dynaminer <train|classify|stream|features|summarize|dataset|verify|proxy|journal|metrics|model> [flags]")
+		return fmt.Errorf("usage: dynaminer <train|classify|stream|features|summarize|dataset|verify|proxy|journal|checkpoint|metrics|model> [flags]")
 	}
 	switch args[0] {
 	case "model":
@@ -71,6 +80,8 @@ func run(args []string) error {
 		return runDataset(args[1:])
 	case "journal":
 		return runJournal(args[1:])
+	case "checkpoint":
+		return runCheckpoint(args[1:])
 	case "metrics":
 		return runMetrics(args[1:])
 	case "verify":
@@ -83,14 +94,16 @@ func run(args []string) error {
 func runProxy(args []string) error {
 	fs := flag.NewFlagSet("proxy", flag.ContinueOnError)
 	var (
-		modelPath = fs.String("model", "model.json", "trained model path")
-		listen    = fs.String("listen", "127.0.0.1:8080", "proxy listen address")
-		threshold = fs.Int("threshold", 3, "clue redirect threshold L")
-		block     = fs.Bool("block", true, "terminate sessions of alerted clients")
-		shards    = fs.Int("shards", 0, "detection engine shards (0 = GOMAXPROCS)")
-		adminAddr = fs.String("admin-addr", "", "serve /metrics, /healthz, /snapshot and /debug/pprof/ on this address (empty = no admin server)")
-		journal   = fs.String("journal", "", "append one JSONL provenance record per alert to this file")
+		modelPath  = fs.String("model", "model.json", "trained model path")
+		listen     = fs.String("listen", "127.0.0.1:8080", "proxy listen address")
+		threshold  = fs.Int("threshold", 3, "clue redirect threshold L")
+		block      = fs.Bool("block", true, "terminate sessions of alerted clients")
+		shards     = fs.Int("shards", 0, "detection engine shards (0 = GOMAXPROCS)")
+		adminAddr  = fs.String("admin-addr", "", "serve /metrics, /healthz, /snapshot, /debug/pprof/ and the POST /reload and /rollback model controls on this address (empty = no admin server)")
+		journal    = fs.String("journal", "", "append one JSONL provenance record per alert to this file")
+		checkpoint = fs.String("checkpoint", "", "restore watch state from this DMCP file on start and checkpoint to it on drain (empty = stateless)")
 	)
+	openJournal := journalFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,8 +112,9 @@ func runProxy(args []string) error {
 		return err
 	}
 	cfg := dynaminer.MonitorConfig{RedirectThreshold: *threshold, Shards: *shards}
+	var j *dynaminer.Journal
 	if *journal != "" {
-		j, err := dynaminer.NewJournal(*journal)
+		j, err = openJournal(*journal)
 		if err != nil {
 			return err
 		}
@@ -115,13 +129,24 @@ func runProxy(args []string) error {
 				a.FormatTime("15:04:05"), a.Client, a.TriggerPayload, a.TriggerHost, a.Score)
 		},
 	}, clf)
+	if *checkpoint != "" {
+		if _, err := os.Stat(*checkpoint); err == nil {
+			n, err := p.RestoreCheckpointFile(*checkpoint)
+			if err != nil {
+				return fmt.Errorf("recover %s: %w", *checkpoint, err)
+			}
+			fmt.Printf("recovered %d session clusters from %s\n", n, *checkpoint)
+		}
+	}
 	if *adminAddr != "" {
-		adm, err := dynaminer.StartAdmin(*adminAddr, p.Registry(), dynaminer.DefaultMetricsRegistry())
+		adm, err := dynaminer.StartAdminHandlers(*adminAddr,
+			dynaminer.ReloadHandlers(p, func() string { return *modelPath }),
+			p.Registry(), dynaminer.DefaultMetricsRegistry())
 		if err != nil {
 			return err
 		}
 		defer adm.Close()
-		fmt.Printf("admin endpoints on http://%s/ (metrics, healthz, snapshot, debug/pprof)\n", adm.Addr())
+		fmt.Printf("admin endpoints on http://%s/ (metrics, healthz, snapshot, debug/pprof, reload, rollback)\n", adm.Addr())
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -129,14 +154,44 @@ func runProxy(args []string) error {
 	}
 	fmt.Printf("DynaMiner proxy listening on %s (model %s, L=%d)\n", ln.Addr(), *modelPath, *threshold)
 	srv := &http.Server{Handler: p}
+
+	// SIGINT/SIGTERM drain: stop intake, then let the deferred closes
+	// flush the journal to disk; SIGHUP hot-swaps the model in place.
+	drain, hup, stopSignals := notifyLifecycle()
+	defer stopSignals()
+	go func() {
+		for {
+			select {
+			case <-drain:
+				srv.Close()
+				return
+			case <-hup:
+				reloadOnHUP(p, *modelPath)
+			}
+		}
+	}()
+
 	if proxyReady != nil {
 		proxyReady <- srv
 	}
 	err = srv.Serve(ln)
 	if err == http.ErrServerClosed {
-		return nil
+		err = nil
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	if *checkpoint != "" {
+		if werr := p.WriteCheckpointFile(*checkpoint); werr != nil {
+			return fmt.Errorf("final checkpoint: %w", werr)
+		}
+	}
+	if j != nil {
+		if serr := j.Sync(); serr != nil {
+			return serr
+		}
+	}
+	return nil
 }
 
 // proxyReady, when non-nil, receives the serving *http.Server so tests can
@@ -261,13 +316,16 @@ func runClassify(args []string) error {
 func runStream(args []string) error {
 	fs := flag.NewFlagSet("stream", flag.ContinueOnError)
 	var (
-		modelPath = fs.String("model", "model.json", "trained model path")
-		threshold = fs.Int("threshold", 3, "clue redirect threshold L")
-		asJSON    = fs.Bool("json", false, "emit alerts as JSON lines (SIEM-friendly)")
-		pace      = fs.Float64("pace", 0, "replay at capture pace divided by this factor (0 = as fast as possible)")
-		adminAddr = fs.String("admin-addr", "", "serve /metrics, /healthz, /snapshot and /debug/pprof/ on this address (empty = no admin server)")
-		journal   = fs.String("journal", "", "append one JSONL provenance record per alert to this file")
+		modelPath    = fs.String("model", "model.json", "trained model path")
+		threshold    = fs.Int("threshold", 3, "clue redirect threshold L")
+		asJSON       = fs.Bool("json", false, "emit alerts as JSON lines (SIEM-friendly)")
+		pace         = fs.Float64("pace", 0, "replay at capture pace divided by this factor (0 = as fast as possible)")
+		adminAddr    = fs.String("admin-addr", "", "serve /metrics, /healthz, /snapshot, /debug/pprof/ and the POST /reload and /rollback model controls on this address (empty = no admin server)")
+		journal      = fs.String("journal", "", "append one JSONL provenance record per alert to this file")
+		checkpoint   = fs.String("checkpoint", "", "recover watch state from this DMCP file on start and checkpoint to it periodically and on exit (empty = stateless)")
+		ckptInterval = fs.Duration("checkpoint-interval", 30*time.Second, "background checkpoint cadence (with -checkpoint)")
 	)
+	openJournal := journalFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -284,7 +342,7 @@ func runStream(args []string) error {
 	}
 	cfg := dynaminer.MonitorConfig{RedirectThreshold: *threshold}
 	if *journal != "" {
-		j, err := dynaminer.NewJournal(*journal)
+		j, err := openJournal(*journal)
 		if err != nil {
 			return err
 		}
@@ -292,13 +350,20 @@ func runStream(args []string) error {
 		cfg.Journal = j
 	}
 	m := dynaminer.NewMonitor(cfg, clf)
+	m.SetModelPath(*modelPath)
 	defer m.Close()
+	if *checkpoint != "" {
+		if err := recoverMonitor(m, *checkpoint, *journal); err != nil {
+			return err
+		}
+		m.StartCheckpointer(*checkpoint, *ckptInterval)
+	}
 	if *adminAddr != "" {
 		addr, err := m.StartAdmin(*adminAddr)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("admin endpoints on http://%s/ (metrics, healthz, snapshot, debug/pprof)\n", addr)
+		fmt.Printf("admin endpoints on http://%s/ (metrics, healthz, snapshot, debug/pprof, reload, rollback)\n", addr)
 	}
 	emit := func(a dynaminer.Alert) error {
 		if *asJSON {
@@ -313,11 +378,29 @@ func runStream(args []string) error {
 			a.FormatTime("15:04:05.000"), a.Client, a.TriggerPayload, a.TriggerHost, a.Score, a.WCG.Order())
 		return nil
 	}
+
+	// SIGINT/SIGTERM drain the replay — the journal flushes, a final
+	// checkpoint lands — instead of killing records on the floor; SIGHUP
+	// hot-swaps the model mid-stream without dropping a watch.
+	drain, hup, stopSignals := notifyLifecycle()
+	defer stopSignals()
+	interrupted := false
 	var prev time.Time
+stream:
 	for _, tx := range txs {
+		select {
+		case <-drain:
+			interrupted = true
+			break stream
+		case <-hup:
+			reloadOnHUP(m, *modelPath)
+		default:
+		}
 		if *pace > 0 && !prev.IsZero() {
-			if gap := tx.ReqTime.Sub(prev); gap > 0 {
-				time.Sleep(time.Duration(float64(gap) / *pace))
+			if gap := tx.ReqTime.Sub(prev); gap > 0 &&
+				paceSleep(gap, *pace, drain, hup, func() { reloadOnHUP(m, *modelPath) }) {
+				interrupted = true
+				break stream
 			}
 		}
 		prev = tx.ReqTime
@@ -326,6 +409,12 @@ func runStream(args []string) error {
 				return err
 			}
 		}
+	}
+	if interrupted {
+		fmt.Println("interrupted: draining (journal flush + final checkpoint)")
+	}
+	if err := m.Shutdown(); err != nil {
+		return err
 	}
 	st := m.Stats()
 	fmt.Printf("processed %d transactions: %d clusters, %d clues, %d classifications, %d alerts (%d weeded)\n",

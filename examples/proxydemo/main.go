@@ -13,7 +13,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"dynaminer"
@@ -77,8 +81,10 @@ func (t hostPinnedTransport) RoundTrip(r *http.Request) (*http.Response, error) 
 }
 
 func main() {
-	adminAddr := flag.String("admin-addr", "", "serve /metrics, /healthz, /snapshot and /debug/pprof/ on this address (empty = no admin server)")
+	adminAddr := flag.String("admin-addr", "", "serve /metrics, /healthz, /snapshot, /debug/pprof/ and the POST /reload and /rollback model controls on this address (empty = no admin server)")
 	journalPath := flag.String("journal", "", "append one JSONL provenance record per alert to this file")
+	saveModel := flag.String("save-model", "", "write the trained model as a DMFB blob to this path (a ready-made artifact for POST /reload)")
+	linger := flag.Bool("linger", false, "keep the proxy and admin endpoints serving after the scripted walk until SIGINT/SIGTERM")
 	flag.Parse()
 
 	// Train the deployment-matched classifier.
@@ -87,19 +93,50 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *saveModel != "" {
+		if err := clf.SaveBlobFile(*saveModel); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model blob saved to %s\n", *saveModel)
+	}
 
 	web := httptest.NewServer(fakeWeb())
 	defer web.Close()
 
 	detCfg := dynaminer.MonitorConfig{RedirectThreshold: 3}
+	var j *dynaminer.Journal
 	if *journalPath != "" {
-		j, err := dynaminer.NewJournal(*journalPath)
+		j, err = dynaminer.NewJournal(*journalPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer j.Close()
 		detCfg.Journal = j
 	}
+
+	// The journal must reach disk however the demo ends — a completed
+	// walk, or SIGINT/SIGTERM mid-script. os.Exit skips defers, so the
+	// signal path closes it explicitly before exiting.
+	var drainOnce sync.Once
+	drain := func() {
+		drainOnce.Do(func() {
+			if j != nil {
+				if err := j.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "journal close:", err)
+				}
+			}
+		})
+	}
+	defer drain()
+	stop := make(chan os.Signal, 2)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer func() { recover() }()
+		<-stop
+		fmt.Println("\nsignal: flushing journal and exiting")
+		drain()
+		os.Exit(0)
+	}()
+
 	p := dynaminer.NewProxy(dynaminer.ProxyConfig{
 		Detector:        detCfg,
 		BlockAfterAlert: true,
@@ -110,12 +147,14 @@ func main() {
 		},
 	}, clf)
 	if *adminAddr != "" {
-		adm, err := dynaminer.StartAdmin(*adminAddr, p.Registry())
+		adm, err := dynaminer.StartAdminHandlers(*adminAddr,
+			dynaminer.ReloadHandlers(p, func() string { return *saveModel }),
+			p.Registry())
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer adm.Close()
-		fmt.Printf("admin endpoints on http://%s/\n", adm.Addr())
+		fmt.Printf("admin endpoints on http://%s/ (metrics, healthz, snapshot, debug/pprof, reload, rollback)\n", adm.Addr())
 	}
 	proxySrv := httptest.NewServer(p)
 	defer proxySrv.Close()
@@ -194,11 +233,19 @@ func main() {
 	fmt.Printf("\nproxy stats: %d requests relayed, %d alerts, %d clients blocked, %d refused\n",
 		st.Relayed, st.Alerts, st.BlockedClients, st.Refused)
 	if *journalPath != "" {
+		if err := j.Sync(); err != nil {
+			log.Fatal(err)
+		}
 		recs, err := dynaminer.ReadJournalFile(*journalPath)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("journal: %d provenance record(s) in %s (render with `dynaminer journal %[2]s`)\n",
 			len(recs), *journalPath)
+	}
+	if *linger {
+		fmt.Printf("\nlingering: proxy %s live, model %s serving; SIGINT/SIGTERM to exit\n",
+			proxySrv.URL, p.ModelVersion())
+		select {} // the signal goroutine drains and exits the process
 	}
 }

@@ -219,10 +219,13 @@ type FlakyWriter struct {
 	errProb   float64
 	panicProb float64
 
-	mu     sync.Mutex
-	rng    *rand.Rand // guarded by mu
-	faults int        // guarded by mu
-	writes int        // guarded by mu
+	mu         sync.Mutex
+	rng        *rand.Rand // guarded by mu
+	faults     int        // guarded by mu
+	writes     int        // guarded by mu
+	syncProb   float64    // guarded by mu
+	syncFaults int        // guarded by mu
+	syncs      int        // guarded by mu
 }
 
 // NewFlakyWriter wraps inner with fault injection drawn from seed. A nil
@@ -272,6 +275,124 @@ func (w *FlakyWriter) Write(p []byte) (int, error) {
 		return 0, fmt.Errorf("chaos: no space left on device")
 	}
 	return w.inner.Write(p)
+}
+
+// FailSyncs makes every later Sync call fail with probability prob —
+// the fsync path of a journal riding a dying disk. Zero restores clean
+// syncs.
+func (w *FlakyWriter) FailSyncs(prob float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.syncProb = prob
+}
+
+// SyncFaults returns how many Sync calls were sabotaged so far.
+func (w *FlakyWriter) SyncFaults() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncFaults
+}
+
+// Syncs returns how many Sync calls succeeded.
+func (w *FlakyWriter) Syncs() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncs
+}
+
+// Sync satisfies the journal's optional stable-storage hook; it forwards
+// to the inner writer's Sync when it has one, or succeeds as a no-op.
+func (w *FlakyWriter) Sync() error {
+	w.mu.Lock()
+	sabotage := w.rng.Float64() < w.syncProb
+	if sabotage {
+		w.syncFaults++
+	} else {
+		w.syncs++
+	}
+	w.mu.Unlock()
+	if sabotage {
+		return fmt.Errorf("chaos: fsync: input/output error")
+	}
+	if s, ok := w.inner.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// FlakyLoader sabotages a model-loader callback, standing in for a model
+// artifact that is corrupt on disk or a loader that faults mid-parse:
+// with probability errProb the load fails, and with probability
+// panicProb it panics — exactly the two failure shapes the detector's
+// reload path must absorb without touching the serving model.
+//
+// FlakyLoader is safe for concurrent use.
+type FlakyLoader struct {
+	inner     func() (detector.Scorer, error)
+	errProb   float64
+	panicProb float64
+
+	mu     sync.Mutex
+	rng    *rand.Rand // guarded by mu
+	faults int        // guarded by mu
+	loads  int        // guarded by mu
+}
+
+// NewFlakyLoader wraps inner with fault injection drawn from seed.
+func NewFlakyLoader(seed int64, inner func() (detector.Scorer, error), errProb, panicProb float64) *FlakyLoader {
+	return &FlakyLoader{
+		inner:     inner,
+		errProb:   errProb,
+		panicProb: panicProb,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Faults returns how many loads were sabotaged so far.
+func (l *FlakyLoader) Faults() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.faults
+}
+
+// Loads returns how many loads went through intact.
+func (l *FlakyLoader) Loads() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.loads
+}
+
+// Load produces a candidate model, or injects a fault.
+func (l *FlakyLoader) Load() (detector.Scorer, error) {
+	l.mu.Lock()
+	roll := l.rng.Float64()
+	sabotage := roll < l.errProb+l.panicProb
+	doPanic := roll < l.panicProb
+	if sabotage {
+		l.faults++
+	} else {
+		l.loads++
+	}
+	l.mu.Unlock()
+	if doPanic {
+		panic("chaos: injected model loader panic")
+	}
+	if sabotage {
+		return nil, fmt.Errorf("chaos: model artifact unreadable")
+	}
+	return l.inner()
+}
+
+// CorruptBlob returns a copy of a binary artifact with one seeded byte
+// flip past the header, the minimal damage a checksum screen must catch.
+func CorruptBlob(seed int64, blob []byte) []byte {
+	out := append([]byte(nil), blob...)
+	if len(out) <= 16 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out[16+rng.Intn(len(out)-16)] ^= 1 << rng.Intn(8)
+	return out
 }
 
 // Mutation modes the transaction mutator injects.

@@ -1,0 +1,262 @@
+package detector
+
+import (
+	"math"
+	"net/netip"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dynaminer/internal/httpstream"
+)
+
+// readdress clones a transaction stream onto a different client address,
+// so multi-client checkpoint tests exercise more than one shard.
+func readdress(txs []httpstream.Transaction, client netip.Addr) []httpstream.Transaction {
+	out := append([]httpstream.Transaction(nil), txs...)
+	for i := range out {
+		out[i].ClientIP = client
+	}
+	return out
+}
+
+// checkpointClients is a fixed set of clients that hash to more than one
+// shard of a two-shard engine.
+var checkpointClients = []netip.Addr{
+	netip.MustParseAddr("10.0.0.44"),
+	netip.MustParseAddr("10.0.1.7"),
+	netip.MustParseAddr("10.0.2.99"),
+}
+
+// interleaved returns per-client infection streams interleaved in time
+// order: for each of the 5 stream positions, every client's transaction.
+func interleaved(txs []httpstream.Transaction) []httpstream.Transaction {
+	perClient := make([][]httpstream.Transaction, len(checkpointClients))
+	for i, c := range checkpointClients {
+		perClient[i] = readdress(txs, c)
+	}
+	var out []httpstream.Transaction
+	for p := 0; p < len(txs); p++ {
+		for i := range perClient {
+			out = append(out, perClient[i][p])
+		}
+	}
+	return out
+}
+
+// TestCheckpointRoundTripBitIdentical is the recovery acceptance test: an
+// engine checkpointed mid-watch, restored into a fresh process-alike
+// engine, must continue the stream with alerts bit-identical to the
+// uninterrupted engine's — same scores (to the bit), same cluster IDs,
+// same timestamps, same watch inventory.
+func TestCheckpointRoundTripBitIdentical(t *testing.T) {
+	// A low threshold makes the real forest's fractional votes cross on
+	// every download, so the differential compares live alert scores.
+	cfg := Config{Shards: 2, RedirectThreshold: 3, ScoreThreshold: 0.05}
+	model := trainDimForest(t, 37, 31)
+
+	uninterrupted := NewSharded(cfg, model)
+	crashed := NewSharded(cfg, model)
+
+	head := interleaved(infectionStream()) // arms one watch per client
+	var headUn, headCr []Alert
+	for _, tx := range head {
+		headUn = append(headUn, uninterrupted.Process(tx)...)
+		headCr = append(headCr, crashed.Process(tx)...)
+	}
+	if len(headUn) != len(headCr) {
+		t.Fatalf("pre-checkpoint alert streams diverged: %d vs %d", len(headUn), len(headCr))
+	}
+
+	data := crashed.AppendCheckpoint(nil)
+	info, err := ReadCheckpointInfo(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Shards != 2 || info.Clusters != len(checkpointClients) || info.Watching != len(checkpointClients) {
+		t.Fatalf("checkpoint info %+v, want 2 shards, %d clusters all watching", info, len(checkpointClients))
+	}
+	if info.ModelVersion != crashed.ModelVersion() {
+		t.Fatalf("checkpoint model version %v, want %v", info.ModelVersion, crashed.ModelVersion())
+	}
+	if info.TxSeen != int64(len(head)) {
+		t.Fatalf("checkpoint TxSeen = %d, want %d", info.TxSeen, len(head))
+	}
+
+	// "Restart": a fresh engine with the same config and model.
+	restored := NewSharded(cfg, model)
+	n, err := restored.RestoreCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(checkpointClients) {
+		t.Fatalf("restored %d clusters, want %d", n, len(checkpointClients))
+	}
+
+	// The watch inventory must match the pre-crash engine exactly.
+	wantWatch, gotWatch := crashed.Watched(), restored.Watched()
+	if len(gotWatch) != len(wantWatch) {
+		t.Fatalf("restored %d watches, want %d", len(gotWatch), len(wantWatch))
+	}
+	for i := range wantWatch {
+		w, g := wantWatch[i], gotWatch[i]
+		if g.ClusterID != w.ClusterID || g.Client != w.Client ||
+			g.Transactions != w.Transactions || g.Hosts != w.Hosts || !g.LastGrowth.Equal(w.LastGrowth) {
+			t.Fatalf("watch %d diverged after restore:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+
+	// Continue both runs with growth and a second download per client; the
+	// alert streams must be bit-identical.
+	var tail []httpstream.Transaction
+	for _, c := range checkpointClients {
+		full := readdress(relatedFollowUp(3), c)
+		tail = append(tail, full[5:]...) // the post-clue transactions only
+	}
+	var tailUn, tailRe []Alert
+	for _, tx := range tail {
+		tailUn = append(tailUn, uninterrupted.Process(tx)...)
+		tailRe = append(tailRe, restored.Process(tx)...)
+	}
+	if len(tailUn) == 0 {
+		t.Fatal("tail produced no alerts; the differential is vacuous")
+	}
+	if len(tailUn) != len(tailRe) {
+		t.Fatalf("post-recovery alert counts diverged: uninterrupted=%d restored=%d", len(tailUn), len(tailRe))
+	}
+	for i := range tailUn {
+		u, r := tailUn[i], tailRe[i]
+		if math.Float64bits(u.Score) != math.Float64bits(r.Score) {
+			t.Fatalf("alert %d score diverged after recovery: %x vs %x",
+				i, math.Float64bits(u.Score), math.Float64bits(r.Score))
+		}
+		if u.ClusterID != r.ClusterID || u.Client != r.Client || !u.Time.Equal(r.Time) ||
+			u.TriggerHost != r.TriggerHost || u.TriggerPayload != r.TriggerPayload {
+			t.Fatalf("alert %d identity diverged after recovery:\n got %+v\nwant %+v", i, r, u)
+		}
+	}
+
+	// The restored engine resumes the eviction cadence from the same
+	// transaction offset.
+	var wantSeen, gotSeen int64
+	for i := range uninterrupted.shards {
+		wantSeen += uninterrupted.shards[i].eng.txSeen
+		gotSeen += restored.shards[i].eng.txSeen
+	}
+	if gotSeen != wantSeen {
+		t.Fatalf("restored txSeen = %d, want %d", gotSeen, wantSeen)
+	}
+}
+
+// TestCheckpointFileRoundTrip exercises the atomic file path and the
+// info reader on disk.
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	cfg := Config{Shards: 1, RedirectThreshold: 3}
+	s := NewSharded(cfg, constScorer(0.9))
+	s.ProcessAll(infectionStream())
+
+	path := filepath.Join(t.TempDir(), "state.dmcp")
+	if err := s.WriteCheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := ReadCheckpointInfoFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Clusters != 1 || info.Watching != 1 || info.Shards != 1 {
+		t.Fatalf("info %+v", info)
+	}
+
+	restored := NewSharded(cfg, constScorer(0.9))
+	if n, err := restored.RestoreCheckpointFile(path); err != nil || n != 1 {
+		t.Fatalf("restore: n=%d err=%v", n, err)
+	}
+	// The alerted flag survives: the restored watch only re-alerts on a
+	// download, exactly like the original.
+	growth := mkTx("d.evil", "/beacon", "GET", 200, "text/html", 512, "", time.Second)
+	if alerts := restored.Process(growth); len(alerts) != 0 {
+		t.Fatalf("restored alerted watch re-fired on non-download growth: %+v", alerts)
+	}
+}
+
+// TestCheckpointRejectsDamage pins the validation screens: bit flips,
+// truncation, bad magic, and a shard-count mismatch are all rejected with
+// named errors before any cluster is restored.
+func TestCheckpointRejectsDamage(t *testing.T) {
+	s := NewSharded(Config{Shards: 2, RedirectThreshold: 3}, constScorer(0.9))
+	s.ProcessAll(interleaved(infectionStream()))
+	data := s.AppendCheckpoint(nil)
+
+	fresh := func() *ShardedEngine { return NewSharded(Config{Shards: 2, RedirectThreshold: 3}, constScorer(0.9)) }
+
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-3] ^= 0x01
+	if _, err := fresh().RestoreCheckpoint(flipped); err == nil {
+		t.Fatal("bit-flipped checkpoint accepted")
+	}
+	if _, err := fresh().RestoreCheckpoint(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+	if _, err := fresh().RestoreCheckpoint([]byte("DMFB----------------")); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+	if _, err := NewSharded(Config{Shards: 3}, constScorer(0.9)).RestoreCheckpoint(data); err == nil {
+		t.Fatal("shard-count mismatch accepted")
+	}
+	// A non-empty engine must refuse to restore (cluster IDs would collide).
+	busy := fresh()
+	busy.ProcessAll(infectionStream())
+	if _, err := busy.RestoreCheckpoint(data); err == nil {
+		t.Fatal("restore into a non-empty engine accepted")
+	}
+}
+
+// TestMarkAlertedDedup covers journal replay during recovery: an alert
+// the pre-crash process raised after the last checkpoint is marked on
+// the restored cluster, so the watch's next growth does not re-fire it.
+func TestMarkAlertedDedup(t *testing.T) {
+	// Arm a watch below the alert threshold, checkpoint, then restore into
+	// an engine whose serving model scores hot: without MarkAlerted the
+	// first growth would fire the alert the pre-crash process already
+	// journaled.
+	cfg := Config{Shards: 1, RedirectThreshold: 3}
+	cold := NewSharded(cfg, constScorer(0.4))
+	cold.ProcessAll(infectionStream())
+	if cold.Stats().Alerts != 0 {
+		t.Fatal("setup: watch must arm without alerting")
+	}
+	data := cold.AppendCheckpoint(nil)
+
+	growth := mkTx("d.evil", "/beacon", "GET", 200, "text/html", 512, "", time.Second)
+
+	// Control: restored without the journal mark, the growth alerts (the
+	// const scorer's CRC matches the serving model, so the pin re-attaches
+	// to the hot scorer).
+	control := NewSharded(cfg, constScorer(0.9))
+	if _, err := control.RestoreCheckpoint(data); err != nil {
+		t.Fatal(err)
+	}
+	if alerts := control.Process(growth); len(alerts) != 1 {
+		t.Fatalf("control growth alerts = %d, want 1", len(alerts))
+	}
+
+	// Recovery path: MarkAlerted from the replayed journal suppresses the
+	// duplicate.
+	recovered := NewSharded(cfg, constScorer(0.9))
+	if _, err := recovered.RestoreCheckpoint(data); err != nil {
+		t.Fatal(err)
+	}
+	w := recovered.Watched()
+	if len(w) != 1 {
+		t.Fatalf("restored watches = %d, want 1", len(w))
+	}
+	if !recovered.MarkAlerted(w[0].Client, w[0].ClusterID) {
+		t.Fatal("MarkAlerted did not find the restored cluster")
+	}
+	if recovered.MarkAlerted(netip.MustParseAddr("203.0.113.9"), 999) {
+		t.Fatal("MarkAlerted invented a cluster")
+	}
+	if alerts := recovered.Process(growth); len(alerts) != 0 {
+		t.Fatalf("marked watch re-fired the journaled alert: %+v", alerts)
+	}
+}

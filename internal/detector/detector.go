@@ -312,6 +312,12 @@ type cluster struct {
 	// offline subset extraction.
 	closed [][]int
 
+	// pinned is the model reference that armed the current watch: every
+	// classification of this watch scores through it, so an episode is
+	// judged by one forest end-to-end even if the engine hot-swaps models
+	// while the WCG grows. nil outside a watch.
+	pinned *modelRef
+
 	// Incremental classification state for the current watch: the live
 	// WCG, its feature cache, and how many watch entries have been fed.
 	// incBroken pins the from-scratch fallback for the rest of a watch
@@ -332,8 +338,11 @@ type cluster struct {
 // one Engine per capture point, serialize access, or use a ShardedEngine,
 // which partitions clients across independently locked Engines.
 type Engine struct {
-	cfg      Config
-	model    Scorer
+	cfg Config
+	// models holds the serving scorer behind an atomic pointer tagged with
+	// a ModelVersion; shards of a ShardedEngine share one holder, so a
+	// hot-swap reaches every shard's next watch arming at once.
+	models   *modelHolder
 	clusters []*cluster
 	byClient map[netip.Addr][]*cluster
 	// mx backs every Stats counter with registry cells; Stats() is a
@@ -364,6 +373,16 @@ type Engine struct {
 	now          func() time.Time
 	timed        bool
 	classifyEWMA time.Duration
+	// txSeen counts transactions this engine ingested, driving the inline
+	// eviction cadence. Unlike the metrics cell it is checkpointed and
+	// restored, so a recovered engine sweeps at the same transaction
+	// offsets as an uninterrupted run — a prerequisite for bit-identical
+	// post-recovery alerts.
+	txSeen int64
+	// restoring suppresses classification, stat counters and watch
+	// shedding while a checkpointed cluster's transactions are replayed
+	// through the structural pipeline (see restoreCluster).
+	restoring bool
 }
 
 // New returns an Engine using the given trained model. A pointer-tree
@@ -381,11 +400,12 @@ func New(cfg Config, model Scorer) *Engine {
 	if now == nil {
 		now = time.Now
 	}
+	mx := newEngineMetrics(cfg.Metrics)
 	return &Engine{
 		cfg:      cfg,
-		model:    model,
+		models:   newModelHolder(mx.reg, model),
 		byClient: make(map[netip.Addr][]*cluster),
-		mx:       newEngineMetrics(cfg.Metrics),
+		mx:       mx,
 		journal:  cfg.Journal,
 		idStep:   1,
 		scratch:  graph.NewScratch(),
@@ -393,6 +413,43 @@ func New(cfg Config, model Scorer) *Engine {
 		timed:    cfg.MaxClassifyLatency > 0 || cfg.Metrics != nil,
 	}
 }
+
+// ModelVersion returns the serving model's version.
+func (e *Engine) ModelVersion() ModelVersion { return e.models.current().version }
+
+// SwapModel validates candidate and atomically replaces the serving
+// model: watches armed before the swap keep scoring through their pinned
+// version, watches armed after it pick up the new one. A rejected
+// candidate (nil, wrong feature dimensionality) leaves serving untouched.
+// A pointer-tree *ml.Forest is flattened first, exactly as in New.
+func (e *Engine) SwapModel(candidate Scorer) (ModelVersion, error) {
+	if f, ok := candidate.(*ml.Forest); ok && f != nil {
+		candidate = f.Flatten()
+	}
+	return e.models.swap(candidate)
+}
+
+// ReloadModel loads a candidate through load and swaps it in; any load
+// error, loader panic, or failed validation is counted as a reload
+// failure and leaves the serving model untouched.
+func (e *Engine) ReloadModel(load func() (Scorer, error)) (ModelVersion, error) {
+	return e.models.reload(load)
+}
+
+// ReloadModelFile reads a model file (DMFB blob or JSON, sniffed) through
+// the full semantic screens and hot-swaps it in.
+func (e *Engine) ReloadModelFile(path string) (ModelVersion, error) {
+	return e.models.reload(func() (Scorer, error) {
+		ff, err := ml.LoadModelFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return ff, nil
+	})
+}
+
+// RollbackModel reinstates the previous model under its original version.
+func (e *Engine) RollbackModel() (ModelVersion, error) { return e.models.rollback() }
 
 // Stats returns a snapshot of engine counters — a bridged view over this
 // engine's registry cells, so the numbers here and on /metrics are the
@@ -435,7 +492,9 @@ func (e *Engine) trusted(host string) bool {
 // offending session cluster (see quarantine), so one hostile client
 // cannot take the engine down.
 func (e *Engine) Process(tx httpstream.Transaction) []Alert {
-	if e.mx.transactions.Inc()%evictEvery == 0 {
+	e.mx.transactions.Inc()
+	e.txSeen++
+	if e.txSeen%evictEvery == 0 {
 		e.EvictIdle(tx.ReqTime.Add(-e.cfg.ClusterTTL))
 	}
 	host := strings.ToLower(tx.Host)
@@ -467,7 +526,9 @@ func (e *Engine) processInCluster(c *cluster, tx httpstream.Transaction, host st
 		// cluster (and any watched WCG) mid-session, and make the drop
 		// visible in the counters.
 		c.lastActive = tx.ReqTime
-		e.mx.dropped.Inc()
+		if !e.restoring {
+			e.mx.dropped.Inc()
+		}
 		return nil
 	}
 	meta := c.buildMeta(&tx, host)
@@ -494,7 +555,12 @@ func (e *Engine) processInCluster(c *cluster, tx httpstream.Transaction, host st
 	// construction of a potential-infection WCG around the chain.
 	if meta.download && !c.watching && c.redirects >= e.cfg.RedirectThreshold {
 		c.watching = true
-		e.mx.cluesFired.Inc()
+		// Pin the serving model: this watch scores through exactly this
+		// forest until it closes, no matter what hot-swaps happen meanwhile.
+		c.pinned = e.models.current()
+		if !e.restoring {
+			e.mx.cluesFired.Inc()
+		}
 		e.mx.watched.Inc()
 		// Clue provenance for this watch's journal records: the arming
 		// download and the redirect evidence that armed it.
@@ -506,7 +572,12 @@ func (e *Engine) processInCluster(c *cluster, tx httpstream.Transaction, host st
 		c.buildPotentialWCG(idx, e.cfg.WatchIdle)
 		c.snapshot = append([]int(nil), c.watch...)
 		c.watchLast = tx.ReqTime
-		e.shedWatches(c)
+		if !e.restoring {
+			// Shedding is a cross-cluster decision the per-cluster replay
+			// cannot reproduce; restore honors the checkpointed watching
+			// flags instead.
+			e.shedWatches(c)
+		}
 		return e.classify(c, idx, meta)
 	}
 	if !c.watching {
@@ -524,7 +595,7 @@ func (e *Engine) processInCluster(c *cluster, tx httpstream.Transaction, host st
 	// growing but only clue boundaries — payload downloads — re-score it;
 	// the incremental builder catches up on the skipped growth at the
 	// next classify call.
-	if !meta.download && e.overBudget() {
+	if !meta.download && e.overBudget() && !e.restoring {
 		e.mx.degraded.Inc()
 		return nil
 	}
@@ -636,7 +707,16 @@ func (e *Engine) dropCluster(target *cluster) {
 // Config.DisableIncremental or by out-of-order arrival — and produces
 // bit-identical scores and alerts.
 func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
-	if e.model == nil {
+	if e.restoring {
+		return nil // checkpoint replay rebuilds structure, never verdicts
+	}
+	ref := c.pinned
+	if ref == nil {
+		// Defensive: classify is only reached inside a watch, which pins at
+		// arming; an unpinned call scores with the serving model.
+		ref = e.models.current()
+	}
+	if ref.scorer == nil {
 		return nil // extraction-only mode (training-set construction)
 	}
 	var start time.Time
@@ -660,7 +740,7 @@ func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 		x = e.fvec
 		e.mx.rebuilds.Inc()
 	}
-	score := e.scoreVector(x)
+	score := e.scoreVector(ref.scorer, x)
 	e.mx.classifications.Inc()
 	if e.timed {
 		elapsed := e.now().Sub(start)
@@ -722,18 +802,18 @@ func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 		TriggerPayload: trigger.payload,
 		WCG:            g,
 	}
-	e.journalAlert(c, &alert, x, incremental)
+	e.journalAlert(c, ref, &alert, x, incremental)
 	return []Alert{alert}
 }
 
-// scoreVector runs the model, timing the ensemble's share of classify
-// wall time when the engine is timed.
-func (e *Engine) scoreVector(x []float64) float64 {
+// scoreVector runs the watch's pinned model, timing the ensemble's share
+// of classify wall time when the engine is timed.
+func (e *Engine) scoreVector(model Scorer, x []float64) float64 {
 	if !e.timed {
-		return e.model.Score(x)
+		return model.Score(x)
 	}
 	t0 := e.now()
-	score := e.model.Score(x)
+	score := model.Score(x)
 	e.mx.score.Observe(e.now().Sub(t0).Seconds())
 	return score
 }
@@ -744,11 +824,12 @@ func (e *Engine) scoreVector(x []float64) float64 {
 // next classification), and the degraded-mode flags active at decision
 // time. The journal's Append never panics, so a failing sink costs the
 // record, never the alert.
-func (e *Engine) journalAlert(c *cluster, a *Alert, x []float64, incremental bool) {
+func (e *Engine) journalAlert(c *cluster, ref *modelRef, a *Alert, x []float64, incremental bool) {
 	if e.journal == nil {
 		return
 	}
 	rec := obs.AlertRecord{
+		ModelVersion:     ref.version.String(),
 		Time:             a.Time,
 		Client:           a.Client.String(),
 		ClusterID:        a.ClusterID,
@@ -765,7 +846,7 @@ func (e *Engine) journalAlert(c *cluster, a *Alert, x []float64, incremental boo
 		Degraded:         e.overBudget(),
 		Quarantined:      c.faults > 0,
 	}
-	if vs, ok := e.model.(VoteScorer); ok {
+	if vs, ok := ref.scorer.(VoteScorer); ok {
 		// The tally re-scores the vector; the VoteScorer contract makes
 		// the result bit-identical to the decision score, and the guard
 		// drops the tally (never the record) from an implementation that
@@ -990,6 +1071,7 @@ func (c *cluster) closeWatch() {
 	c.preWatch = nil
 	c.redirects = 0
 	c.clueHost, c.cluePayload, c.clueRedirects = "", 0, 0
+	c.pinned = nil
 	c.ib = nil
 	c.cache = nil
 	c.fed = 0

@@ -374,7 +374,7 @@ func TestMisdimensionedModelQuarantines(t *testing.T) {
 			t.Fatalf("guard panic = %v, want a named ml dimension message", r)
 		}
 	}()
-	e.model.Score(make([]float64, 37))
+	e.models.current().scorer.Score(make([]float64, 37))
 }
 
 // TestNewUpgradesForestToFlat pins the construction-time upgrade: a
@@ -384,21 +384,21 @@ func TestMisdimensionedModelQuarantines(t *testing.T) {
 func TestNewUpgradesForestToFlat(t *testing.T) {
 	f := trainNarrowForest(t)
 	e := New(Config{}, f)
-	ff, ok := e.model.(*ml.FlatForest)
+	ff, ok := e.models.current().scorer.(*ml.FlatForest)
 	if !ok {
-		t.Fatalf("engine model is %T, want *ml.FlatForest", e.model)
+		t.Fatalf("engine model is %T, want *ml.FlatForest", e.models.current().scorer)
 	}
 	x := []float64{0.5, -1, 2, 0, 1}
 	if math.Float64bits(f.Score(x)) != math.Float64bits(ff.Score(x)) {
 		t.Fatal("flattened engine model scores differently from the trained forest")
 	}
-	if e := New(Config{}, nil); e.model != nil {
-		t.Fatalf("nil model rewritten to %T", e.model)
+	if e := New(Config{}, nil); e.models.current().scorer != nil {
+		t.Fatalf("nil model rewritten to %T", e.models.current().scorer)
 	}
-	if e := New(Config{}, constScorer(0.4)); e.model != (constScorer(0.4)) {
-		t.Fatalf("non-forest scorer rewritten to %T", e.model)
+	if e := New(Config{}, constScorer(0.4)); e.models.current().scorer != (constScorer(0.4)) {
+		t.Fatalf("non-forest scorer rewritten to %T", e.models.current().scorer)
 	}
-	if e := New(Config{}, (*ml.Forest)(nil)); e.model.(*ml.Forest) != nil {
+	if e := New(Config{}, (*ml.Forest)(nil)); e.models.current().scorer.(*ml.Forest) != nil {
 		t.Fatal("typed-nil forest must pass through, not be flattened")
 	}
 }

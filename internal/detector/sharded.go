@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dynaminer/internal/httpstream"
+	"dynaminer/internal/ml"
 	"dynaminer/internal/obs"
 )
 
@@ -23,6 +24,10 @@ import (
 // ShardedEngine is safe for concurrent use.
 type ShardedEngine struct {
 	shards []*engineShard
+	// models is the holder every shard serves from: one atomic swap
+	// reaches all shards at once, while each shard's in-flight watches
+	// keep their pinned version. Immutable after construction.
+	models *modelHolder
 	// slabs pools ProcessAll's per-call scratch (the per-transaction result
 	// table and per-shard index groups), so steady-state slab ingestion
 	// stops allocating scaffolding proportional to the slab size.
@@ -60,10 +65,54 @@ func NewSharded(cfg Config, model Scorer) *ShardedEngine {
 		// Stride cluster IDs so IDs stay unique across shards: shard i of
 		// n allocates i, i+n, i+2n, ...
 		eng.idBase, eng.idStep = i, n
+		if i == 0 {
+			s.models = eng.models
+		} else {
+			// All shards serve from shard 0's holder, so one swap reaches
+			// every shard and per-shard reload metrics never diverge.
+			eng.models = s.models
+		}
 		s.shards[i] = &engineShard{eng: eng}
 	}
 	return s
 }
+
+// ModelVersion returns the serving model's version (shared by all shards).
+func (s *ShardedEngine) ModelVersion() ModelVersion { return s.models.current().version }
+
+// SwapModel validates candidate and atomically swaps it into every shard:
+// watches armed before the swap keep their pinned version, watches armed
+// after it score with the new model. See Engine.SwapModel.
+func (s *ShardedEngine) SwapModel(candidate Scorer) (ModelVersion, error) {
+	if f, ok := candidate.(*ml.Forest); ok && f != nil {
+		candidate = f.Flatten()
+	}
+	return s.models.swap(candidate)
+}
+
+// ReloadModel loads a candidate through load and swaps it into every
+// shard; failures leave the serving model untouched.
+func (s *ShardedEngine) ReloadModel(load func() (Scorer, error)) (ModelVersion, error) {
+	return s.models.reload(load)
+}
+
+// ReloadModelFile reads a model file (DMFB blob or JSON, sniffed) through
+// the full semantic screens and hot-swaps it into every shard. On any
+// failure — unreadable file, corrupt blob, failed screens, wrong feature
+// dimensionality — the serving model keeps scoring and the failure is
+// counted in dynaminer_model_reload_failures_total.
+func (s *ShardedEngine) ReloadModelFile(path string) (ModelVersion, error) {
+	return s.models.reload(func() (Scorer, error) {
+		ff, err := ml.LoadModelFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return ff, nil
+	})
+}
+
+// RollbackModel reinstates the previous model under its original version.
+func (s *ShardedEngine) RollbackModel() (ModelVersion, error) { return s.models.rollback() }
 
 // NumShards returns the number of engine shards.
 func (s *ShardedEngine) NumShards() int { return len(s.shards) }

@@ -169,6 +169,15 @@ func (ff *FlatForest) AppendFlatBlob(dst []byte) []byte {
 	return dst
 }
 
+// BlobCRC returns the CRC-32 (IEEE) of the forest's canonical flat-blob
+// encoding — the same checksum a DMFB artifact stores at offset 8. Because
+// the v1 layout is byte-reproducible from the forest's contents, the value
+// is a stable identity for the trained model: equal across JSON, blob, and
+// in-memory forms, different for any forest that scores differently.
+func (ff *FlatForest) BlobCRC() uint32 {
+	return crc32.ChecksumIEEE(ff.AppendFlatBlob(nil)[16:])
+}
+
 // SaveFlatBlob writes the forest's binary blob artifact to w.
 func (ff *FlatForest) SaveFlatBlob(w io.Writer) error {
 	if _, err := w.Write(ff.AppendFlatBlob(nil)); err != nil {

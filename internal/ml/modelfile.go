@@ -1,0 +1,32 @@
+package ml
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+// LoadModelFile reads a trained model from path, sniffing the format from
+// the leading bytes: the DMFB magic selects the flat-blob loader, anything
+// else is parsed as JSON (and flattened). Both routes run the full
+// semantic screens — feature bounds, finite thresholds, preorder shape,
+// depth cap, canonical payloads — so a forest this returns is exactly as
+// validated as one from LoadForest or LoadFlatBlob. This is the loader the
+// detector's hot-reload path uses: a candidate model is fully screened
+// before it can ever be swapped into a running engine.
+func LoadModelFile(path string) (*FlatForest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ml: load model: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	if prefix, err := br.Peek(len(flatBlobMagic)); err == nil && IsFlatBlob(prefix) {
+		return LoadFlatBlob(br)
+	}
+	forest, err := LoadForest(br)
+	if err != nil {
+		return nil, err
+	}
+	return forest.Flatten(), nil
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"sync"
 	"time"
 )
@@ -28,6 +29,15 @@ type Admin struct {
 // recover-guarded goroutine; Close shuts the listener down and waits for
 // the loop to exit.
 func StartAdmin(addr string, regs ...*Registry) (*Admin, error) {
+	return StartAdminHandlers(addr, nil, regs...)
+}
+
+// StartAdminHandlers is StartAdmin plus caller-supplied endpoints — the
+// hook lifecycle control planes (model reload, checkpoint triggers) use
+// to ride the same listener as /metrics. Extra patterns that collide
+// with the built-in endpoints are skipped: the observability surface
+// cannot be shadowed.
+func StartAdminHandlers(addr string, extra map[string]http.Handler, regs ...*Registry) (*Admin, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
@@ -62,6 +72,23 @@ func StartAdmin(addr string, regs ...*Registry) (*Admin, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	builtin := map[string]bool{
+		"/metrics": true, "/healthz": true, "/snapshot": true, "/debug/pprof/": true,
+		"/debug/pprof/cmdline": true, "/debug/pprof/profile": true,
+		"/debug/pprof/symbol": true, "/debug/pprof/trace": true,
+	}
+	patterns := make([]string, 0, len(extra))
+	for p := range extra {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns) // deterministic mount order
+	for _, p := range patterns {
+		if p == "" || builtin[p] || extra[p] == nil {
+			continue
+		}
+		mux.Handle(p, extra[p])
+	}
 
 	a := &Admin{
 		ln:   ln,

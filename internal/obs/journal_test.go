@@ -136,7 +136,29 @@ func TestJournalAppendNeverPanics(t *testing.T) {
 }
 
 func TestReadJournalRejectsGarbage(t *testing.T) {
-	if _, err := ReadJournal(bytes.NewBufferString("{\"time\":\"2026-08-05T00:00:00Z\"}\nnot json\n")); err == nil {
-		t.Fatal("ReadJournal accepted a non-JSON line")
+	// A damaged line with more records after it is corruption, not a torn
+	// tail: Append's single-write discipline can only tear the final line.
+	in := "{\"time\":\"2026-08-05T00:00:00Z\"}\nnot json\n{\"time\":\"2026-08-05T00:00:01Z\"}\n"
+	if _, err := ReadJournal(bytes.NewBufferString(in)); err == nil {
+		t.Fatal("ReadJournal accepted a mid-file non-JSON line")
+	}
+}
+
+func TestReadJournalToleratesTornTail(t *testing.T) {
+	// A crash or power loss can leave a half-written final record; the
+	// reader must surface every complete record and drop only the tail.
+	in := "{\"time\":\"2026-08-05T00:00:00Z\"}\n{\"time\":\"2026-08-05T00:00:01Z\"}\n{\"time\":\"2026-08-05T00:0"
+	recs, err := ReadJournal(bytes.NewBufferString(in))
+	if err != nil {
+		t.Fatalf("torn tail reported as corruption: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want the 2 complete ones", len(recs))
+	}
+	// Trailing blank lines after the tear (e.g. a torn write of just the
+	// newline) must not promote the tear into corruption.
+	in = "{\"time\":\"2026-08-05T00:00:00Z\"}\n{\"bad\n\n"
+	if recs, err = ReadJournal(bytes.NewBufferString(in)); err != nil || len(recs) != 1 {
+		t.Fatalf("torn tail + blank line: recs=%d err=%v, want 1 record, nil error", len(recs), err)
 	}
 }

@@ -212,6 +212,29 @@ func (p *Proxy) Watched() []detector.WatchedWCG {
 	return p.engine.Watched()
 }
 
+// ModelVersion returns the serving model's version.
+func (p *Proxy) ModelVersion() detector.ModelVersion { return p.engine.ModelVersion() }
+
+// ReloadModelFile validates a model file through the full semantic
+// screens and hot-swaps it into the embedded engine without dropping a
+// request or a watch; failures leave the serving model untouched.
+func (p *Proxy) ReloadModelFile(path string) (detector.ModelVersion, error) {
+	return p.engine.ReloadModelFile(path)
+}
+
+// RollbackModel reinstates the previously served model.
+func (p *Proxy) RollbackModel() (detector.ModelVersion, error) { return p.engine.RollbackModel() }
+
+// WriteCheckpointFile atomically writes the embedded engine's in-flight
+// watch state to path.
+func (p *Proxy) WriteCheckpointFile(path string) error { return p.engine.WriteCheckpointFile(path) }
+
+// RestoreCheckpointFile rebuilds the embedded engine's in-flight state
+// from a checkpoint written by a previous process; call before serving.
+func (p *Proxy) RestoreCheckpointFile(path string) (int, error) {
+	return p.engine.RestoreCheckpointFile(path)
+}
+
 // clientAddr extracts the client IP from a request, honoring
 // X-Forwarded-For when configured.
 func (p *Proxy) clientAddr(r *http.Request) netip.Addr {

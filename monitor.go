@@ -21,15 +21,24 @@ type Monitor struct {
 	now    func() time.Time
 	ttl    time.Duration
 
-	// Janitor telemetry on the engine's registry: background sweeps run
-	// and session clusters they evicted.
-	janitorSweeps    *obs.Counter
-	janitorEvictions *obs.Counter
+	// journal is the alert sink from MonitorConfig, kept so Shutdown can
+	// force it to stable storage during a graceful drain.
+	journal *obs.Journal
 
-	mu    sync.Mutex
-	stop  chan struct{} // non-nil while the janitor is running; guarded by mu
-	done  chan struct{} // closed when the janitor goroutine exits; guarded by mu
-	admin *obs.Admin    // non-nil while the admin server runs; guarded by mu
+	// Janitor and checkpoint telemetry on the engine's registry.
+	janitorSweeps      *obs.Counter
+	janitorEvictions   *obs.Counter
+	checkpoints        *obs.Counter
+	checkpointFailures *obs.Counter
+
+	mu             sync.Mutex
+	stop           chan struct{} // non-nil while the janitor is running; guarded by mu
+	done           chan struct{} // closed when the janitor goroutine exits; guarded by mu
+	admin          *obs.Admin    // non-nil while the admin server runs; guarded by mu
+	modelPath      string        // default reload artifact; guarded by mu
+	checkpointPath string        // periodic checkpoint target; guarded by mu
+	ckptStop       chan struct{} // non-nil while the checkpointer runs; guarded by mu
+	ckptDone       chan struct{} // closed when the checkpointer exits; guarded by mu
 }
 
 // NewMonitor wraps a trained classifier in a streaming engine.
@@ -48,13 +57,18 @@ func NewMonitor(cfg MonitorConfig, c *Classifier) *Monitor {
 	engine := detector.NewSharded(cfg, c.scorer())
 	reg := engine.Registry()
 	return &Monitor{
-		engine: engine,
-		now:    now,
-		ttl:    ttl,
+		engine:  engine,
+		now:     now,
+		ttl:     ttl,
+		journal: cfg.Journal,
 		janitorSweeps: reg.Counter("dynaminer_janitor_sweeps_total",
 			"Background janitor sweeps run."),
 		janitorEvictions: reg.Counter("dynaminer_janitor_evictions_total",
 			"Session clusters evicted by the background janitor."),
+		checkpoints: reg.Counter("dynaminer_checkpoints_total",
+			"Watch-state checkpoints written successfully."),
+		checkpointFailures: reg.Counter("dynaminer_checkpoint_failures_total",
+			"Watch-state checkpoint writes that failed."),
 	}
 }
 
@@ -64,17 +78,19 @@ func NewMonitor(cfg MonitorConfig, c *Classifier) *Monitor {
 func (m *Monitor) Registry() *obs.Registry { return m.engine.Registry() }
 
 // StartAdmin serves the observability endpoints — Prometheus /metrics,
-// /healthz, a JSON /snapshot, and /debug/pprof/ — on addr, exposing the
-// monitor's registry plus the process-wide library registry. It returns
-// the bound address (useful with ":0"). Nothing listens unless this is
-// called; Close shuts the server down.
+// /healthz, a JSON /snapshot, /debug/pprof/, and the model-lifecycle
+// controls POST /reload and POST /rollback (see ReloadHandlers) — on
+// addr, exposing the monitor's registry plus the process-wide library
+// registry. It returns the bound address (useful with ":0"). Nothing
+// listens unless this is called; Close shuts the server down.
 func (m *Monitor) StartAdmin(addr string) (string, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.admin != nil {
 		return m.admin.Addr(), nil
 	}
-	admin, err := obs.StartAdmin(addr, m.engine.Registry(), obs.Default())
+	admin, err := obs.StartAdminHandlers(addr, ReloadHandlers(m, m.ModelPath),
+		m.engine.Registry(), obs.Default())
 	if err != nil {
 		return "", err
 	}
@@ -120,17 +136,25 @@ func (m *Monitor) StartJanitor(interval time.Duration) {
 	}()
 }
 
-// Close stops the background janitor and the admin server, whichever are
-// running, and waits for them to exit. It is safe to call multiple times
-// and on monitors that never started either.
+// Close stops the background janitor, the background checkpointer and
+// the admin server, whichever are running, and waits for them to exit.
+// It is safe to call multiple times and on monitors that never started
+// any of them. (Shutdown additionally writes a final checkpoint and
+// syncs the journal.)
 func (m *Monitor) Close() {
 	m.mu.Lock()
 	stop, done := m.stop, m.done
+	ckptStop, ckptDone := m.ckptStop, m.ckptDone
 	admin := m.admin
 	m.stop, m.done, m.admin = nil, nil, nil
+	m.ckptStop, m.ckptDone = nil, nil
 	m.mu.Unlock()
 	if admin != nil {
 		admin.Close()
+	}
+	if ckptStop != nil {
+		close(ckptStop)
+		<-ckptDone
 	}
 	if stop == nil {
 		return

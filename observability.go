@@ -2,6 +2,7 @@ package dynaminer
 
 import (
 	"io"
+	"net/http"
 
 	"dynaminer/internal/obs"
 )
@@ -21,6 +22,9 @@ type (
 	// AlertRecord is one journal line: everything the classifier knew
 	// when it raised an alert.
 	AlertRecord = obs.AlertRecord
+	// JournalConfig tunes journal durability (fsync policy) and rotation;
+	// the zero value preserves NewJournal's historical behavior.
+	JournalConfig = obs.JournalConfig
 	// AdminServer serves the observability endpoints: Prometheus
 	// /metrics, /healthz, a JSON /snapshot, and /debug/pprof/.
 	AdminServer = obs.Admin
@@ -42,8 +46,20 @@ func StartAdmin(addr string, regs ...*MetricsRegistry) (*AdminServer, error) {
 	return obs.StartAdmin(addr, regs...)
 }
 
+// StartAdminHandlers is StartAdmin plus caller-supplied endpoints (e.g.
+// ReloadHandlers); extra patterns never shadow the built-in ones.
+func StartAdminHandlers(addr string, extra map[string]http.Handler, regs ...*MetricsRegistry) (*AdminServer, error) {
+	return obs.StartAdminHandlers(addr, extra, regs...)
+}
+
 // NewJournal opens (creating, append-mode) a JSONL alert journal file.
 func NewJournal(path string) (*Journal, error) { return obs.NewJournal(path) }
+
+// NewJournalWith opens a JSONL alert journal file with an explicit
+// durability and rotation policy.
+func NewJournalWith(path string, cfg JournalConfig) (*Journal, error) {
+	return obs.NewJournalWith(path, cfg)
+}
 
 // ReadJournal decodes a JSONL alert journal stream.
 func ReadJournal(r io.Reader) ([]AlertRecord, error) { return obs.ReadJournal(r) }
