@@ -61,7 +61,7 @@ fuzz:
 # prior record (e.g. 'ClassifyIncremental<=1.05' vs BENCH_8.json).
 BENCH_PATTERN ?= .
 BENCHTIME ?= 1x
-BENCH_OUT ?= BENCH_9.json
+BENCH_OUT ?= BENCH_10.json
 BENCH_GATE ?=
 BENCH_BASELINE ?=
 BENCH_BASELINE_GATE ?=

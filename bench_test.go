@@ -499,6 +499,24 @@ func BenchmarkClassifyInstrumented(b *testing.B) {
 	benchClassifyChain(b, detector.Config{RedirectThreshold: 3, Metrics: obs.NewRegistry()})
 }
 
+// BenchmarkClassifyTraced replays the incremental chain with the full
+// PR-10 tracing layer armed on top of the metrics registry: span trees
+// recorded per transaction, every 64th committed to the ring, stage
+// EWMAs fed on each span close. The controlled pair for the tracing
+// layer is BenchmarkClassifyInstrumented — identical config minus the
+// Tracer — and the acceptance bar is ns/op within 5% of it
+// (ClassifyTraced/ClassifyInstrumented <= 1.05 via `benchjson -gate`),
+// isolating the marginal cost of span recording from the latency-metric
+// cost the instrumented engine already pays.
+func BenchmarkClassifyTraced(b *testing.B) {
+	reg := obs.NewRegistry()
+	benchClassifyChain(b, detector.Config{
+		RedirectThreshold: 3,
+		Metrics:           reg,
+		Tracer:            obs.NewTracer(reg, obs.TraceConfig{Sample: 64}),
+	})
+}
+
 // Forest-representation benchmarks: the same trained ensemble scoring the
 // same 37-feature vectors through the pointer-tree representation and the
 // flattened struct-of-arrays slabs, plus the batch kernel that amortizes

@@ -7,9 +7,11 @@
 //
 // -gate asserts an ns/op ratio between two benchmarks in the same run
 // and exits non-zero when it is violated, so CI can pin overhead
-// regressions (e.g. the observability layer's classify cost):
+// regressions (e.g. the observability layer's classify cost); several
+// assertions are comma-separated:
 //
 //	... | go run ./cmd/benchjson -gate 'ClassifyInstrumented/ClassifyIncremental<=1.05'
+//	... | go run ./cmd/benchjson -gate 'A/B<=1.05,C/B<=1.1'
 //
 // -baseline compares the current run against a committed prior record,
 // gating the cross-PR ratio of one benchmark's ns/op:
@@ -139,9 +141,19 @@ func nsPerOp(rec Record, name string) (float64, error) {
 	return 0, fmt.Errorf("benchmark %s not in this run", name)
 }
 
-// checkGate enforces a "Num/Den<=Limit" ns/op ratio assertion against
-// the parsed run.
-func checkGate(rec Record, spec string) error {
+// checkGate enforces one or more comma-separated "Num/Den<=Limit"
+// ns/op ratio assertions against the parsed run.
+func checkGate(rec Record, specs string) error {
+	for _, spec := range strings.Split(specs, ",") {
+		if err := checkOneGate(rec, strings.TrimSpace(spec)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkOneGate enforces a single "Num/Den<=Limit" assertion.
+func checkOneGate(rec Record, spec string) error {
 	pair, limitStr, ok := strings.Cut(spec, "<=")
 	if !ok {
 		return fmt.Errorf("gate %q: want 'Num/Den<=Limit'", spec)

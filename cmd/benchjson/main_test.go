@@ -62,6 +62,9 @@ func TestCheckGate(t *testing.T) {
 		{"ClassifyInstrumented/NoNs<=1.05", false},
 		{"no-separator", false},
 		{"ClassifyInstrumented/ClassifyIncremental<=tight", false},
+		// Comma-separated multi-gate specs: all must pass, any failure fails.
+		{"ClassifyInstrumented/ClassifyIncremental<=1.05, ClassifyIncremental/ClassifyInstrumented<=1.0", true},
+		{"ClassifyInstrumented/ClassifyIncremental<=1.05,ClassifyInstrumented/ClassifyIncremental<=1.01", false},
 	}
 	for _, c := range cases {
 		err := checkGate(rec, c.spec)

@@ -11,6 +11,7 @@
 //	dynaminer journal alerts.jsonl
 //	dynaminer checkpoint state.dmcp
 //	dynaminer metrics -addr 127.0.0.1:9090
+//	dynaminer trace -addr 127.0.0.1:9090 [-json] [-id N]
 //	dynaminer model convert -in model.json -out model.dmfb -format blob
 //	dynaminer model info model.dmfb
 //
@@ -21,6 +22,12 @@
 // -journal-fsync-every / -journal-fsync-interval / -journal-max-bytes
 // tuning its durability and rotation; "journal" renders such a file, and
 // "metrics" fetches and renders a live admin server's /snapshot.
+//
+// Both also take -trace-sample N to record a pipeline trace for every Nth
+// transaction (slow and alert-raising ones are always kept); the admin
+// server then serves the ring on /trace, and "trace" fetches it as a
+// flame summary, as Chrome trace-event JSON (-json, loadable in
+// chrome://tracing or Perfetto), or as one span tree by -id.
 //
 // Both long-running modes drain gracefully on SIGINT/SIGTERM (intake
 // stops, the journal is flushed, a final checkpoint is written when
@@ -59,7 +66,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: dynaminer <train|classify|stream|features|summarize|dataset|verify|proxy|journal|checkpoint|metrics|model> [flags]")
+		return fmt.Errorf("usage: dynaminer <train|classify|stream|features|summarize|dataset|verify|proxy|journal|checkpoint|metrics|trace|model> [flags]")
 	}
 	switch args[0] {
 	case "model":
@@ -84,6 +91,8 @@ func run(args []string) error {
 		return runCheckpoint(args[1:])
 	case "metrics":
 		return runMetrics(args[1:])
+	case "trace":
+		return runTrace(args[1:])
 	case "verify":
 		return runVerify(args[1:])
 	default:
@@ -94,14 +103,15 @@ func run(args []string) error {
 func runProxy(args []string) error {
 	fs := flag.NewFlagSet("proxy", flag.ContinueOnError)
 	var (
-		modelPath  = fs.String("model", "model.json", "trained model path")
-		listen     = fs.String("listen", "127.0.0.1:8080", "proxy listen address")
-		threshold  = fs.Int("threshold", 3, "clue redirect threshold L")
-		block      = fs.Bool("block", true, "terminate sessions of alerted clients")
-		shards     = fs.Int("shards", 0, "detection engine shards (0 = GOMAXPROCS)")
-		adminAddr  = fs.String("admin-addr", "", "serve /metrics, /healthz, /snapshot, /debug/pprof/ and the POST /reload and /rollback model controls on this address (empty = no admin server)")
-		journal    = fs.String("journal", "", "append one JSONL provenance record per alert to this file")
-		checkpoint = fs.String("checkpoint", "", "restore watch state from this DMCP file on start and checkpoint to it on drain (empty = stateless)")
+		modelPath   = fs.String("model", "model.json", "trained model path")
+		listen      = fs.String("listen", "127.0.0.1:8080", "proxy listen address")
+		threshold   = fs.Int("threshold", 3, "clue redirect threshold L")
+		block       = fs.Bool("block", true, "terminate sessions of alerted clients")
+		shards      = fs.Int("shards", 0, "detection engine shards (0 = GOMAXPROCS)")
+		adminAddr   = fs.String("admin-addr", "", "serve /metrics, /healthz, /snapshot, /debug/pprof/ and the POST /reload and /rollback model controls on this address (empty = no admin server)")
+		journal     = fs.String("journal", "", "append one JSONL provenance record per alert to this file")
+		checkpoint  = fs.String("checkpoint", "", "restore watch state from this DMCP file on start and checkpoint to it on drain (empty = stateless)")
+		traceSample = fs.Int("trace-sample", 0, "record a pipeline trace for every Nth proxied request (0 = tracing off; slow and alert-raising requests are always kept)")
 	)
 	openJournal := journalFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -112,6 +122,13 @@ func runProxy(args []string) error {
 		return err
 	}
 	cfg := dynaminer.MonitorConfig{RedirectThreshold: *threshold, Shards: *shards}
+	var tracer *dynaminer.Tracer
+	if *traceSample > 0 {
+		reg := dynaminer.NewMetricsRegistry()
+		cfg.Metrics = reg
+		tracer = dynaminer.NewTracer(reg, dynaminer.TraceConfig{Sample: *traceSample})
+		cfg.Tracer = tracer
+	}
 	var j *dynaminer.Journal
 	if *journal != "" {
 		j, err = openJournal(*journal)
@@ -139,9 +156,11 @@ func runProxy(args []string) error {
 		}
 	}
 	if *adminAddr != "" {
-		adm, err := dynaminer.StartAdminHandlers(*adminAddr,
-			dynaminer.ReloadHandlers(p, func() string { return *modelPath }),
-			p.Registry(), dynaminer.DefaultMetricsRegistry())
+		adm, err := dynaminer.StartAdminWith(*adminAddr, dynaminer.AdminOptions{
+			Extra:  dynaminer.ReloadHandlers(p, func() string { return *modelPath }),
+			Health: p.Health,
+			Tracer: tracer,
+		}, p.Registry(), dynaminer.DefaultMetricsRegistry())
 		if err != nil {
 			return err
 		}
@@ -324,6 +343,7 @@ func runStream(args []string) error {
 		journal      = fs.String("journal", "", "append one JSONL provenance record per alert to this file")
 		checkpoint   = fs.String("checkpoint", "", "recover watch state from this DMCP file on start and checkpoint to it periodically and on exit (empty = stateless)")
 		ckptInterval = fs.Duration("checkpoint-interval", 30*time.Second, "background checkpoint cadence (with -checkpoint)")
+		traceSample  = fs.Int("trace-sample", 0, "record a pipeline trace for every Nth transaction (0 = tracing off; slow and alert-raising transactions are always kept)")
 	)
 	openJournal := journalFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -336,11 +356,22 @@ func runStream(args []string) error {
 	if err != nil {
 		return err
 	}
+	cfg := dynaminer.MonitorConfig{RedirectThreshold: *threshold}
+	if *traceSample > 0 {
+		// The tracer and engine must share a registry, so create it here
+		// (the engine only auto-creates one when none is supplied). Attach
+		// the capture layers before the pcap is read so reassembly and
+		// parse timing land in the stage histograms.
+		reg := dynaminer.NewMetricsRegistry()
+		cfg.Metrics = reg
+		cfg.Tracer = dynaminer.NewTracer(reg, dynaminer.TraceConfig{Sample: *traceSample})
+		dynaminer.SetCaptureTracer(cfg.Tracer)
+		defer dynaminer.SetCaptureTracer(nil)
+	}
 	txs, err := dynaminer.ReadPCAPFile(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	cfg := dynaminer.MonitorConfig{RedirectThreshold: *threshold}
 	if *journal != "" {
 		j, err := openJournal(*journal)
 		if err != nil {

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"sort"
 
 	"dynaminer"
@@ -55,6 +57,9 @@ func runJournal(args []string) error {
 		if r.Quarantined {
 			line += " quarantined"
 		}
+		if r.TraceID != 0 {
+			line += fmt.Sprintf(" trace=%d", r.TraceID)
+		}
 		fmt.Println(line)
 	}
 	fmt.Printf("%d alert record(s), %d features each\n", len(recs), featureWidth(recs))
@@ -68,6 +73,56 @@ func featureWidth(recs []dynaminer.AlertRecord) int {
 		return 0
 	}
 	return len(recs[0].Features)
+}
+
+// runTrace fetches a live admin server's /trace ring. The default is the
+// human-readable flame summary; -json emits the Chrome trace-event form
+// (validated before printing, so a broken payload fails loudly instead
+// of producing a file chrome://tracing rejects); -id renders one trace's
+// span tree as JSON — the form journal trace= IDs resolve through.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "admin server address (host:port)")
+	asJSON := fs.Bool("json", false, "emit Chrome trace-event JSON (chrome://tracing / Perfetto)")
+	id := fs.Uint64("id", 0, "fetch one trace by trace_id (as stamped on journal records)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url := "http://" + *addr + "/trace?format=flame"
+	if *id != 0 {
+		url = fmt.Sprintf("http://%s/trace?id=%d", *addr, *id)
+	} else if *asJSON {
+		url = "http://" + *addr + "/trace"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace: %s returned %s", *addr, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if *id != 0 || *asJSON {
+		if *asJSON {
+			var f struct {
+				TraceEvents []map[string]any `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(body, &f); err != nil {
+				return fmt.Errorf("trace: invalid trace-event JSON: %w", err)
+			}
+		} else {
+			var snap dynaminer.TraceSnapshot
+			if err := json.Unmarshal(body, &snap); err != nil {
+				return fmt.Errorf("trace: invalid trace snapshot: %w", err)
+			}
+		}
+	}
+	os.Stdout.Write(body)
+	return nil
 }
 
 // runMetrics fetches a live admin server's /snapshot and renders every

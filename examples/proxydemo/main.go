@@ -85,6 +85,7 @@ func main() {
 	journalPath := flag.String("journal", "", "append one JSONL provenance record per alert to this file")
 	saveModel := flag.String("save-model", "", "write the trained model as a DMFB blob to this path (a ready-made artifact for POST /reload)")
 	linger := flag.Bool("linger", false, "keep the proxy and admin endpoints serving after the scripted walk until SIGINT/SIGTERM")
+	traceSample := flag.Int("trace-sample", 0, "record a pipeline trace for every Nth proxied request (0 = tracing off; slow and alert-raising requests are always kept)")
 	flag.Parse()
 
 	// Train the deployment-matched classifier.
@@ -104,6 +105,15 @@ func main() {
 	defer web.Close()
 
 	detCfg := dynaminer.MonitorConfig{RedirectThreshold: 3}
+	var tracer *dynaminer.Tracer
+	if *traceSample > 0 {
+		// Tracer and engine must share a registry so the stage histograms
+		// land next to the detector counters on /metrics.
+		reg := dynaminer.NewMetricsRegistry()
+		detCfg.Metrics = reg
+		tracer = dynaminer.NewTracer(reg, dynaminer.TraceConfig{Sample: *traceSample})
+		detCfg.Tracer = tracer
+	}
 	var j *dynaminer.Journal
 	if *journalPath != "" {
 		j, err = dynaminer.NewJournal(*journalPath)
@@ -147,9 +157,11 @@ func main() {
 		},
 	}, clf)
 	if *adminAddr != "" {
-		adm, err := dynaminer.StartAdminHandlers(*adminAddr,
-			dynaminer.ReloadHandlers(p, func() string { return *saveModel }),
-			p.Registry())
+		adm, err := dynaminer.StartAdminWith(*adminAddr, dynaminer.AdminOptions{
+			Extra:  dynaminer.ReloadHandlers(p, func() string { return *saveModel }),
+			Health: p.Health,
+			Tracer: tracer,
+		}, p.Registry())
 		if err != nil {
 			log.Fatal(err)
 		}

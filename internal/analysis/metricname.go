@@ -21,12 +21,20 @@ import (
 //     package is almost always a copy-paste slip; the registry's
 //     get-or-create semantics would silently alias the two call sites.
 //
+// Since PR 10 the same analyzer also pins the tracing span inventory:
+// every X.Stage(name) interning must use a lowercase dotted
+// "stage.substage" literal (two or more dot-separated snake_case
+// segments, mirroring obs.ValidateSpanName, which would otherwise panic
+// at runtime), and interning the same span literal twice in one package
+// is flagged — Stage is get-or-create, so a duplicate literal means two
+// call sites silently share one latency histogram and EWMA.
+//
 // The analyzer is syntactic: it inspects calls X.Counter(name, help),
-// X.Gauge(name, help), X.Histogram(name, help, buckets) and
-// X.GaugeVec(name, help, label) whose name argument is a string literal.
-// Dynamic names (helper functions forwarding a name parameter) are out of
-// reach without type information and are skipped — the runtime validator
-// still covers them.
+// X.Gauge(name, help), X.Histogram(name, help, buckets),
+// X.GaugeVec(name, help, label) and X.Stage(name) whose name argument is
+// a string literal. Dynamic names (helper functions forwarding a name
+// parameter) are out of reach without type information and are skipped —
+// the runtime validator still covers them.
 type Metricname struct{}
 
 // Name implements Analyzer.
@@ -67,6 +75,22 @@ func snakeCase(s string) bool {
 	return true
 }
 
+// spanName reports whether s is a lowercase dotted span name: two or
+// more dot-separated segments, each [a-z][a-z0-9_]* (the grammar
+// obs.ValidateSpanName enforces at runtime).
+func spanName(s string) bool {
+	segs := strings.Split(s, ".")
+	if len(segs) < 2 {
+		return false
+	}
+	for _, seg := range segs {
+		if seg == "" || seg[0] < 'a' || seg[0] > 'z' || !snakeCase(seg) {
+			return false
+		}
+	}
+	return true
+}
+
 // stringLit unquotes e when it is a string literal, reporting ok.
 func stringLit(e ast.Expr) (string, bool) {
 	lit, ok := unparen(e).(*ast.BasicLit)
@@ -83,7 +107,8 @@ func stringLit(e ast.Expr) (string, bool) {
 // Run implements Analyzer.
 func (m Metricname) Run(pass *Pass) []Finding {
 	var out []Finding
-	seen := map[string]token.Pos{} // literal name -> first registration
+	seen := map[string]token.Pos{}     // literal metric name -> first registration
+	seenSpan := map[string]token.Pos{} // literal span name -> first interning
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -92,6 +117,24 @@ func (m Metricname) Run(pass *Pass) []Finding {
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
 			if !ok {
+				return true
+			}
+			if sel.Sel.Name == "Stage" && len(call.Args) == 1 {
+				name, ok := stringLit(call.Args[0])
+				if !ok {
+					return true // dynamic name: obs.ValidateSpanName covers it
+				}
+				if !spanName(name) {
+					out = append(out, pass.finding(m.Name(), call.Args[0].Pos(),
+						"span name %q is not lowercase dotted stage.substage (two or more [a-z][a-z0-9_]* segments); Tracer.Stage would panic at runtime", name))
+				}
+				if first, dup := seenSpan[name]; dup {
+					out = append(out, pass.finding(m.Name(), call.Args[0].Pos(),
+						"span %q already interned at %s in this package; Stage is get-or-create, so the two sites would share one histogram and EWMA",
+						name, pass.Fset.Position(first)))
+				} else {
+					seenSpan[name] = call.Args[0].Pos()
+				}
 				return true
 			}
 			arity, ok := registerArity[sel.Sel.Name]

@@ -31,3 +31,21 @@ func badLabel(reg registry) {
 	reg.GaugeVec("dynaminer_breaker_state_total", "ok name",
 		"Host-Name") // want "not snake_case"
 }
+
+type tracer struct{}
+
+func (tracer) Stage(name string) int { return 0 }
+
+func badSpans(tr tracer) {
+	tr.Stage("nodot")             // want "not lowercase dotted"
+	tr.Stage("Detector.Classify") // want "not lowercase dotted"
+	tr.Stage("features.")         // want "not lowercase dotted"
+	tr.Stage("features..rebuild") // want "not lowercase dotted"
+	tr.Stage("9th.percentile")    // want "not lowercase dotted"
+	tr.Stage("proxy.round-trip")  // want "not lowercase dotted"
+}
+
+func duplicateSpans(tr tracer) {
+	tr.Stage("detector.classify")
+	tr.Stage("detector.classify") // want "already interned"
+}

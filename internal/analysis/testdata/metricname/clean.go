@@ -22,3 +22,23 @@ type tally struct{}
 func (tally) Counter(n int) int { return n }
 
 func arityOK(t tally) int { return t.Counter(3) }
+
+// spanHelperOK: dynamic span names are out of syntactic reach; the
+// runtime obs.ValidateSpanName panic covers them.
+func spanHelperOK(tr tracer, name string) int {
+	return tr.Stage(name)
+}
+
+func spanConventionalOK(tr tracer) {
+	tr.Stage("features.incremental")
+	tr.Stage("features.rebuild")
+	tr.Stage("ml.score_2.batched")
+}
+
+// stageArityOK: a method named Stage with a different arity is not a
+// span interning.
+type phased struct{}
+
+func (phased) Stage(a, b int) int { return a + b }
+
+func stageArityOK(p phased) int { return p.Stage(1, 2) }

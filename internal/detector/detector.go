@@ -106,6 +106,14 @@ type Config struct {
 	// classifier used, and the degraded-mode flags active at decision
 	// time. Journal failures never affect detection.
 	Journal *obs.Journal
+	// Tracer, when set, records one span tree per transaction —
+	// detector.process → detector.classify → features.incremental or
+	// features.rebuild → ml.score → journal.write — with shard,
+	// quarantine and degraded attribution on the spans, sampled and
+	// promoted per the tracer's config. Shards of a ShardedEngine share
+	// it. nil disables tracing entirely (the hot path pays one nil
+	// check).
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -383,6 +391,20 @@ type Engine struct {
 	// shedding while a checkpointed cluster's transactions are replayed
 	// through the structural pipeline (see restoreCluster).
 	restoring bool
+	// tracer and stg drive pipeline tracing; at/atRoot carry the current
+	// transaction's trace through the call tree (the engine is
+	// serialized, so a field is safe and keeps every signature intact).
+	// at is nil when tracing is off — every span call is nil-receiver
+	// safe, so untraced engines pay one predictable branch.
+	tracer *obs.Tracer
+	stg    engineStages
+	at     *obs.ActiveTrace
+	atRoot int
+	// ownAT is the engine's reusable trace recorder: engines are
+	// serialized, so one embedded recorder per engine replaces the
+	// tracer pool's Get/Put on every transaction (commit copies kept
+	// trees out, so reuse is safe).
+	ownAT obs.ActiveTrace
 }
 
 // New returns an Engine using the given trained model. A pointer-tree
@@ -401,7 +423,10 @@ func New(cfg Config, model Scorer) *Engine {
 		now = time.Now
 	}
 	mx := newEngineMetrics(cfg.Metrics)
-	return &Engine{
+	if cfg.Journal != nil {
+		cfg.Journal.PublishMetrics(mx.reg)
+	}
+	e := &Engine{
 		cfg:      cfg,
 		models:   newModelHolder(mx.reg, model),
 		byClient: make(map[netip.Addr][]*cluster),
@@ -410,8 +435,14 @@ func New(cfg Config, model Scorer) *Engine {
 		idStep:   1,
 		scratch:  graph.NewScratch(),
 		now:      now,
-		timed:    cfg.MaxClassifyLatency > 0 || cfg.Metrics != nil,
+		timed:    cfg.MaxClassifyLatency > 0 || cfg.Metrics != nil || cfg.Tracer != nil,
+		tracer:   cfg.Tracer,
+		atRoot:   -1,
 	}
+	if cfg.Tracer != nil {
+		e.stg = newEngineStages(cfg.Tracer)
+	}
+	return e
 }
 
 // ModelVersion returns the serving model's version.
@@ -476,6 +507,30 @@ func (e *Engine) Stats() Stats {
 // on (the one from Config.Metrics, or the engine's private registry).
 func (e *Engine) Registry() *obs.Registry { return e.mx.reg }
 
+// Health reports the engine's readiness conditions for the /healthz
+// endpoint: Degraded when the classify-latency EWMA is over budget,
+// Quarantined while any cluster carries a quarantine strike, Shedding
+// when the watch cap is saturated, plus the serving model generation.
+// Like every other Engine method it requires external serialization;
+// ShardedEngine.Health takes the shard locks.
+func (e *Engine) Health() obs.HealthStatus {
+	st := obs.HealthStatus{
+		Degraded:     e.overBudget(),
+		ModelVersion: e.models.current().version.String(),
+	}
+	watching := 0
+	for _, c := range e.clusters {
+		if c.faults > 0 {
+			st.Quarantined = true
+		}
+		if c.watching {
+			watching++
+		}
+	}
+	st.Shedding = e.cfg.MaxWatched > 0 && watching >= e.cfg.MaxWatched
+	return st
+}
+
 // trusted reports whether the host matches the weed-out list.
 func (e *Engine) trusted(host string) bool {
 	for _, suffix := range e.cfg.TrustedVendors {
@@ -492,6 +547,38 @@ func (e *Engine) trusted(host string) bool {
 // offending session cluster (see quarantine), so one hostile client
 // cannot take the engine down.
 func (e *Engine) Process(tx httpstream.Transaction) []Alert {
+	return e.ProcessTraced(tx, nil)
+}
+
+// ProcessTraced is Process with an ambient trace. When at is non-nil
+// (the proxy threading its request trace through), the engine's spans
+// nest under the caller's; when at is nil and a Tracer is configured,
+// the engine begins and finishes its own per-transaction trace. An
+// alert-raising transaction promotes its trace to always-keep, and the
+// journaled record's TraceID resolves back to the tree.
+func (e *Engine) ProcessTraced(tx httpstream.Transaction, at *obs.ActiveTrace) []Alert {
+	owned := false
+	if at == nil && e.tracer != nil && !e.restoring {
+		at = e.tracer.BeginIn(&e.ownAT)
+		owned = true
+	}
+	root := at.StartSpan(e.stg.process)
+	at.SetArg(root, int32(e.idBase)) // shard attribution
+	e.at, e.atRoot = at, root
+	alerts := e.process(tx)
+	if len(alerts) > 0 {
+		at.MarkAlert()
+	}
+	at.EndSpan(root)
+	e.at, e.atRoot = nil, -1
+	if owned {
+		e.tracer.FinishIn(at)
+	}
+	return alerts
+}
+
+// process is the untraced body of Process.
+func (e *Engine) process(tx httpstream.Transaction) []Alert {
 	e.mx.transactions.Inc()
 	e.txSeen++
 	if e.txSeen%evictEvery == 0 {
@@ -517,6 +604,7 @@ func (e *Engine) processInCluster(c *cluster, tx httpstream.Transaction, host st
 	defer func() {
 		if r := recover(); r != nil {
 			alerts = nil
+			e.at.Annotate(e.atRoot, obs.SpanError|obs.SpanQuarantined)
 			e.quarantine(c)
 		}
 	}()
@@ -597,6 +685,7 @@ func (e *Engine) processInCluster(c *cluster, tx httpstream.Transaction, host st
 	// next classify call.
 	if !meta.download && e.overBudget() && !e.restoring {
 		e.mx.degraded.Inc()
+		e.at.Annotate(e.atRoot, obs.SpanDegraded)
 		return nil
 	}
 	return e.classify(c, idx, meta)
@@ -639,6 +728,7 @@ func (e *Engine) shedWatches(opened *cluster) {
 		e.closeWatch(watching[victim])
 		watching = append(watching[:victim], watching[victim+1:]...)
 		e.mx.shed.Inc()
+		e.at.Annotate(e.atRoot, obs.SpanShed)
 	}
 }
 
@@ -719,17 +809,53 @@ func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 	if ref.scorer == nil {
 		return nil // extraction-only mode (training-set construction)
 	}
+	at := e.at
+	// A traced engine is always timed, so every classify span boundary
+	// reuses a latency-metric clock reading — tracing adds stamps to
+	// reads the instrumented path was already taking, not new reads. The
+	// classify span is ended explicitly at each return (no defer): a
+	// panic unwinds past it, and the root span's pop-through close
+	// finalizes it at the end-to-end instant.
 	var start time.Time
+	var cs int
 	if e.timed {
 		start = e.now()
+		cs = at.StartSpanAt(e.stg.classify, start)
+	} else {
+		cs = at.StartSpan(e.stg.classify)
+	}
+	if c.faults > 0 {
+		at.Annotate(cs, obs.SpanQuarantined)
+	}
+	if e.overBudget() {
+		at.Annotate(cs, obs.SpanDegraded)
 	}
 	var x []float64
 	var g *wcg.WCG // nil on the incremental path until an alert needs it
-	incremental := true
-	if v, ok := e.incrementalVector(c); ok {
-		x = v
+	incremental := false
+	fs := -1 // the feature span, left open for scoreVector to close at its t0
+	if e.incrementalEligible(c) {
+		// The features.incremental span records only genuine attempts: a
+		// cluster pinned to the rebuild path never opens it, so a trace's
+		// stage set reflects the path actually taken. A mid-feed fallback
+		// (out-of-order arrival) leaves the attempt flagged SpanError next
+		// to the rebuild span that served the verdict. The attempt begins
+		// at the same instant the classify measurement does (only flag
+		// annotations separate them), so the stamp is shared.
+		fs = at.StartSpanAt(e.stg.featInc, start)
+		v, ok := e.incrementalVector(c)
+		if ok {
+			x, incremental = v, true
+		} else {
+			at.Annotate(fs, obs.SpanError)
+			at.EndSpan(fs)
+			fs = -1
+		}
+	}
+	if incremental {
+		at.Annotate(cs, obs.SpanIncremental)
 	} else {
-		incremental = false
+		fs = at.StartSpan(e.stg.featRebuild)
 		e.subset = e.subset[:0]
 		for _, i := range c.watch {
 			e.subset = append(e.subset, c.txs[i])
@@ -739,11 +865,14 @@ func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 		e.fvec = e.rebuild.FeaturesInto(e.fvec)
 		x = e.fvec
 		e.mx.rebuilds.Inc()
+		at.Annotate(cs, obs.SpanRebuild)
 	}
-	score := e.scoreVector(ref.scorer, x)
+	score := e.scoreVector(ref.scorer, x, fs)
 	e.mx.classifications.Inc()
+	var endT time.Time
 	if e.timed {
-		elapsed := e.now().Sub(start)
+		endT = e.now()
+		elapsed := endT.Sub(start)
 		if e.cfg.MaxClassifyLatency > 0 {
 			// EWMA with alpha 1/8: smooth enough to ride out one slow WCG,
 			// fast enough to catch sustained overload within a few updates.
@@ -763,9 +892,11 @@ func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 		panic("detector: scorer returned a non-finite probability")
 	}
 	if score <= e.cfg.ScoreThreshold {
+		at.EndSpanAt(cs, endT)
 		return nil
 	}
 	if c.alerted && !meta.download {
+		at.EndSpanAt(cs, endT)
 		return nil
 	}
 	c.alerted = true
@@ -803,18 +934,30 @@ func (e *Engine) classify(c *cluster, idx int, meta txMeta) []Alert {
 		WCG:            g,
 	}
 	e.journalAlert(c, ref, &alert, x, incremental)
+	at.EndSpan(cs)
 	return []Alert{alert}
 }
 
 // scoreVector runs the watch's pinned model, timing the ensemble's share
-// of classify wall time when the engine is timed.
-func (e *Engine) scoreVector(model Scorer, x []float64) float64 {
+// of classify wall time when the engine is timed. prev is the still-open
+// feature-extraction span (-1 when none): its end and the score span's
+// start share one clock reading, as do the score span's end and the
+// score latency metric.
+func (e *Engine) scoreVector(model Scorer, x []float64, prev int) float64 {
 	if !e.timed {
-		return model.Score(x)
+		e.at.EndSpan(prev)
+		ss := e.at.StartSpan(e.stg.score)
+		score := model.Score(x)
+		e.at.EndSpan(ss)
+		return score
 	}
 	t0 := e.now()
+	e.at.EndSpanAt(prev, t0)
+	ss := e.at.StartSpanAt(e.stg.score, t0)
 	score := model.Score(x)
-	e.mx.score.Observe(e.now().Sub(t0).Seconds())
+	end := e.now()
+	e.at.EndSpanAt(ss, end)
+	e.mx.score.Observe(end.Sub(t0).Seconds())
 	return score
 }
 
@@ -828,7 +971,10 @@ func (e *Engine) journalAlert(c *cluster, ref *modelRef, a *Alert, x []float64, 
 	if e.journal == nil {
 		return
 	}
+	js := e.at.StartSpan(e.stg.journal)
+	defer e.at.EndSpan(js)
 	rec := obs.AlertRecord{
+		TraceID:          e.at.ID(),
 		ModelVersion:     ref.version.String(),
 		Time:             a.Time,
 		Client:           a.Client.String(),
@@ -864,7 +1010,7 @@ func (e *Engine) journalAlert(c *cluster, ref *modelRef, a *Alert, x []float64, 
 // incremental path is disabled or has fallen back for this watch, in
 // which case the caller rebuilds from scratch.
 func (e *Engine) incrementalVector(c *cluster) ([]float64, bool) {
-	if e.cfg.DisableIncremental || c.incBroken || c.faults > 0 {
+	if !e.incrementalEligible(c) {
 		return nil, false
 	}
 	if c.ib == nil {
@@ -885,6 +1031,14 @@ func (e *Engine) incrementalVector(c *cluster) ([]float64, bool) {
 	}
 	e.fvec = c.cache.FeaturesInto(e.fvec)
 	return e.fvec, true
+}
+
+// incrementalEligible reports whether the incremental feature path may be
+// attempted for this cluster. It can still fall back mid-feed (out-of-
+// order arrival), but an ineligible cluster — incremental disabled,
+// fallen back earlier, or quarantined — goes straight to the rebuild.
+func (e *Engine) incrementalEligible(c *cluster) bool {
+	return !e.cfg.DisableIncremental && !c.incBroken && c.faults == 0
 }
 
 // ClueSubsets replays a recorded transaction stream with the clue

@@ -76,3 +76,26 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 			"ERF ensemble scoring time per classification.", obs.LatencyBuckets),
 	}
 }
+
+// engineStages holds the interned trace stage IDs for the detector's
+// span tree. Interning happens once at engine construction so StartSpan
+// on the hot path is an array write, never a map lookup.
+type engineStages struct {
+	process     obs.StageID
+	classify    obs.StageID
+	featInc     obs.StageID
+	featRebuild obs.StageID
+	score       obs.StageID
+	journal     obs.StageID
+}
+
+func newEngineStages(t *obs.Tracer) engineStages {
+	return engineStages{
+		process:     t.Stage("detector.process"),
+		classify:    t.Stage("detector.classify"),
+		featInc:     t.Stage("features.incremental"),
+		featRebuild: t.Stage("features.rebuild"),
+		score:       t.Stage("ml.score"),
+		journal:     t.Stage("journal.write"),
+	}
+}

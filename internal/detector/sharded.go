@@ -148,14 +148,20 @@ func (s *ShardedEngine) shardFor(client netip.Addr) *engineShard {
 // Process ingests one transaction under its client's shard lock and
 // returns any alerts it triggers.
 func (s *ShardedEngine) Process(tx httpstream.Transaction) []Alert {
-	return s.shardFor(tx.ClientIP).process(tx)
+	return s.shardFor(tx.ClientIP).process(tx, nil)
+}
+
+// ProcessTraced is Process with an ambient trace; the shard's spans nest
+// under the caller's (see Engine.ProcessTraced).
+func (s *ShardedEngine) ProcessTraced(tx httpstream.Transaction, at *obs.ActiveTrace) []Alert {
+	return s.shardFor(tx.ClientIP).process(tx, at)
 }
 
 // process runs one transaction under the shard lock.
-func (sh *engineShard) process(tx httpstream.Transaction) []Alert {
+func (sh *engineShard) process(tx httpstream.Transaction, at *obs.ActiveTrace) []Alert {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.processLocked(tx)
+	return sh.processTracedLocked(tx, at)
 }
 
 // processLocked runs one transaction with a last-resort panic guard; the
@@ -163,14 +169,19 @@ func (sh *engineShard) process(tx httpstream.Transaction) []Alert {
 // this outer guard catches anything that escapes it (including faults in
 // the recovery path itself), so a panic on one shard can never unwind
 // into the proxy's request handler and kill the process.
-func (sh *engineShard) processLocked(tx httpstream.Transaction) (alerts []Alert) {
+func (sh *engineShard) processLocked(tx httpstream.Transaction) []Alert {
+	return sh.processTracedLocked(tx, nil)
+}
+
+// processTracedLocked is processLocked with an ambient trace.
+func (sh *engineShard) processTracedLocked(tx httpstream.Transaction, at *obs.ActiveTrace) (alerts []Alert) {
 	defer func() {
 		if r := recover(); r != nil {
 			alerts = nil
 			sh.eng.mx.panics.Inc()
 		}
 	}()
-	return sh.eng.Process(tx)
+	return sh.eng.ProcessTraced(tx, at)
 }
 
 // processSlab runs this shard's share of a slab — the transactions of txs
@@ -269,6 +280,23 @@ func (s *ShardedEngine) ProcessAll(txs []httpstream.Transaction) []Alert {
 	}
 	s.slabs.Put(ws)
 	return alerts
+}
+
+// Health reports readiness conditions OR-ed across every shard (any
+// shard over budget, quarantined or shedding marks the whole engine),
+// with the shared serving model's generation.
+func (s *ShardedEngine) Health() obs.HealthStatus {
+	var st obs.HealthStatus
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		h := sh.eng.Health()
+		sh.mu.Unlock()
+		st.Degraded = st.Degraded || h.Degraded
+		st.Quarantined = st.Quarantined || h.Quarantined
+		st.Shedding = st.Shedding || h.Shedding
+		st.ModelVersion = h.ModelVersion
+	}
+	return st
 }
 
 // Stats returns the engine counters aggregated across all shards.

@@ -383,7 +383,11 @@ func ExtractPairInto(dst []Transaction, c2s, s2c *pcap.Stream) []Transaction {
 		}
 		out = append(out, tx) //dynalint:ignore hotalloc capacity for every request is ensured by the grow block above
 	}
-	parseSeconds.Observe(parseClock().Sub(start).Seconds())
+	elapsed := parseClock().Sub(start).Seconds()
+	parseSeconds.Observe(elapsed)
+	if tb := parseTrace.Load(); tb != nil {
+		tb.t.ObserveStage(tb.stage, elapsed)
+	}
 	parseBytes.Add(payloadBytes)
 	parseTransactions.Add(int64(len(reqs)))
 	return out

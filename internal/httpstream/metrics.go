@@ -1,6 +1,7 @@
 package httpstream
 
 import (
+	"sync/atomic"
 	"time"
 
 	"dynaminer/internal/obs"
@@ -21,3 +22,25 @@ var (
 	parseBytes = obs.Default().Counter("dynaminer_httpstream_bytes_total",
 		"TCP payload bytes fed through the HTTP parsers.")
 )
+
+// traceBinding mirrors the parse telemetry into a pipeline tracer's
+// httpstream.parse stage (histogram + slow EWMA). Like the registry
+// metrics above it is package-level — parsing is batch-shaped, one call
+// covering a whole TCP conversation, so it feeds stage latency rather
+// than opening spans inside any single transaction's tree.
+type traceBinding struct {
+	t     *obs.Tracer
+	stage obs.StageID
+}
+
+var parseTrace atomic.Pointer[traceBinding]
+
+// SetTracer attaches (or, with nil, detaches) a pipeline tracer to the
+// package's parse timing.
+func SetTracer(t *obs.Tracer) {
+	if t == nil {
+		parseTrace.Store(nil)
+		return
+	}
+	parseTrace.Store(&traceBinding{t: t, stage: t.Stage("httpstream.parse")})
+}

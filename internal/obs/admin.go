@@ -16,11 +16,31 @@ import (
 // DefaultServeMux registration (pprof handlers are mounted on a private
 // mux precisely so importing this package has no side effects).
 type Admin struct {
-	ln  net.Listener
-	srv *http.Server
+	ln        net.Listener
+	srv       *http.Server
+	collector *RuntimeCollector
 
 	closeOnce sync.Once
 	done      chan struct{}
+}
+
+// AdminOptions extends the admin surface beyond the metric registries.
+type AdminOptions struct {
+	// Extra mounts caller-supplied endpoints (model reload, checkpoint
+	// triggers) on the same listener; patterns colliding with built-in
+	// endpoints are skipped — the observability surface cannot be
+	// shadowed.
+	Extra map[string]http.Handler
+	// Health, when set, turns /healthz into a readiness report: a JSON
+	// body with per-condition booleans, HTTP 503 while any condition
+	// holds. Nil preserves the legacy unconditional plain-text "ok".
+	Health HealthFunc
+	// Tracer, when set, mounts the /trace endpoint (Chrome trace-event
+	// JSON, ?format=flame, ?id=N lookup).
+	Tracer *Tracer
+	// RuntimeInterval tunes the runtime health collector ticker that runs
+	// for the admin server's lifetime; 0 selects the 10s default.
+	RuntimeInterval time.Duration
 }
 
 // StartAdmin binds addr and serves /metrics (Prometheus text format,
@@ -29,15 +49,21 @@ type Admin struct {
 // recover-guarded goroutine; Close shuts the listener down and waits for
 // the loop to exit.
 func StartAdmin(addr string, regs ...*Registry) (*Admin, error) {
-	return StartAdminHandlers(addr, nil, regs...)
+	return StartAdminWith(addr, AdminOptions{}, regs...)
 }
 
 // StartAdminHandlers is StartAdmin plus caller-supplied endpoints — the
 // hook lifecycle control planes (model reload, checkpoint triggers) use
-// to ride the same listener as /metrics. Extra patterns that collide
-// with the built-in endpoints are skipped: the observability surface
-// cannot be shadowed.
+// to ride the same listener as /metrics.
 func StartAdminHandlers(addr string, extra map[string]http.Handler, regs ...*Registry) (*Admin, error) {
+	return StartAdminWith(addr, AdminOptions{Extra: extra}, regs...)
+}
+
+// StartAdminWith is the full-surface variant: extra endpoints, a
+// readiness source for /healthz, and a tracer for /trace. While the
+// admin server runs, a runtime health collector refreshes process gauges
+// (goroutines, heap, GC pause, scheduler latency) on the first registry.
+func StartAdminWith(addr string, opts AdminOptions, regs ...*Registry) (*Admin, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
@@ -51,10 +77,7 @@ func StartAdminHandlers(addr string, extra map[string]http.Handler, regs ...*Reg
 			}
 		}
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.Handle("/healthz", HealthzHandler(opts.Health))
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
 		var snap []MetricSnapshot
 		for _, r := range regs {
@@ -65,6 +88,15 @@ func StartAdminHandlers(addr string, extra map[string]http.Handler, regs ...*Reg
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(snap)
 	})
+	builtin := map[string]bool{
+		"/metrics": true, "/healthz": true, "/snapshot": true, "/debug/pprof/": true,
+		"/debug/pprof/cmdline": true, "/debug/pprof/profile": true,
+		"/debug/pprof/symbol": true, "/debug/pprof/trace": true,
+	}
+	if opts.Tracer != nil {
+		mux.Handle("/trace", TraceHandler(opts.Tracer))
+		builtin["/trace"] = true
+	}
 	// pprof goes on the private mux, not http.DefaultServeMux, so the
 	// profiler exists only while an admin server is running.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -73,27 +105,25 @@ func StartAdminHandlers(addr string, extra map[string]http.Handler, regs ...*Reg
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	builtin := map[string]bool{
-		"/metrics": true, "/healthz": true, "/snapshot": true, "/debug/pprof/": true,
-		"/debug/pprof/cmdline": true, "/debug/pprof/profile": true,
-		"/debug/pprof/symbol": true, "/debug/pprof/trace": true,
-	}
-	patterns := make([]string, 0, len(extra))
-	for p := range extra {
+	patterns := make([]string, 0, len(opts.Extra))
+	for p := range opts.Extra {
 		patterns = append(patterns, p)
 	}
 	sort.Strings(patterns) // deterministic mount order
 	for _, p := range patterns {
-		if p == "" || builtin[p] || extra[p] == nil {
+		if p == "" || builtin[p] || opts.Extra[p] == nil {
 			continue
 		}
-		mux.Handle(p, extra[p])
+		mux.Handle(p, opts.Extra[p])
 	}
 
 	a := &Admin{
 		ln:   ln,
 		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
 		done: make(chan struct{}),
+	}
+	if len(regs) > 0 && regs[0] != nil {
+		a.collector = StartRuntimeCollector(regs[0], opts.RuntimeInterval)
 	}
 	go func() {
 		defer close(a.done)
@@ -107,14 +137,38 @@ func StartAdminHandlers(addr string, extra map[string]http.Handler, regs ...*Reg
 	return a, nil
 }
 
+// HealthzHandler serves the /healthz contract: with a health source, a
+// JSON readiness report (Ready derived as "no condition set", HTTP 503
+// otherwise); without one, the legacy unconditional plain-text "ok".
+func HealthzHandler(health HealthFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if health == nil {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		st := health()
+		st.Ready = !st.Degraded && !st.Quarantined && !st.Shedding
+		w.Header().Set("Content-Type", "application/json")
+		if !st.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		_ = enc.Encode(st)
+	})
+}
+
 // Addr returns the bound listen address (useful with ":0").
 func (a *Admin) Addr() string { return a.ln.Addr().String() }
 
-// Close stops the admin server and waits for the serve goroutine to
-// exit. Idempotent.
+// Close stops the admin server and its runtime collector, waiting for
+// both to exit. Idempotent.
 func (a *Admin) Close() error {
 	var err error
 	a.closeOnce.Do(func() {
+		if a.collector != nil {
+			a.collector.Close()
+		}
 		err = a.srv.Close()
 		<-a.done
 	})

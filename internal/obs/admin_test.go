@@ -61,8 +61,21 @@ func TestAdminEndpoints(t *testing.T) {
 	if err := json.Unmarshal(body, &snap); err != nil {
 		t.Fatalf("/snapshot not JSON: %v\n%s", err, body)
 	}
-	if len(snap) != 2 {
-		t.Fatalf("/snapshot has %d metrics, want 2", len(snap))
+	// The two metrics registered above plus the five runtime health gauges
+	// the admin server's collector registers on the first registry.
+	if len(snap) != 7 {
+		t.Fatalf("/snapshot has %d metrics, want 7", len(snap))
+	}
+	names := make(map[string]bool, len(snap))
+	for _, s := range snap {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"dynaminer_runtime_goroutines_total", "dynaminer_runtime_heap_bytes",
+		"dynaminer_runtime_gc_cycles_total", "dynaminer_runtime_gc_pause_p99_seconds",
+		"dynaminer_runtime_sched_latency_p99_seconds"} {
+		if !names[want] {
+			t.Fatalf("/snapshot missing runtime gauge %s", want)
+		}
 	}
 
 	code, _ = adminGet(t, a.Addr(), "/debug/pprof/cmdline")

@@ -55,6 +55,12 @@ type AlertRecord struct {
 	// Degraded-mode flags active at decision time.
 	Degraded    bool `json:"degraded,omitempty"`
 	Quarantined bool `json:"quarantined,omitempty"`
+
+	// TraceID links this alert to its captured span tree: alert-raising
+	// transactions are always-keep promoted into the trace ring, so the
+	// id resolves via Tracer.Find or the /trace?id= admin endpoint while
+	// the trace is in the ring. Zero when tracing is disabled.
+	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
 // JournalConfig tunes journal durability and rotation. The zero value
@@ -105,6 +111,12 @@ type Journal struct {
 	syncs        Cell // fsyncs pushed to stable storage
 	syncFailures Cell // fsyncs the sink refused
 	rotations    Cell // completed file rotations
+
+	// Registry views published by PublishMetrics; nil until then. All
+	// guarded by mu (updated on the append path, which already holds it).
+	pubReg       *Registry
+	pubRotations *Counter
+	pubSize      *Gauge
 }
 
 // NewJournal opens (creating, append-mode) a JSONL journal file with the
@@ -201,7 +213,34 @@ func (j *Journal) Append(rec AlertRecord) (err error) {
 	j.sinceSync++
 	j.maybeSyncLocked()
 	j.maybeRotateLocked()
+	if j.pubSize != nil {
+		j.pubSize.Set(j.size)
+	}
 	return nil
+}
+
+// PublishMetrics registers rotation observability on a registry:
+// dynaminer_journal_rotations_total (completed rotations, backfilled
+// with any that already happened) and dynaminer_journal_size_bytes (the
+// current file size), so rotation behavior is visible before the disk
+// fills. Idempotent per registry; safe to call from every engine shard
+// sharing the journal.
+func (j *Journal) PublishMetrics(reg *Registry) {
+	if j == nil || reg == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.pubReg == reg {
+		return
+	}
+	j.pubReg = reg
+	j.pubRotations = reg.Counter("dynaminer_journal_rotations_total", "completed journal file rotations")
+	j.pubSize = reg.Gauge("dynaminer_journal_size_bytes", "current journal file size")
+	if n := j.rotations.Value(); n > 0 {
+		j.pubRotations.Add(n)
+	}
+	j.pubSize.Set(j.size)
 }
 
 // syncer is the optional stable-storage hook a journal sink can expose.
@@ -267,6 +306,9 @@ func (j *Journal) maybeRotateLocked() {
 	j.seq++
 	j.size = 0
 	j.rotations.Inc()
+	if j.pubRotations != nil {
+		j.pubRotations.Inc()
+	}
 }
 
 // Sync forces everything appended so far to stable storage (when the sink

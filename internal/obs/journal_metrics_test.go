@@ -1,0 +1,82 @@
+package obs
+
+// Journal telemetry: rotations and the live file size must be visible on
+// a metrics registry, including rotations that happened before a
+// registry was attached (backfill), and idempotently per registry.
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestJournalSizeGauge: the size gauge tracks the live file as appends
+// accumulate.
+func TestJournalSizeGauge(t *testing.T) {
+	j, err := NewJournalWith(filepath.Join(t.TempDir(), "alerts.jsonl"), JournalConfig{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	reg := NewRegistry()
+	j.PublishMetrics(reg)
+	if got := reg.GaugeValue("dynaminer_journal_size_bytes"); got != 0 {
+		t.Fatalf("fresh journal size gauge = %v", got)
+	}
+	var last int64
+	for i := 0; i < 3; i++ {
+		if err := j.Append(sampleRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+		got := reg.GaugeValue("dynaminer_journal_size_bytes")
+		if got <= last {
+			t.Fatalf("size gauge %v did not grow past %v after append %d", got, last, i)
+		}
+		last = got
+	}
+}
+
+// TestJournalRotationMetrics: a tiny MaxBytes forces rotations, each one
+// visible on the counter; the size gauge resets with the fresh live file.
+func TestJournalRotationMetrics(t *testing.T) {
+	j, err := NewJournalWith(filepath.Join(t.TempDir(), "alerts.jsonl"), JournalConfig{MaxBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	reg := NewRegistry()
+	j.PublishMetrics(reg)
+
+	if got := reg.CounterValue("dynaminer_journal_rotations_total"); got != 0 {
+		t.Fatalf("fresh journal rotations counter = %v", got)
+	}
+	for i := 0; i < 6; i++ {
+		if err := j.Append(sampleRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rot := j.Rotations()
+	if rot == 0 {
+		t.Fatal("512-byte cap never rotated; the metric test is vacuous")
+	}
+	if got := reg.CounterValue("dynaminer_journal_rotations_total"); got != rot {
+		t.Fatalf("rotations counter = %v, journal reports %d", got, rot)
+	}
+	// Rotation renames the full file away, so the live file — and the
+	// gauge — must sit strictly under the cap.
+	size := reg.GaugeValue("dynaminer_journal_size_bytes")
+	if size < 0 || size >= 512 {
+		t.Fatalf("size gauge = %v, want the post-rotation live file size in [0,512)", size)
+	}
+
+	// Attaching a second registry backfills the rotations already done.
+	reg2 := NewRegistry()
+	j.PublishMetrics(reg2)
+	if got := reg2.CounterValue("dynaminer_journal_rotations_total"); got != rot {
+		t.Fatalf("backfilled rotations counter = %v, want %d", got, rot)
+	}
+	// Re-publishing on the same registry must not double-count.
+	j.PublishMetrics(reg2)
+	if got, want := reg2.CounterValue("dynaminer_journal_rotations_total"), j.Rotations(); got != want {
+		t.Fatalf("rotations counter after re-publish = %v, journal reports %v", got, want)
+	}
+}

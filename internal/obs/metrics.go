@@ -86,6 +86,19 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Value reads the gauge.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is an instantaneous float64 value (seconds-valued runtime
+// telemetry: GC pause quantiles, scheduler latency), stored as float64
+// bits in an atomic word.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value reads the gauge.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // GaugeVec is a one-label gauge family. Children are created lazily by
 // With — once per label value, off the hot path — and observed through
 // the returned *Gauge with no further lookups.

@@ -77,18 +77,17 @@ const (
 	kindGauge
 	kindHistogram
 	kindGaugeVec
+	kindFloatGauge
 )
 
 func (k metricKind) String() string {
 	switch k {
 	case kindCounter:
 		return "counter"
-	case kindGauge:
+	case kindGauge, kindGaugeVec, kindFloatGauge:
 		return "gauge"
 	case kindHistogram:
 		return "histogram"
-	case kindGaugeVec:
-		return "gauge"
 	default:
 		return "untyped"
 	}
@@ -104,6 +103,7 @@ type entry struct {
 	gauge   *Gauge
 	hist    *Histogram
 	vec     *GaugeVec
+	fgauge  *FloatGauge
 }
 
 // Registry holds a set of named metrics. Registration is get-or-create:
@@ -194,6 +194,16 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 		e.gauge = &Gauge{}
 	}
 	return e.gauge
+}
+
+// FloatGauge returns the named float-valued gauge, creating it on first
+// registration.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	e, fresh := r.register(name, help, kindFloatGauge)
+	if fresh {
+		e.fgauge = &FloatGauge{}
+	}
+	return e.fgauge
 }
 
 // Histogram returns the named fixed-bucket histogram. bounds are the

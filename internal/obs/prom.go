@@ -22,6 +22,8 @@ func writeFamily(w io.Writer, e *entry) error {
 		fmt.Fprintf(bw, "%s %d\n", e.name, e.counter.Value())
 	case kindGauge:
 		fmt.Fprintf(bw, "%s %d\n", e.name, e.gauge.Value())
+	case kindFloatGauge:
+		fmt.Fprintf(bw, "%s %s\n", e.name, formatFloat(e.fgauge.Value()))
 	case kindGaugeVec:
 		keys, children := e.vec.sortedChildren()
 		for _, k := range keys {
@@ -66,6 +68,8 @@ type MetricSnapshot struct {
 	Help string `json:"help,omitempty"`
 	// Value carries counters and gauges.
 	Value int64 `json:"value,omitempty"`
+	// FloatValue carries float-valued gauges.
+	FloatValue float64 `json:"float_value,omitempty"`
 	// Children carries gauge-vec children keyed by label value.
 	Children map[string]int64 `json:"children,omitempty"`
 	// Count/Sum/Buckets carry histograms.
@@ -86,6 +90,8 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 			ms.Value = e.counter.Value()
 		case kindGauge:
 			ms.Value = e.gauge.Value()
+		case kindFloatGauge:
+			ms.FloatValue = e.fgauge.Value()
 		case kindGaugeVec:
 			keys, children := e.vec.sortedChildren()
 			ms.Children = make(map[string]int64, len(keys))

@@ -1,0 +1,964 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the pipeline tracing layer: a Tracer records one span tree
+// per transaction across the wire path (pcap reassembly → httpstream
+// parse → feature extraction → forest scoring → alert/journal write) into
+// a fixed-size ring of pre-allocated slots. Recording is zero-alloc on
+// the hot path — ActiveTrace comes from a pool, spans live in a fixed
+// array, stage names are interned to StageIDs at setup time — and the
+// keep/discard decision combines head-based sampling (every Nth
+// transaction) with always-keep promotion for slow spans (per-stage EWMA
+// threshold) and alert-raising transactions. Kept trees export as Chrome
+// trace-event JSON (chrome://tracing / Perfetto), a human-readable flame
+// summary, and resolve by the trace_id stamped onto journaled
+// AlertRecords.
+
+// maxTraceSpans bounds one transaction's span tree; together with the
+// ring size it fixes the tracer's memory footprint
+// (ring × sizeof(traceRecord) ≈ ring × 1.2 KiB).
+const maxTraceSpans = 24
+
+// traceStackDepth bounds span nesting (open, not-yet-ended spans).
+const traceStackDepth = 8
+
+// DefaultTraceRing is the ring capacity when TraceConfig.Ring is zero.
+const DefaultTraceRing = 256
+
+// defaultSlowFactor promotes a span when it runs this many times slower
+// than its stage's EWMA latency.
+const defaultSlowFactor = 4.0
+
+// monoSince is the monotonic elapsed-time clock, as a function value for
+// the zerotime convention. Span stamps are offsets from the tracer's
+// base instant read through this clock: one monotonic read costs roughly
+// half a full time.Now (no wall-clock component), and the hot path takes
+// one per span boundary, so the difference is the bulk of the tracer's
+// per-transaction cost.
+var monoSince = time.Since
+
+// ValidateSpanName reports why a span (stage) name is unacceptable, or
+// nil: names must be lowercase dotted "stage.substage" — two or more
+// dot-separated snake_case segments ([a-z][a-z0-9_]*) — mirrored by the
+// dynalint metricname analyzer's span-literal check.
+func ValidateSpanName(name string) error {
+	if name == "" {
+		return fmt.Errorf("obs: empty span name")
+	}
+	segs := strings.Split(name, ".")
+	if len(segs) < 2 {
+		return fmt.Errorf("obs: span name %q must be dotted stage.substage", name)
+	}
+	for _, seg := range segs {
+		if seg == "" {
+			return fmt.Errorf("obs: span name %q has an empty segment", name)
+		}
+		for i := 0; i < len(seg); i++ {
+			c := seg[i]
+			switch {
+			case c >= 'a' && c <= 'z':
+			case c == '_' && i > 0:
+			case c >= '0' && c <= '9' && i > 0:
+			default:
+				return fmt.Errorf("obs: span name %q is not lowercase dotted stage.substage", name)
+			}
+		}
+	}
+	return nil
+}
+
+// StageID is an interned span name, resolved once via Tracer.Stage at
+// setup time so the hot path never touches strings.
+type StageID int32
+
+// SpanFlags annotate a span with the serving conditions active when it
+// ran — quarantine/degraded attribution, the incremental-vs-rebuild
+// path, proxy retry/breaker outcomes.
+type SpanFlags uint16
+
+const (
+	// SpanAlert marks the span tree of an alert-raising transaction.
+	SpanAlert SpanFlags = 1 << iota
+	// SpanIncremental marks a classify served from the live WCG cursor.
+	SpanIncremental
+	// SpanRebuild marks a classify that rebuilt the WCG from scratch.
+	SpanRebuild
+	// SpanQuarantined marks work on a cluster with a quarantine strike.
+	SpanQuarantined
+	// SpanDegraded marks work done while the engine was over its latency
+	// budget.
+	SpanDegraded
+	// SpanRetried marks an upstream attempt that was retried.
+	SpanRetried
+	// SpanBreakerOpen marks a request rejected by an open circuit breaker.
+	SpanBreakerOpen
+	// SpanShed marks a transaction processed while watches were being shed.
+	SpanShed
+	// SpanError marks a span that ended by panic or transport error.
+	SpanError
+)
+
+// String renders the set flags as a comma-joined list (export path only).
+func (f SpanFlags) String() string {
+	if f == 0 {
+		return ""
+	}
+	names := [...]struct {
+		bit  SpanFlags
+		name string
+	}{
+		{SpanAlert, "alert"}, {SpanIncremental, "incremental"},
+		{SpanRebuild, "rebuild"}, {SpanQuarantined, "quarantined"},
+		{SpanDegraded, "degraded"}, {SpanRetried, "retried"},
+		{SpanBreakerOpen, "breaker_open"}, {SpanShed, "shed"},
+		{SpanError, "error"},
+	}
+	parts := make([]string, 0, 4)
+	for _, n := range names {
+		if f&n.bit != 0 {
+			parts = append(parts, n.name)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Span is one timed stage within a transaction's trace. Start is the
+// offset from the trace's begin instant; Dur is negative while the span
+// is open.
+type Span struct {
+	Stage  StageID
+	Parent int16 // index of the enclosing span, -1 for the root
+	Flags  SpanFlags
+	Arg    int32 // stage-specific attribution: shard index, retry attempt
+	Start  time.Duration
+	Dur    time.Duration
+}
+
+// stageInfo is one interned stage: its name, its registry histogram, and
+// the EWMA latency that defines "slow" for promotion.
+type stageInfo struct {
+	name string
+	hist *Histogram
+	ewma atomic.Uint64 // float64 bits of the stage's EWMA latency, seconds
+}
+
+// updateEWMA folds one observation into the stage EWMA (alpha 1/8) and
+// reports whether it exceeded slowFactor times the prior average. The
+// first observation only warms the average.
+//
+//dynalint:hotpath
+func (s *stageInfo) updateEWMA(x, slowFactor float64) bool {
+	for {
+		old := s.ewma.Load()
+		slow := false
+		var next float64
+		if old == 0 {
+			next = x
+		} else {
+			prev := math.Float64frombits(old)
+			slow = x > slowFactor*prev
+			next = prev + (x-prev)/8
+		}
+		if s.ewma.CompareAndSwap(old, math.Float64bits(next)) {
+			return slow
+		}
+	}
+}
+
+// traceRecord is one committed span tree, fixed-size so ring slots never
+// allocate.
+type traceRecord struct {
+	id      uint64
+	start   time.Time
+	n       int
+	dropped int32
+	sampled bool
+	slow    bool
+	alert   bool
+	spans   [maxTraceSpans]Span
+}
+
+// traceSlot is one ring position; the per-slot mutex is taken only on
+// commit (kept traces: sampled, slow, or alerting) and on export reads —
+// never on the sampled-out hot path.
+type traceSlot struct {
+	mu   sync.Mutex
+	used bool
+	rec  traceRecord
+}
+
+// TraceConfig tunes a Tracer. The zero value records promotion-only
+// (slow and alert traces) into a DefaultTraceRing-slot ring.
+type TraceConfig struct {
+	// Sample keeps every Nth transaction's trace (head-based sampling);
+	// 1 keeps every trace, 0 keeps none by sampling (slow and alert
+	// promotion still apply).
+	Sample int
+	// Ring is the trace ring capacity; 0 selects DefaultTraceRing.
+	Ring int
+	// SlowFactor promotes a span slower than SlowFactor times its stage
+	// EWMA; 0 selects the default (4x).
+	SlowFactor float64
+	// Now supplies span timestamps; nil selects the wall clock.
+	Now func() time.Time
+}
+
+// Tracer records per-transaction span trees. One tracer is shared by
+// every pipeline component of a serving instance (engine shards, proxy,
+// parsers); Stage interning and ring commits are locked, span recording
+// is not.
+type Tracer struct {
+	reg        *Registry
+	sample     uint64
+	slowFactor float64
+	// base is the instant the tracer was built; every span stamp is a
+	// monotonic offset from it (one cheap monotonic read per boundary),
+	// and wall-clock trace starts are reconstructed as base+offset only
+	// when a trace is actually committed.
+	base  time.Time
+	since func() time.Duration
+
+	// txs counts every Begin; it is both the sampling phase and the
+	// trace-id source, so ids are unique and dense per tracer.
+	txs atomic.Uint64
+
+	mu     sync.Mutex
+	byName map[string]StageID           // guarded by mu
+	stages atomic.Pointer[[]*stageInfo] // copy-on-write; hot path loads
+
+	ring []traceSlot
+	head atomic.Uint64
+
+	pool sync.Pool // *ActiveTrace
+
+	recorded  *Counter
+	sampled   *Counter
+	slowKept  *Counter
+	alertKept *Counter
+	spanDrops *Counter
+}
+
+// NewTracer builds a tracer whose per-stage histograms register on reg
+// (dynaminer_stage_<stage>_seconds families); a nil reg gets a private
+// registry, which keeps the tracer functional but unexported.
+func NewTracer(reg *Registry, cfg TraceConfig) *Tracer {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	ring := cfg.Ring
+	if ring <= 0 {
+		ring = DefaultTraceRing
+	}
+	sf := cfg.SlowFactor
+	if sf <= 0 {
+		sf = defaultSlowFactor
+	}
+	var base time.Time
+	var since func() time.Duration
+	if cfg.Now == nil {
+		base = defaultClock()
+		// The production clock: base carries a monotonic reading, so
+		// monoSince resolves to one monotonic-clock read per stamp.
+		since = func() time.Duration { return monoSince(base) }
+	} else {
+		now := cfg.Now
+		base = now()
+		since = func() time.Duration { return now().Sub(base) }
+	}
+	t := &Tracer{
+		reg:        reg,
+		sample:     uint64(max(cfg.Sample, 0)),
+		slowFactor: sf,
+		base:       base,
+		since:      since,
+		byName:     make(map[string]StageID),
+		ring:       make([]traceSlot, ring),
+		recorded:   reg.Counter("dynaminer_trace_recorded_total", "span trees committed to the trace ring (sampled, slow-promoted, or alerting)"),
+		sampled:    reg.Counter("dynaminer_trace_sampled_total", "span trees kept by head-based every-Nth sampling"),
+		slowKept:   reg.Counter("dynaminer_trace_slow_total", "span trees promoted because a stage exceeded its EWMA slow threshold"),
+		alertKept:  reg.Counter("dynaminer_trace_alerts_total", "span trees promoted because the transaction raised an alert"),
+		spanDrops:  reg.Counter("dynaminer_trace_span_drops_total", "spans dropped because a trace exceeded its fixed span capacity"),
+	}
+	empty := make([]*stageInfo, 0, 16)
+	t.stages.Store(&empty)
+	t.pool.New = func() any { return new(ActiveTrace) }
+	return t
+}
+
+// Sample returns the configured every-Nth sampling interval.
+func (t *Tracer) Sample() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.sample)
+}
+
+// Stage interns a span name, registering its latency histogram
+// (dynaminer_stage_<name>_seconds with dots folded to underscores) on
+// the tracer's registry. Get-or-create and setup-time only; the name
+// must be lowercase dotted stage.substage or Stage panics — the same
+// contract the dynalint metricname analyzer enforces statically.
+func (t *Tracer) Stage(name string) StageID {
+	if err := ValidateSpanName(name); err != nil {
+		panic(err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.byName[name]; ok {
+		return id
+	}
+	metric := "dynaminer_stage_" + strings.ReplaceAll(name, ".", "_") + "_seconds"
+	si := &stageInfo{
+		name: name,
+		hist: t.reg.Histogram(metric, "latency of the "+name+" pipeline stage", LatencyBuckets),
+	}
+	cur := *t.stages.Load()
+	next := make([]*stageInfo, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = si
+	t.stages.Store(&next)
+	id := StageID(len(cur))
+	t.byName[name] = id
+	return id
+}
+
+// StageName resolves an interned StageID back to its dotted name.
+func (t *Tracer) StageName(id StageID) string {
+	if t == nil {
+		return ""
+	}
+	stages := *t.stages.Load()
+	if int(id) < 0 || int(id) >= len(stages) {
+		return ""
+	}
+	return stages[id].name
+}
+
+// StageEWMA returns a stage's current EWMA latency in seconds (0 until
+// the first observation).
+func (t *Tracer) StageEWMA(id StageID) float64 {
+	if t == nil {
+		return 0
+	}
+	stages := *t.stages.Load()
+	if int(id) < 0 || int(id) >= len(stages) {
+		return 0
+	}
+	return math.Float64frombits(stages[id].ewma.Load())
+}
+
+// ObserveStage records a stage latency outside any span tree — the hook
+// batch-shaped pipeline components (pcap reassembly, httpstream parse)
+// use to feed the per-stage histograms and EWMAs without carrying an
+// ActiveTrace.
+//
+//dynalint:hotpath
+func (t *Tracer) ObserveStage(id StageID, seconds float64) {
+	if t == nil {
+		return
+	}
+	stages := *t.stages.Load()
+	if int(id) < 0 || int(id) >= len(stages) {
+		return
+	}
+	stages[id].hist.Observe(seconds)
+	stages[id].updateEWMA(seconds, t.slowFactor)
+}
+
+// ActiveTrace is one transaction's in-progress span tree. It is owned by
+// exactly one goroutine between Begin and Finish; all methods are
+// nil-receiver safe so untraced configurations pay only a nil check.
+type ActiveTrace struct {
+	t  *Tracer
+	id uint64
+	// startMono is the trace's begin instant as a monotonic offset from
+	// the tracer's base; the wall-clock start (base+startMono) is only
+	// materialized when the trace commits.
+	startMono time.Duration
+	sampled   bool
+	slow      bool
+	alert     bool
+	dropped   int32
+	n         int
+	openN     int
+	open      [traceStackDepth]int16
+	spans     [maxTraceSpans]Span
+}
+
+// rel reads the clock once and returns the offset from the trace start
+// (clamped non-negative for misaligned injected clocks).
+//
+//dynalint:hotpath
+func (a *ActiveTrace) rel() time.Duration {
+	d := a.t.since() - a.startMono
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// relAt converts an externally read timestamp (an instrumented layer's
+// own latency-clock reading) to an offset from the trace start.
+//
+//dynalint:hotpath
+func (a *ActiveTrace) relAt(at time.Time) time.Duration {
+	d := at.Sub(a.t.base) - a.startMono
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Begin starts a transaction trace: bumps the transaction counter,
+// decides head-based sampling, and hands out a pooled recorder. The
+// sampled-out path allocates nothing (pinned by TestTraceHotPathAllocs).
+//
+//dynalint:hotpath
+func (t *Tracer) Begin() *ActiveTrace {
+	if t == nil {
+		return nil
+	}
+	return t.BeginIn(t.pool.Get().(*ActiveTrace))
+}
+
+// BeginIn is Begin recording into caller-owned storage — a recorder the
+// caller embeds (one per engine shard) and reuses across transactions,
+// skipping the pool round-trip. A trace begun this way must be finished
+// with FinishIn, never Finish: the recorder does not belong to the pool.
+//
+//dynalint:hotpath
+func (t *Tracer) BeginIn(at *ActiveTrace) *ActiveTrace {
+	if t == nil || at == nil {
+		return nil
+	}
+	n := t.txs.Add(1)
+	at.t = t
+	at.id = n
+	at.startMono = t.since()
+	at.sampled = t.sample > 0 && n%t.sample == 0
+	at.slow = false
+	at.alert = false
+	at.dropped = 0
+	at.n = 0
+	at.openN = 0
+	return at
+}
+
+// Finish closes any spans a panic unwound past, commits the tree to the
+// ring when it is kept (sampled, slow-promoted, or alerting), and
+// returns the recorder to the pool. The ActiveTrace must not be used
+// afterwards.
+//
+//dynalint:hotpath
+func (t *Tracer) Finish(at *ActiveTrace) {
+	if t == nil || at == nil {
+		return
+	}
+	t.FinishIn(at)
+	t.pool.Put(at)
+}
+
+// FinishIn is Finish for a trace begun with BeginIn: the caller keeps
+// owning the recorder (commit copies the kept tree into the ring), so
+// nothing is returned to the pool.
+//
+//dynalint:hotpath
+func (t *Tracer) FinishIn(at *ActiveTrace) {
+	if t == nil || at == nil {
+		return
+	}
+	if at.openN > 0 {
+		end := at.rel()
+		for at.openN > 0 {
+			at.openN--
+			at.closeSpan(int(at.open[at.openN]), end)
+		}
+	}
+	if at.sampled || at.slow || at.alert {
+		t.commit(at)
+	}
+}
+
+// commit copies the finished tree into the next ring slot.
+func (t *Tracer) commit(at *ActiveTrace) {
+	slot := &t.ring[(t.head.Add(1)-1)%uint64(len(t.ring))]
+	slot.mu.Lock()
+	slot.used = true
+	r := &slot.rec
+	r.id, r.start = at.id, t.base.Add(at.startMono)
+	r.n, r.dropped = at.n, at.dropped
+	r.sampled, r.slow, r.alert = at.sampled, at.slow, at.alert
+	r.spans = at.spans
+	slot.mu.Unlock()
+	t.recorded.Inc()
+	if at.sampled {
+		t.sampled.Inc()
+	}
+	if at.slow {
+		t.slowKept.Inc()
+	}
+	if at.alert {
+		t.alertKept.Inc()
+	}
+	if at.dropped > 0 {
+		t.spanDrops.Add(int64(at.dropped))
+	}
+}
+
+// ID returns the trace id (0 for a nil trace) — the value stamped onto
+// AlertRecord.TraceID.
+func (a *ActiveTrace) ID() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.id
+}
+
+// StartSpan opens a span for the stage, nested under the innermost open
+// span, and returns its index (-1 when untraced or out of capacity). The
+// first span of a trace starts at offset zero without a clock read: the
+// root span begins when the trace does.
+//
+//dynalint:hotpath
+func (a *ActiveTrace) StartSpan(stage StageID) int {
+	if a == nil {
+		return -1
+	}
+	var start time.Duration
+	if a.n > 0 {
+		start = a.rel()
+	}
+	return a.startSpanRel(stage, start)
+}
+
+// StartSpanAt opens a span whose start is an externally read timestamp —
+// an instrumented layer that already read a latency clock for its own
+// metrics (the detector's classify measurement) passes that reading
+// through so one boundary never costs two clock reads.
+//
+//dynalint:hotpath
+func (a *ActiveTrace) StartSpanAt(stage StageID, at time.Time) int {
+	if a == nil {
+		return -1
+	}
+	return a.startSpanRel(stage, a.relAt(at))
+}
+
+//dynalint:hotpath
+func (a *ActiveTrace) startSpanRel(stage StageID, start time.Duration) int {
+	if a.n >= maxTraceSpans || a.openN >= traceStackDepth {
+		a.dropped++
+		return -1
+	}
+	parent := int16(-1)
+	if a.openN > 0 {
+		parent = a.open[a.openN-1]
+	}
+	idx := a.n
+	a.spans[idx] = Span{
+		Stage:  stage,
+		Parent: parent,
+		Start:  start,
+		Dur:    -1,
+	}
+	a.open[a.openN] = int16(idx)
+	a.openN++
+	a.n++
+	return idx
+}
+
+// EndSpan closes the span at idx, observing its stage histogram and
+// EWMA; children left open (a panic unwound past their EndSpan) close at
+// the same instant. Closing an already-closed or invalid index is a
+// no-op.
+//
+//dynalint:hotpath
+func (a *ActiveTrace) EndSpan(idx int) {
+	if a == nil || idx < 0 || idx >= a.n {
+		return
+	}
+	a.endSpanRel(idx, a.rel())
+}
+
+// EndSpanAt closes the span at idx at an externally read timestamp — the
+// end-of-measurement clock reading an instrumented layer already took for
+// its own latency metric.
+//
+//dynalint:hotpath
+func (a *ActiveTrace) EndSpanAt(idx int, at time.Time) {
+	if a == nil || idx < 0 || idx >= a.n {
+		return
+	}
+	a.endSpanRel(idx, a.relAt(at))
+}
+
+//dynalint:hotpath
+func (a *ActiveTrace) endSpanRel(idx int, end time.Duration) {
+	for a.openN > 0 {
+		top := int(a.open[a.openN-1])
+		a.openN--
+		a.closeSpan(top, end)
+		if top == idx {
+			return
+		}
+	}
+	a.closeSpan(idx, end)
+}
+
+// closeSpan finalizes one open span at the given end offset. The stage
+// EWMA folds in every closed span — slow promotion is never blind — but
+// the registry histogram observes only head-sampled traces, keeping the
+// exported distribution an unbiased every-Nth view at a fraction of the
+// atomic traffic.
+//
+//dynalint:hotpath
+func (a *ActiveTrace) closeSpan(idx int, end time.Duration) {
+	sp := &a.spans[idx]
+	if sp.Dur >= 0 {
+		return
+	}
+	d := end - sp.Start
+	if d < 0 {
+		d = 0
+	}
+	sp.Dur = d
+	stages := *a.t.stages.Load()
+	if int(sp.Stage) < 0 || int(sp.Stage) >= len(stages) {
+		return
+	}
+	si := stages[sp.Stage]
+	secs := d.Seconds()
+	if a.sampled {
+		si.hist.Observe(secs)
+	}
+	if si.updateEWMA(secs, a.t.slowFactor) {
+		a.slow = true
+	}
+}
+
+// Annotate ORs flags onto the span at idx.
+//
+//dynalint:hotpath
+func (a *ActiveTrace) Annotate(idx int, flags SpanFlags) {
+	if a == nil || idx < 0 || idx >= a.n {
+		return
+	}
+	a.spans[idx].Flags |= flags
+}
+
+// SetArg sets the span's stage-specific attribution value (shard index,
+// retry attempt).
+//
+//dynalint:hotpath
+func (a *ActiveTrace) SetArg(idx int, arg int32) {
+	if a == nil || idx < 0 || idx >= a.n {
+		return
+	}
+	a.spans[idx].Arg = arg
+}
+
+// MarkAlert promotes this trace to always-keep (an alert-raising
+// transaction) and flags its root span.
+//
+//dynalint:hotpath
+func (a *ActiveTrace) MarkAlert() {
+	if a == nil {
+		return
+	}
+	a.alert = true
+	if a.n > 0 {
+		a.spans[0].Flags |= SpanAlert
+	}
+}
+
+// TraceSpan is one exported span, stage resolved back to its name.
+type TraceSpan struct {
+	Stage  string  `json:"stage"`
+	Parent int     `json:"parent"` // index into Spans, -1 for the root
+	Start  float64 `json:"start_us"`
+	Dur    float64 `json:"dur_us"`
+	Flags  string  `json:"flags,omitempty"`
+	Arg    int32   `json:"arg,omitempty"`
+}
+
+// TraceSnapshot is one exported span tree.
+type TraceSnapshot struct {
+	ID           uint64      `json:"trace_id"`
+	Start        time.Time   `json:"start"`
+	Sampled      bool        `json:"sampled,omitempty"`
+	Slow         bool        `json:"slow,omitempty"`
+	Alert        bool        `json:"alert,omitempty"`
+	DroppedSpans int         `json:"dropped_spans,omitempty"`
+	Spans        []TraceSpan `json:"spans"`
+}
+
+// snapshotRecord converts a committed record to its export form.
+func snapshotRecord(r *traceRecord, stages []*stageInfo) TraceSnapshot {
+	out := TraceSnapshot{
+		ID:           r.id,
+		Start:        r.start,
+		Sampled:      r.sampled,
+		Slow:         r.slow,
+		Alert:        r.alert,
+		DroppedSpans: int(r.dropped),
+		Spans:        make([]TraceSpan, 0, r.n),
+	}
+	for i := 0; i < r.n; i++ {
+		sp := &r.spans[i]
+		name := ""
+		if int(sp.Stage) >= 0 && int(sp.Stage) < len(stages) {
+			name = stages[sp.Stage].name
+		}
+		dur := sp.Dur
+		if dur < 0 {
+			dur = 0
+		}
+		out.Spans = append(out.Spans, TraceSpan{
+			Stage:  name,
+			Parent: int(sp.Parent),
+			Start:  float64(sp.Start.Nanoseconds()) / 1e3,
+			Dur:    float64(dur.Nanoseconds()) / 1e3,
+			Flags:  sp.Flags.String(),
+			Arg:    sp.Arg,
+		})
+	}
+	return out
+}
+
+// Snapshots returns every kept span tree in the ring, oldest first.
+func (t *Tracer) Snapshots() []TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	stages := *t.stages.Load()
+	out := make([]TraceSnapshot, 0, len(t.ring))
+	for i := range t.ring {
+		slot := &t.ring[i]
+		slot.mu.Lock()
+		if !slot.used {
+			slot.mu.Unlock()
+			continue
+		}
+		rec := slot.rec
+		slot.mu.Unlock()
+		out = append(out, snapshotRecord(&rec, stages))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Find resolves a trace id (an AlertRecord.TraceID) to its span tree, if
+// it is still in the ring.
+func (t *Tracer) Find(id uint64) (TraceSnapshot, bool) {
+	if t == nil || id == 0 {
+		return TraceSnapshot{}, false
+	}
+	stages := *t.stages.Load()
+	for i := range t.ring {
+		slot := &t.ring[i]
+		slot.mu.Lock()
+		if slot.used && slot.rec.id == id {
+			rec := slot.rec
+			slot.mu.Unlock()
+			return snapshotRecord(&rec, stages), true
+		}
+		slot.mu.Unlock()
+	}
+	return TraceSnapshot{}, false
+}
+
+// traceEvent is one Chrome trace-event ("X" complete event, microsecond
+// timestamps); chrome://tracing and Perfetto load the enclosing file
+// directly.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceEventFile is the Chrome trace-event JSON object form.
+type traceEventFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTraceEvents renders every kept span tree as Chrome trace-event
+// JSON: each transaction becomes one track (tid = trace id), each span a
+// complete event carrying its flags and attribution in args.
+func (t *Tracer) WriteTraceEvents(w io.Writer) error {
+	file := traceEventFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	for _, tr := range t.Snapshots() {
+		base := float64(tr.Start.UnixNano()) / 1e3
+		for _, sp := range tr.Spans {
+			ev := traceEvent{
+				Name: sp.Stage,
+				Cat:  "dynaminer",
+				Ph:   "X",
+				TS:   base + sp.Start,
+				Dur:  sp.Dur,
+				PID:  1,
+				TID:  tr.ID,
+				Args: map[string]any{"trace_id": tr.ID, "parent": sp.Parent},
+			}
+			if sp.Flags != "" {
+				ev.Args["flags"] = sp.Flags
+			}
+			if sp.Arg != 0 {
+				ev.Args["arg"] = sp.Arg
+			}
+			file.TraceEvents = append(file.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}
+
+// WriteFlameSummary renders a human-readable breakdown: a per-stage
+// aggregate table over every kept trace, then the slowest kept tree
+// rendered as an indented flame.
+func (t *Tracer) WriteFlameSummary(w io.Writer) error {
+	snaps := t.Snapshots()
+	type agg struct {
+		name  string
+		count int
+		total float64 // µs
+		max   float64 // µs
+	}
+	byStage := map[string]*agg{}
+	var rootTotal float64
+	slowest := -1
+	var slowestRoot float64
+	for i, tr := range snaps {
+		for j, sp := range tr.Spans {
+			a := byStage[sp.Stage]
+			if a == nil {
+				a = &agg{name: sp.Stage}
+				byStage[sp.Stage] = a
+			}
+			a.count++
+			a.total += sp.Dur
+			if sp.Dur > a.max {
+				a.max = sp.Dur
+			}
+			if j == 0 {
+				rootTotal += sp.Dur
+				if sp.Dur > slowestRoot {
+					slowestRoot, slowest = sp.Dur, i
+				}
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "traces kept: %d (ring %d)  span trees export at /trace as chrome://tracing JSON\n",
+		len(snaps), len(t.ring)); err != nil {
+		return err
+	}
+	if len(snaps) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(byStage))
+	for n := range byStage {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return byStage[names[i]].total > byStage[names[j]].total })
+	fmt.Fprintf(w, "%-28s %8s %12s %12s %12s %7s\n", "stage", "count", "total_ms", "mean_us", "max_us", "%root")
+	for _, n := range names {
+		a := byStage[n]
+		pct := 0.0
+		if rootTotal > 0 {
+			pct = 100 * a.total / rootTotal
+		}
+		fmt.Fprintf(w, "%-28s %8d %12.3f %12.1f %12.1f %6.1f%%\n",
+			a.name, a.count, a.total/1e3, a.total/float64(a.count), a.max, pct)
+	}
+	if slowest >= 0 {
+		tr := snaps[slowest]
+		fmt.Fprintf(w, "\nslowest trace %d (%.1fus", tr.ID, slowestRoot)
+		if tr.Alert {
+			fmt.Fprint(w, ", alert")
+		}
+		if tr.Slow {
+			fmt.Fprint(w, ", slow-promoted")
+		}
+		fmt.Fprintln(w, "):")
+		writeSpanTree(w, tr.Spans, -1, 1)
+	}
+	return nil
+}
+
+// writeSpanTree renders the children of parent as an indented flame.
+func writeSpanTree(w io.Writer, spans []TraceSpan, parent, depth int) {
+	for i, sp := range spans {
+		if sp.Parent != parent {
+			continue
+		}
+		line := strings.Repeat("  ", depth) + sp.Stage
+		fmt.Fprintf(w, "%-30s %10.1fus", line, sp.Dur)
+		if sp.Flags != "" {
+			fmt.Fprintf(w, "  [%s]", sp.Flags)
+		}
+		if sp.Arg != 0 {
+			fmt.Fprintf(w, "  arg=%d", sp.Arg)
+		}
+		fmt.Fprintln(w)
+		writeSpanTree(w, spans, i, depth+1)
+	}
+}
+
+// TraceHandler serves a tracer over HTTP: Chrome trace-event JSON by
+// default, ?format=flame for the human-readable summary, ?id=N to
+// resolve one AlertRecord.TraceID to its span tree. Mounted as the
+// /trace admin endpoint.
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		q := r.URL.Query()
+		if idStr := q.Get("id"); idStr != "" {
+			id, err := strconv.ParseUint(idStr, 10, 64)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			snap, ok := t.Find(id)
+			if !ok {
+				http.Error(w, "trace not found (evicted from ring or never kept)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(snap)
+			return
+		}
+		switch q.Get("format") {
+		case "flame":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = t.WriteFlameSummary(w)
+		case "", "chrome", "json":
+			w.Header().Set("Content-Type", "application/json")
+			_ = t.WriteTraceEvents(w)
+		default:
+			http.Error(w, "unknown format (want chrome or flame)", http.StatusBadRequest)
+		}
+	})
+}

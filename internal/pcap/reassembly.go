@@ -336,7 +336,16 @@ func (a *Assembler) StreamsInto(dst []*Stream) []*Stream {
 // Assembler is garbage-collected, never pooled, so the streams live as
 // long as the caller keeps them.
 func AssembleStreams(pkts []Packet) []*Stream {
-	return feedAll(NewAssembler(), pkts).Streams()
+	tb := capTrace.Load()
+	var t0 time.Time
+	if tb != nil {
+		t0 = traceClock()
+	}
+	out := feedAll(NewAssembler(), pkts).Streams()
+	if tb != nil {
+		tb.t.ObserveStage(tb.stage, traceClock().Sub(t0).Seconds())
+	}
+	return out
 }
 
 // AssembleStreamsInto is the pooled counterpart of AssembleStreams: it
@@ -347,8 +356,17 @@ func AssembleStreams(pkts []Packet) []*Stream {
 //
 //dynalint:hotpath
 func AssembleStreamsInto(dst []*Stream, pkts []Packet) ([]*Stream, *Assembler) {
+	tb := capTrace.Load()
+	var t0 time.Time
+	if tb != nil {
+		t0 = traceClock()
+	}
 	a := GetAssembler()
-	return feedAll(a, pkts).StreamsInto(dst), a
+	out := feedAll(a, pkts).StreamsInto(dst)
+	if tb != nil {
+		tb.t.ObserveStage(tb.stage, traceClock().Sub(t0).Seconds())
+	}
+	return out, a
 }
 
 func feedAll(a *Assembler, pkts []Packet) *Assembler {

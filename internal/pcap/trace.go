@@ -1,0 +1,34 @@
+package pcap
+
+import (
+	"sync/atomic"
+	"time"
+
+	"dynaminer/internal/obs"
+)
+
+// pcap has no owning serving instance, so its share of pipeline tracing
+// is a package-level binding: SetTracer points the batch reassembly
+// entry points at a tracer's pcap.reassemble stage (histogram + slow
+// EWMA), nil detaches. Reassembly is batch-shaped — many packets, many
+// flows per call — so it feeds stage latency rather than opening spans
+// inside any one transaction's tree.
+type traceBinding struct {
+	t     *obs.Tracer
+	stage obs.StageID
+}
+
+var capTrace atomic.Pointer[traceBinding]
+
+// traceClock is a function value per the zerotime invariant.
+var traceClock = time.Now
+
+// SetTracer attaches (or, with nil, detaches) a pipeline tracer to the
+// package's batch reassembly timing.
+func SetTracer(t *obs.Tracer) {
+	if t == nil {
+		capTrace.Store(nil)
+		return
+	}
+	capTrace.Store(&traceBinding{t: t, stage: t.Stage("pcap.reassemble")})
+}

@@ -52,3 +52,20 @@ func newProxyMetrics(reg *obs.Registry) *proxyMetrics {
 			"host"),
 	}
 }
+
+// proxyStages holds the interned trace stage IDs for the proxy's share
+// of a request's span tree (the detector's spans nest under
+// proxy.request via ProcessTraced).
+type proxyStages struct {
+	request  obs.StageID
+	upstream obs.StageID
+	relay    obs.StageID
+}
+
+func newProxyStages(t *obs.Tracer) proxyStages {
+	return proxyStages{
+		request:  t.Stage("proxy.request"),
+		upstream: t.Stage("proxy.upstream"),
+		relay:    t.Stage("proxy.relay"),
+	}
+}

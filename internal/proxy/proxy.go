@@ -125,6 +125,12 @@ type Proxy struct {
 	// embedded engine; the atomic counters need no lock.
 	mx *proxyMetrics
 
+	// tracer and stg drive per-request pipeline tracing; nil tracer means
+	// every span call is a single nil check. The tracer is taken from
+	// cfg.Detector.Tracer so proxy and detector spans share one trace.
+	tracer *obs.Tracer
+	stg    proxyStages
+
 	mu       sync.Mutex
 	blocked  map[netip.Addr]time.Time // guarded by mu; client -> block expiry
 	breakers map[string]*breaker      // guarded by mu; upstream host -> circuit
@@ -166,17 +172,22 @@ func New(cfg Config, model detector.Scorer) *Proxy {
 		sleep = time.Sleep
 	}
 	engine := detector.NewSharded(cfg.Detector, model)
-	return &Proxy{
+	p := &Proxy{
 		cfg:       cfg,
 		transport: transport,
 		now:       now,
 		sleep:     sleep,
 		engine:    engine,
 		mx:        newProxyMetrics(engine.Registry()),
+		tracer:    cfg.Detector.Tracer,
 		blocked:   make(map[netip.Addr]time.Time),
 		breakers:  make(map[string]*breaker),
 		rng:       rand.New(rand.NewSource(1)),
 	}
+	if p.tracer != nil {
+		p.stg = newProxyStages(p.tracer)
+	}
+	return p
 }
 
 // Stats returns a snapshot of proxy counters — a bridged view over the
@@ -199,6 +210,10 @@ func (p *Proxy) Stats() Stats {
 // Registry returns the observability registry shared by the proxy and
 // its embedded detection engine.
 func (p *Proxy) Registry() *obs.Registry { return p.mx.reg }
+
+// Health reports the embedded detection engine's readiness conditions,
+// OR-ed across its shards, for the /healthz endpoint.
+func (p *Proxy) Health() obs.HealthStatus { return p.engine.Health() }
 
 // EngineStats returns a snapshot of the embedded detector's counters,
 // aggregated across its shards.
@@ -263,6 +278,16 @@ func (p *Proxy) clientAddr(r *http.Request) netip.Addr {
 // ServeHTTP relays one proxied request and runs detection on the exchange.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	p.mx.requests.Inc()
+	// One trace per proxied request: proxy.request is the root span, the
+	// upstream attempts and the client-side relay are children, and the
+	// detector's spans nest under it via ProcessTraced. Begin/Finish are
+	// nil-safe, so an untraced proxy pays a handful of nil checks.
+	at := p.tracer.Begin()
+	rs := at.StartSpan(p.stg.request)
+	defer func() {
+		at.EndSpan(rs)
+		p.tracer.Finish(at)
+	}()
 	client := p.clientAddr(r)
 	p.mu.Lock()
 	if expiry, ok := p.blocked[client]; ok {
@@ -299,15 +324,17 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	upstreamHost := strings.ToLower(out.URL.Hostname())
 	if !p.breakerAllow(upstreamHost) {
 		p.mx.breakerRejected.Inc()
+		at.Annotate(rs, obs.SpanBreakerOpen)
 		http.Error(w, "upstream circuit open: "+upstreamHost, http.StatusBadGateway)
 		return
 	}
 
 	reqTime := p.now()
-	resp, err := p.roundTrip(out)
+	resp, err := p.roundTrip(out, at)
 	if err != nil {
 		p.breakerResult(upstreamHost, false)
 		p.mx.upstreamErrors.Inc()
+		at.Annotate(rs, obs.SpanError)
 		code := http.StatusBadGateway
 		if isTimeout(err) {
 			code = http.StatusGatewayTimeout
@@ -323,6 +350,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		p.breakerResult(upstreamHost, false)
 		p.mx.upstreamErrors.Inc()
+		at.Annotate(rs, obs.SpanError)
 		code := http.StatusBadGateway
 		if isTimeout(err) {
 			code = http.StatusGatewayTimeout
@@ -331,18 +359,20 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p.breakerResult(upstreamHost, true)
+	ls := at.StartSpan(p.stg.relay)
 	relayHdr := resp.Header.Clone()
 	removeHopByHop(relayHdr)
 	copyHeader(w.Header(), relayHdr)
 	w.WriteHeader(resp.StatusCode)
 	written, _ := w.Write(prefix)
 	tail, _ := io.Copy(w, rest)
+	at.EndSpan(ls)
 
 	// Classification runs under the owning shard's lock only, so two
 	// clients' exchanges classify concurrently; p.mu guards just the
 	// blocklist and counters.
 	tx := p.buildTransaction(r, resp, client, reqTime, respTime, prefix, int(tail)+written)
-	alerts := p.engine.Process(tx)
+	alerts := p.engine.ProcessTraced(tx, at)
 	p.mx.relayed.Inc()
 	p.mx.relay.Observe(respTime.Sub(reqTime).Seconds())
 	p.mx.alerts.Add(int64(len(alerts)))
@@ -367,17 +397,29 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // the failed attempt — and only on retryable transport errors; the
 // context deadline set by ServeHTTP bounds all attempts together, so
 // retries never extend the caller-visible latency past UpstreamTimeout.
-func (p *Proxy) roundTrip(out *http.Request) (*http.Response, error) {
+func (p *Proxy) roundTrip(out *http.Request, at *obs.ActiveTrace) (*http.Response, error) {
 	retries := 0
 	if (out.Method == http.MethodGet || out.Method == http.MethodHead) && out.Body == nil && p.cfg.UpstreamRetries > 0 {
 		retries = p.cfg.UpstreamRetries
 	}
 	backoff := p.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
+		// One proxy.upstream span per attempt, the attempt number as its
+		// Arg; failed attempts are flagged SpanError, re-sent ones also
+		// SpanRetried — the flame view shows exactly where a slow exchange
+		// spent its retry budget.
+		us := at.StartSpan(p.stg.upstream)
+		at.SetArg(us, int32(attempt))
 		resp, err := p.transport.RoundTrip(out)
 		if err == nil || attempt >= retries || !retryable(err) {
+			if err != nil {
+				at.Annotate(us, obs.SpanError)
+			}
+			at.EndSpan(us)
 			return resp, err
 		}
+		at.Annotate(us, obs.SpanError|obs.SpanRetried)
+		at.EndSpan(us)
 		p.mx.retries.Inc()
 		p.sleep(p.jitter(backoff))
 		backoff *= 2

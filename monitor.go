@@ -21,6 +21,10 @@ type Monitor struct {
 	now    func() time.Time
 	ttl    time.Duration
 
+	// tracer is the pipeline tracer from MonitorConfig (nil when tracing
+	// is off); StartAdmin mounts /trace from it.
+	tracer *obs.Tracer
+
 	// journal is the alert sink from MonitorConfig, kept so Shutdown can
 	// force it to stable storage during a graceful drain.
 	journal *obs.Journal
@@ -60,6 +64,7 @@ func NewMonitor(cfg MonitorConfig, c *Classifier) *Monitor {
 		engine:  engine,
 		now:     now,
 		ttl:     ttl,
+		tracer:  cfg.Tracer,
 		journal: cfg.Journal,
 		janitorSweeps: reg.Counter("dynaminer_janitor_sweeps_total",
 			"Background janitor sweeps run."),
@@ -78,25 +83,35 @@ func NewMonitor(cfg MonitorConfig, c *Classifier) *Monitor {
 func (m *Monitor) Registry() *obs.Registry { return m.engine.Registry() }
 
 // StartAdmin serves the observability endpoints — Prometheus /metrics,
-// /healthz, a JSON /snapshot, /debug/pprof/, and the model-lifecycle
-// controls POST /reload and POST /rollback (see ReloadHandlers) — on
-// addr, exposing the monitor's registry plus the process-wide library
-// registry. It returns the bound address (useful with ":0"). Nothing
-// listens unless this is called; Close shuts the server down.
+// the /healthz readiness report (JSON conditions, 503 while degraded,
+// quarantined or shedding), a JSON /snapshot, /debug/pprof/, /trace when
+// the monitor has a tracer, and the model-lifecycle controls POST
+// /reload and POST /rollback (see ReloadHandlers) — on addr, exposing
+// the monitor's registry plus the process-wide library registry. A
+// runtime health collector refreshes process gauges while the server
+// runs. It returns the bound address (useful with ":0"). Nothing listens
+// unless this is called; Close shuts the server down.
 func (m *Monitor) StartAdmin(addr string) (string, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.admin != nil {
 		return m.admin.Addr(), nil
 	}
-	admin, err := obs.StartAdminHandlers(addr, ReloadHandlers(m, m.ModelPath),
-		m.engine.Registry(), obs.Default())
+	admin, err := obs.StartAdminWith(addr, obs.AdminOptions{
+		Extra:  ReloadHandlers(m, m.ModelPath),
+		Health: m.engine.Health,
+		Tracer: m.tracer,
+	}, m.engine.Registry(), obs.Default())
 	if err != nil {
 		return "", err
 	}
 	m.admin = admin
 	return admin.Addr(), nil
 }
+
+// Health reports the engine's readiness conditions, OR-ed across shards;
+// /healthz serves the same report.
+func (m *Monitor) Health() HealthStatus { return m.engine.Health() }
 
 // StartJanitor launches a background sweeper that evicts idle session
 // clusters every interval (zero selects one minute), so memory stays

@@ -3,8 +3,11 @@ package dynaminer
 import (
 	"io"
 	"net/http"
+	"time"
 
+	"dynaminer/internal/httpstream"
 	"dynaminer/internal/obs"
+	"dynaminer/internal/pcap"
 )
 
 // Re-exported observability types (see internal/obs and DESIGN.md §10).
@@ -28,6 +31,26 @@ type (
 	// AdminServer serves the observability endpoints: Prometheus
 	// /metrics, /healthz, a JSON /snapshot, and /debug/pprof/.
 	AdminServer = obs.Admin
+	// AdminOptions extends the admin surface: extra endpoints, a
+	// readiness source for /healthz, and a tracer for /trace.
+	AdminOptions = obs.AdminOptions
+	// Tracer records per-transaction span trees across the wire path —
+	// reassembly, parse, feature extraction, scoring, journaling — into a
+	// fixed-size ring with head sampling plus always-keep promotion of
+	// slow and alert-raising transactions. See DESIGN.md §15.
+	Tracer = obs.Tracer
+	// TraceConfig tunes a Tracer: sampling period, ring size, slow-trace
+	// promotion factor.
+	TraceConfig = obs.TraceConfig
+	// TraceSnapshot is one exported trace: its ID, promotion reasons, and
+	// span tree.
+	TraceSnapshot = obs.TraceSnapshot
+	// HealthStatus is the /healthz readiness report: per-condition
+	// booleans plus the serving model generation.
+	HealthStatus = obs.HealthStatus
+	// RuntimeCollector publishes process health telemetry (goroutines,
+	// heap, GC pause and scheduler-latency quantiles) as registry gauges.
+	RuntimeCollector = obs.RuntimeCollector
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
@@ -50,6 +73,44 @@ func StartAdmin(addr string, regs ...*MetricsRegistry) (*AdminServer, error) {
 // ReloadHandlers); extra patterns never shadow the built-in ones.
 func StartAdminHandlers(addr string, extra map[string]http.Handler, regs ...*MetricsRegistry) (*AdminServer, error) {
 	return obs.StartAdminHandlers(addr, extra, regs...)
+}
+
+// StartAdminWith is the full-surface admin form: extra endpoints, a
+// readiness source for /healthz (JSON conditions, 503 while any holds),
+// and a tracer for /trace. While the server runs, a runtime health
+// collector refreshes process gauges on the first registry.
+func StartAdminWith(addr string, opts AdminOptions, regs ...*MetricsRegistry) (*AdminServer, error) {
+	return obs.StartAdminWith(addr, opts, regs...)
+}
+
+// NewTracer returns a pipeline tracer registering its stage histograms
+// and self-telemetry on reg (nil selects a private registry). Pass it as
+// MonitorConfig.Tracer / ProxyConfig.Detector.Tracer, and to
+// SetCaptureTracer for the capture layers.
+func NewTracer(reg *MetricsRegistry, cfg TraceConfig) *Tracer { return obs.NewTracer(reg, cfg) }
+
+// TraceHandler serves a tracer's ring over HTTP: Chrome trace-event JSON
+// by default (load it in chrome://tracing or Perfetto), ?format=flame
+// for a human-readable summary, ?id=N for one trace. Monitor.StartAdmin
+// mounts it on /trace automatically when the monitor has a tracer.
+func TraceHandler(t *Tracer) http.Handler { return obs.TraceHandler(t) }
+
+// SetCaptureTracer points the owning-instance-free capture layers — pcap
+// reassembly and HTTP stream parsing — at a pipeline tracer, so their
+// batch timing lands in the pcap.reassemble and httpstream.parse stage
+// histograms. nil detaches. The detector and proxy layers take their
+// tracer via config instead.
+func SetCaptureTracer(t *Tracer) {
+	pcap.SetTracer(t)
+	httpstream.SetTracer(t)
+}
+
+// StartRuntimeCollector publishes runtime health telemetry on reg,
+// refreshed every interval (zero selects 10s) until Close. Monitor and
+// proxy admin servers run one automatically; this standalone form suits
+// deployments without an admin listener.
+func StartRuntimeCollector(reg *MetricsRegistry, interval time.Duration) *RuntimeCollector {
+	return obs.StartRuntimeCollector(reg, interval)
 }
 
 // NewJournal opens (creating, append-mode) a JSONL alert journal file.

@@ -8,6 +8,7 @@ package dynaminer
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"math"
 	"net/http"
@@ -212,8 +213,18 @@ func TestMonitorAdminServesMetrics(t *testing.T) {
 	}
 	hbody, _ := io.ReadAll(hresp.Body)
 	hresp.Body.Close()
-	if string(hbody) != "ok\n" {
-		t.Fatalf("/healthz = %q", hbody)
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d %q", hresp.StatusCode, hbody)
+	}
+	var health HealthStatus
+	if err := json.Unmarshal(hbody, &health); err != nil {
+		t.Fatalf("/healthz not JSON: %v\n%s", err, hbody)
+	}
+	if !health.Ready || health.Degraded || health.Quarantined || health.Shedding {
+		t.Fatalf("/healthz conditions = %+v, want ready", health)
+	}
+	if health.ModelVersion == "" {
+		t.Fatal("/healthz lacks model_version")
 	}
 
 	m.Close()
